@@ -1,0 +1,33 @@
+"""Shared harness for the per-figure benchmarks.
+
+Each benchmark runs one experiment runner exactly once (the runners are
+full experiments, not microbenchmarks), prints the paper-vs-measured
+table, and asserts every shape check recorded by the runner.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments import RUNNERS
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Run a named experiment under pytest-benchmark and verify it."""
+
+    def _run(name: str, fast: bool = False):
+        runner = RUNNERS[name]
+        result = benchmark.pedantic(
+            lambda: runner(fast=fast), rounds=1, iterations=1
+        )
+        print()
+        print(result.format_table())
+        assert result.all_checks_pass, (
+            f"{name}: failed shape checks: {result.failed_checks()}"
+        )
+        return result
+
+    return _run

@@ -1,0 +1,5 @@
+"""Benchmark: ablation — coarse step size vs delay coverage."""
+
+
+def test_ablation_coarse_step(figure_bench):
+    figure_bench("ablation_coarse_step")

@@ -1,0 +1,5 @@
+"""Benchmark: ablation — waveform vs event model fidelity and speed."""
+
+
+def test_ablation_model_fidelity(figure_bench):
+    figure_bench("ablation_model")

@@ -1,0 +1,5 @@
+"""Benchmark: ablation — range and added jitter vs stage count."""
+
+
+def test_ablation_stage_count(figure_bench):
+    figure_bench("ablation_stages")

@@ -1,0 +1,5 @@
+"""Benchmark: ablation — TJ p-p vs acquisition depth."""
+
+
+def test_ablation_tj_depth(figure_bench):
+    figure_bench("ablation_tj_depth")

@@ -1,0 +1,5 @@
+"""Benchmark: application A — 8-channel bus deskew vs ATE-only."""
+
+
+def test_app_deskew_bus(figure_bench):
+    figure_bench("app_deskew")

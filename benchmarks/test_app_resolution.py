@@ -1,0 +1,5 @@
+"""Benchmark: application B — sub-ps resolution via the 12-bit DAC."""
+
+
+def test_app_resolution(figure_bench):
+    figure_bench("app_resolution")

@@ -1,0 +1,5 @@
+"""Benchmark: extension — forwarded-clock centering (Fig. 1)."""
+
+
+def test_ext_clock_centering(figure_bench):
+    figure_bench("ext_clock_centering")

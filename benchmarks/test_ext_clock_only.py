@@ -1,0 +1,5 @@
+"""Benchmark: extension — clock-phase-only baseline vs data deskew."""
+
+
+def test_ext_clock_only(figure_bench):
+    figure_bench("ext_clock_only")

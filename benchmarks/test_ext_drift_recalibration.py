@@ -1,0 +1,5 @@
+"""Benchmark: extension — calibration staleness under drift."""
+
+
+def test_ext_drift_recalibration(figure_bench):
+    figure_bench("ext_drift")

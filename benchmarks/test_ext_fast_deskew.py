@@ -1,0 +1,5 @@
+"""Benchmark: extension — event-model deskew backend."""
+
+
+def test_ext_fast_deskew(figure_bench):
+    figure_bench("ext_fast_deskew")

@@ -1,0 +1,5 @@
+"""Benchmark: extension — common vs per-stage control sensitivity."""
+
+
+def test_ext_per_stage_control(figure_bench):
+    figure_bench("ext_per_stage")

@@ -1,0 +1,5 @@
+"""Benchmark: extension — sinusoidal (SJ) injection bandwidth."""
+
+
+def test_ext_sj_injection(figure_bench):
+    figure_bench("ext_sj")

@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 4/5 — single-buffer amplitude-dependent delay."""
+
+
+def test_fig04_buffer_delay(figure_bench):
+    figure_bench("fig04")

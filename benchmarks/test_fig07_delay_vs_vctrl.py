@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 7 — 4-stage delay vs control voltage."""
+
+
+def test_fig07_delay_vs_vctrl(figure_bench):
+    figure_bench("fig07")

@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 9 — coarse tap delays (0/33/70/95 ps)."""
+
+
+def test_fig09_coarse_taps(figure_bench):
+    figure_bench("fig09")

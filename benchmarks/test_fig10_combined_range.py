@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 10 — combined circuit total range and programming."""
+
+
+def test_fig10_combined_range(figure_bench):
+    figure_bench("fig10")

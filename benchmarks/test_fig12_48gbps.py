@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 12 — 4.8 Gbps fine range and total jitter."""
+
+
+def test_fig12_48gbps(figure_bench):
+    figure_bench("fig12")

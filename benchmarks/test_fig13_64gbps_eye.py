@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 13 — 6.4 Gbps eye through the complete circuit."""
+
+
+def test_fig13_64gbps_eye(figure_bench):
+    figure_bench("fig13")

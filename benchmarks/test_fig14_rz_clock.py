@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 14 — 6.4 GHz clock range and jitter."""
+
+
+def test_fig14_rz_clock(figure_bench):
+    figure_bench("fig14")

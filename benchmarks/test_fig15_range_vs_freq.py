@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 15 — delay range vs frequency, 2- vs 4-stage."""
+
+
+def test_fig15_range_vs_freq(figure_bench):
+    figure_bench("fig15")

@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 16 — jitter injection with 900 mV Gaussian noise."""
+
+
+def test_fig16_injection_eye(figure_bench):
+    figure_bench("fig16")

@@ -1,0 +1,5 @@
+"""Benchmark: Fig. 17 — injected jitter vs noise amplitude."""
+
+
+def test_fig17_jitter_vs_noise(figure_bench):
+    figure_bench("fig17")

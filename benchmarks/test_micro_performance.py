@@ -1,0 +1,46 @@
+"""Microbenchmarks of the simulation hot paths.
+
+Unlike the figure benchmarks (single-shot experiments), these are true
+repeated-measurement microbenchmarks tracking the cost of the inner
+loops: slew tracking, one full buffer stage, waveform synthesis, and
+the edge-matched delay measurement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuits import VariableGainBuffer
+from repro.circuits.vga_buffer import slew_limit
+from repro.core import calibration_stimulus
+from repro.signals import prbs_sequence, synthesize_nrz
+
+
+@pytest.fixture(scope="module")
+def stimulus():
+    return calibration_stimulus(n_bits=127, dt=1e-12)
+
+
+def test_perf_slew_limit(benchmark):
+    target = np.sin(np.linspace(0, 300.0, 50_000)) * 0.4
+    result = benchmark(slew_limit, target, 0.05)
+    assert len(result) == len(target)
+
+
+def test_perf_buffer_stage(benchmark, stimulus):
+    buffer = VariableGainBuffer(vctrl=0.75, seed=1)
+    rng = np.random.default_rng(2)
+    out = benchmark(buffer.process, stimulus, rng)
+    assert out.amplitude() > 0.1
+
+
+def test_perf_nrz_synthesis(benchmark):
+    bits = prbs_sequence(7, 500)
+    out = benchmark(synthesize_nrz, bits, 6.4e9, 1e-12)
+    assert len(out) > 0
+
+
+def test_perf_measure_delay(benchmark, stimulus):
+    shifted = stimulus.shifted(40e-12)
+    result = benchmark(measure_delay, stimulus, shifted)
+    assert result.delay == pytest.approx(40e-12, abs=1e-15)

@@ -1,0 +1,91 @@
+"""Deskew an 8-channel 6.4 Gbps parallel bus (the paper's application).
+
+Scenario (paper Sec. 1): a HyperTransport-3-style parallel-synchronous
+bus driven by eight ATE channels.  Fixture mismatch leaves hundreds of
+picoseconds of channel-to-channel skew; the ATE's native programmable
+delay has only ~100 ps resolution, far too coarse for a 156 ps bit
+period.  One combined coarse/fine delay circuit per channel closes the
+gap to the < 5 ps requirement.
+
+The script runs the deskew flow twice — ATE-native steps only (the
+baseline) and the full flow with the analog circuits — and reports
+residual skew plus the common "bus eye" a receiver would see.
+
+Run:  python examples/deskew_hypertransport_bus.py
+"""
+
+import numpy as np
+
+from repro.ate import DeskewController, ParallelBus, bus_eye_width
+from repro.units import format_time
+
+BIT_RATE = 6.4e9
+N_CHANNELS = 8
+
+
+def print_arrivals(label, arrivals) -> None:
+    rendered = "  ".join(f"{a * 1e12:+7.1f}" for a in arrivals)
+    print(f"  {label:<28} [{rendered}] ps")
+
+
+def main() -> None:
+    print("=== 8-channel 6.4 Gbps bus deskew ===\n")
+    ui = 1.0 / BIT_RATE
+    print(f"bit period: {format_time(ui)}; requirement: < 5 ps skew\n")
+
+    # --- Baseline: the ATE's native ~100 ps steps only ---------------
+    baseline_bus = ParallelBus(
+        n_channels=N_CHANNELS,
+        bit_rate=BIT_RATE,
+        with_delay_circuits=False,
+        seed=2024,
+    )
+    baseline = DeskewController(baseline_bus).deskew_coarse_only(
+        np.random.default_rng(1)
+    )
+    print("-- ATE-native deskew only (~100 ps steps) --")
+    print_arrivals("arrivals before", baseline.initial_arrivals)
+    print_arrivals("arrivals after", baseline.final_arrivals)
+    print(
+        f"  residual skew: {format_time(baseline.final_spread)}  "
+        f"(meets < 5 ps: {baseline.converged})\n"
+    )
+
+    # --- Full flow: per-channel combined delay circuits --------------
+    bus = ParallelBus(
+        n_channels=N_CHANNELS, bit_rate=BIT_RATE, seed=2024
+    )
+    print("-- calibrating 8 combined delay circuits --")
+    bus.calibrate_delay_lines(n_points=11)
+    controller = DeskewController(bus)
+    report = controller.deskew(np.random.default_rng(1))
+    print_arrivals("arrivals before", report.initial_arrivals)
+    print_arrivals("arrivals after", report.final_arrivals)
+    print(
+        f"  residual skew: {format_time(report.final_spread)}  "
+        f"(meets < 5 ps: {report.converged}, "
+        f"{report.iterations} correction passes)"
+    )
+    steps = "  ".join(f"{s * 1e12:5.0f}" for s in report.ate_steps)
+    fines = "  ".join(f"{t * 1e12:5.1f}" for t in report.fine_targets)
+    print(f"  ATE steps programmed        [{steps}] ps")
+    print(f"  analog delays programmed    [{fines}] ps\n")
+
+    # --- Receiver-side payoff: the common bus eye --------------------
+    rng = np.random.default_rng(7)
+    eye_full = bus_eye_width(bus.acquire(dt=1e-12, rng=rng), ui)
+    eye_base = bus_eye_width(
+        baseline_bus.acquire(
+            dt=1e-12, rng=np.random.default_rng(7), through_delay_lines=False
+        ),
+        ui,
+    )
+    print("-- common bus eye at the DUT (all 8 channels overlaid) --")
+    print(f"  ATE-native deskew : {format_time(eye_base)}")
+    print(f"  with delay circuit: {format_time(eye_full)}")
+    gain = (eye_full - eye_base) / ui * 100
+    print(f"  timing margin recovered: {gain:.0f} % of a bit period")
+
+
+if __name__ == "__main__":
+    main()

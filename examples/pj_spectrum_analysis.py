@@ -1,0 +1,92 @@
+"""Identify periodic jitter with the TIE spectrum analyzer.
+
+A debugging scenario: a 3.2 Gbps signal shows excess jitter at the
+DUT.  Is it random (noise floor) or periodic (a supply spur — or, in
+this script, deliberate sinusoidal injection through the delay
+circuit's Vctrl port)?  The TIE spectrum answers: RJ raises the floor,
+PJ stands up as a discrete tone whose frequency fingerprints the
+aggressor.
+
+Run:  python examples/pj_spectrum_analysis.py
+"""
+
+import numpy as np
+
+from repro.circuits import NoiseSource
+from repro.core import FineDelayLine, JitterInjector
+from repro.experiments.common import steady_state
+from repro.jitter import (
+    dominant_tone,
+    jitter_spectrum,
+    jittered_prbs,
+    tie_from_edges,
+    tie_statistics,
+)
+from repro.signals.edges import auto_threshold, crossing_times
+from repro.units import format_time
+
+BIT_RATE = 3.2e9
+SPUR_FREQUENCY = 80e6  # the "supply spur" we inject
+SPUR_AMPLITUDE_PP = 0.25  # volts on Vctrl
+
+
+def analyse(label, waveform, unit_interval) -> None:
+    settled = steady_state(waveform)
+    edges = crossing_times(settled, auto_threshold(settled))
+    tie = tie_from_edges(edges, unit_interval)
+    stats = tie_statistics(tie)
+    spectrum = jitter_spectrum(edges, tie, n_frequencies=160)
+    frequency, amplitude = dominant_tone(spectrum, edges, tie)
+    floor = float(np.median(spectrum.amplitudes))
+    prominence = amplitude / max(floor, 1e-18)
+    print(f"-- {label} --")
+    print(
+        f"  TIE sigma {format_time(stats.sigma)}, "
+        f"p-p {format_time(stats.peak_to_peak)}"
+    )
+    print(
+        f"  largest tone: {frequency / 1e6:7.1f} MHz at "
+        f"{format_time(amplitude)} ({prominence:.1f}x the floor)"
+    )
+    verdict = "PERIODIC aggressor" if prominence > 5 else "random jitter"
+    print(f"  verdict: {verdict}\n")
+
+
+def main() -> None:
+    print("=== Periodic-jitter fingerprinting via TIE spectrum ===\n")
+    ui = 1.0 / BIT_RATE
+    stimulus = jittered_prbs(
+        7, 1000, BIT_RATE, 1e-12, rng=np.random.default_rng(3)
+    )
+
+    # Case A: the quiet delay line (only its own noise -> RJ).
+    line = FineDelayLine(seed=11)
+    line.vctrl = 0.75
+    quiet = line.process(stimulus, np.random.default_rng(4))
+    analyse("quiet delay line", quiet, ui)
+
+    # Case B: an 80 MHz sine rides on Vctrl (spur coupling).
+    injector = JitterInjector(
+        delay_line=line,
+        noise=NoiseSource(
+            kind="sine",
+            peak_to_peak=SPUR_AMPLITUDE_PP,
+            bandwidth=SPUR_FREQUENCY,
+            seed=5,
+        ),
+        seed=6,
+    )
+    spurred = injector.process(stimulus, np.random.default_rng(4))
+    analyse(
+        f"with {SPUR_FREQUENCY / 1e6:.0f} MHz spur on Vctrl", spurred, ui
+    )
+
+    print(
+        "The tone sits exactly at the aggressor frequency — the Vctrl "
+        "port converts\nvoltage spurs into periodic jitter with the "
+        "Fig. 7 slope as its gain."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for environments whose pip cannot do PEP 660 editable installs."""
+from setuptools import setup
+
+setup()

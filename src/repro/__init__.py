@@ -1,0 +1,106 @@
+"""repro: behavioural reproduction of Keezer/Minier/Ducharme (DATE 2008),
+"Variable Delay of Multi-Gigahertz Digital Signals for Deskew and
+Jitter-Injection Test Applications".
+
+The package simulates the paper's picosecond-scale variable delay
+circuit for multi-gigabit data signals and its two ATE applications —
+parallel-bus deskew and jitter injection — entirely in software:
+
+* :mod:`repro.signals` — waveforms, PRBS/clock synthesis, edge
+  extraction (the lab's sources and probes);
+* :mod:`repro.jitter` — jitter models, TIE analysis, dual-Dirac
+  decomposition;
+* :mod:`repro.circuits` — behavioural analog blocks, most importantly
+  the variable-gain buffer whose amplitude-delay coupling the paper
+  exploits;
+* :mod:`repro.core` — the paper's contribution: fine / coarse /
+  combined delay lines, calibration, and the jitter injector;
+* :mod:`repro.analysis` — scope-style measurements (delay cursors, eye
+  diagrams, bathtubs);
+* :mod:`repro.ate` — the deskew application on simulated ATE hardware;
+* :mod:`repro.baselines` — the early 2-stage circuit, ATE-native
+  100 ps deskew, and an ideal delay element;
+* :mod:`repro.experiments` — one runner per figure in the paper's
+  evaluation (driven by the benchmark suite).
+
+Quick start::
+
+    from repro import CombinedDelayLine, calibration_stimulus, measure_delay
+
+    line = CombinedDelayLine(seed=42)
+    line.calibrate()
+    setting = line.set_delay(77e-12)           # program 77 ps
+    stim = calibration_stimulus()              # 2.4 Gbps PRBS7
+    out = line.process(stim)
+    print(measure_delay(stim, out).delay)      # ~77 ps + insertion delay
+"""
+
+from . import analysis, ate, baselines, circuits, core, jitter, signals, units
+from .analysis import (
+    EyeDiagram,
+    EyeMetrics,
+    measure_delay,
+    peak_to_peak_jitter,
+    rms_jitter,
+)
+from .ate import DeskewController, ParallelBus
+from .circuits import BufferParams, ControlDAC, NoiseSource, VariableGainBuffer
+from .core import (
+    CombinedDelayLine,
+    CoarseDelayLine,
+    EventDelayModel,
+    FineDelayLine,
+    JitterInjector,
+    calibrate_fine_delay,
+    calibration_stimulus,
+)
+from .errors import ReproError
+from .jitter import RandomJitter, fit_dual_dirac, jittered_prbs
+from .signals import (
+    Waveform,
+    prbs_sequence,
+    synthesize_clock,
+    synthesize_nrz,
+    synthesize_rz_clock,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "ate",
+    "baselines",
+    "circuits",
+    "core",
+    "jitter",
+    "signals",
+    "units",
+    "EyeDiagram",
+    "EyeMetrics",
+    "measure_delay",
+    "peak_to_peak_jitter",
+    "rms_jitter",
+    "DeskewController",
+    "ParallelBus",
+    "BufferParams",
+    "ControlDAC",
+    "NoiseSource",
+    "VariableGainBuffer",
+    "CombinedDelayLine",
+    "CoarseDelayLine",
+    "EventDelayModel",
+    "FineDelayLine",
+    "JitterInjector",
+    "calibrate_fine_delay",
+    "calibration_stimulus",
+    "ReproError",
+    "RandomJitter",
+    "fit_dual_dirac",
+    "jittered_prbs",
+    "Waveform",
+    "prbs_sequence",
+    "synthesize_clock",
+    "synthesize_nrz",
+    "synthesize_rz_clock",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Measurement substrate: the library's sampling oscilloscope.
+
+Delay cursors, eye diagrams, jitter histograms, and bathtub curves —
+everything the paper's evaluation section reads off its scope.
+"""
+
+from .measurements import (
+    DelayMeasurement,
+    coarse_delay_estimate,
+    measure_delay,
+    peak_to_peak_jitter,
+    rms_jitter,
+    measure_amplitude,
+    rise_time_20_80,
+)
+from .eye import EyeDiagram, EyeMetrics
+from .histogram import Histogram, build_histogram
+from .bathtub import BathtubCurve, bathtub_from_dual_dirac, eye_opening_at_ber
+from .raster import EyeRaster, rasterize_eye, ascii_eye, mask_hits
+
+__all__ = [
+    "DelayMeasurement",
+    "coarse_delay_estimate",
+    "measure_delay",
+    "peak_to_peak_jitter",
+    "rms_jitter",
+    "measure_amplitude",
+    "rise_time_20_80",
+    "EyeDiagram",
+    "EyeMetrics",
+    "Histogram",
+    "build_histogram",
+    "BathtubCurve",
+    "bathtub_from_dual_dirac",
+    "eye_opening_at_ber",
+    "EyeRaster",
+    "rasterize_eye",
+    "ascii_eye",
+    "mask_hits",
+]

@@ -1,0 +1,130 @@
+"""Bathtub curves and BER-vs-sampling-position estimation.
+
+A bathtub curve plots the bit error ratio against the sampling instant
+within the unit interval.  Under the dual-Dirac model it is the sum of
+two Gaussian tail probabilities, one from each eye crossing.  The
+deskew application uses bathtubs to translate residual skew into
+receiver timing margin at a target BER.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special as _special
+
+from ..errors import MeasurementError
+from ..jitter.decomposition import DualDiracModel, q_ber
+
+__all__ = ["BathtubCurve", "bathtub_from_dual_dirac", "eye_opening_at_ber"]
+
+
+def _gaussian_tail(x: np.ndarray) -> np.ndarray:
+    """One-sided Gaussian tail probability Q(x)."""
+    return 0.5 * _special.erfc(x / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class BathtubCurve:
+    """BER as a function of sampling position within the UI.
+
+    Attributes
+    ----------
+    positions:
+        Sampling instants across the UI, seconds (0 = left crossing).
+    ber:
+        Estimated bit error ratio at each position.
+    unit_interval:
+        The UI, seconds.
+    """
+
+    positions: np.ndarray
+    ber: np.ndarray
+    unit_interval: float
+
+    def opening(self, target_ber: float = 1e-12) -> float:
+        """Width of the region where BER stays below *target_ber*.
+
+        Returns 0 if the eye is closed at the target BER.
+        """
+        if not 0.0 < target_ber < 0.5:
+            raise MeasurementError(
+                f"target BER must be in (0, 0.5): {target_ber}"
+            )
+        below = self.ber < target_ber
+        if not np.any(below):
+            return 0.0
+        indices = np.flatnonzero(below)
+        return float(
+            self.positions[indices[-1]] - self.positions[indices[0]]
+        )
+
+    def centre(self, target_ber: float = 1e-12) -> float:
+        """Optimal sampling instant (middle of the open region)."""
+        below = self.ber < target_ber
+        if not np.any(below):
+            raise MeasurementError("eye is closed at the target BER")
+        indices = np.flatnonzero(below)
+        return float(
+            (self.positions[indices[0]] + self.positions[indices[-1]]) / 2.0
+        )
+
+
+def bathtub_from_dual_dirac(
+    model: DualDiracModel,
+    unit_interval: float,
+    transition_density: float = 0.5,
+    n_points: int = 501,
+) -> BathtubCurve:
+    """Construct the dual-Dirac bathtub for one eye.
+
+    The left crossing population sits at ``0 + mu_right`` /
+    ``0 + mu_left`` (the two Diracs straddling the nominal crossing)
+    and the right crossing population one UI later; each Dirac carries
+    a Gaussian of ``rj_sigma``.
+
+    Parameters
+    ----------
+    model:
+        Fitted dual-Dirac parameters.
+    unit_interval:
+        UI, seconds.
+    transition_density:
+        Probability that a bit boundary carries a transition (0.5 for
+        random data).
+    """
+    if unit_interval <= 0:
+        raise MeasurementError(
+            f"unit interval must be positive: {unit_interval}"
+        )
+    if model.rj_sigma <= 0:
+        raise MeasurementError(
+            "bathtub requires a positive RJ sigma (add noise to the model)"
+        )
+    x = np.linspace(0.0, unit_interval, n_points)
+    # Left crossing: latest-arriving population is the right Dirac.
+    left = 0.5 * (
+        _gaussian_tail((x - model.mu_left) / model.rj_sigma)
+        + _gaussian_tail((x - model.mu_right) / model.rj_sigma)
+    )
+    right = 0.5 * (
+        _gaussian_tail((unit_interval + model.mu_left - x) / model.rj_sigma)
+        + _gaussian_tail((unit_interval + model.mu_right - x) / model.rj_sigma)
+    )
+    ber = transition_density * (left + right)
+    return BathtubCurve(positions=x, ber=ber, unit_interval=unit_interval)
+
+
+def eye_opening_at_ber(
+    model: DualDiracModel,
+    unit_interval: float,
+    target_ber: float = 1e-12,
+) -> float:
+    """Closed-form horizontal opening at a target BER.
+
+    ``UI - DJ(dd) - 2 Q(BER) RJ_sigma``, floored at zero.
+    """
+    opening = unit_interval - model.dj_pp - 2.0 * q_ber(target_ber) * model.rj_sigma
+    return max(opening, 0.0)

@@ -1,0 +1,165 @@
+"""Eye-diagram construction and metrics.
+
+An eye diagram folds a data waveform modulo its unit interval.  The
+paper's Figs. 12-14 and 16 are eye (or expanded-crossing) photographs;
+the numbers pulled from them — crossing positions, peak-to-peak total
+jitter, eye amplitude — are computed here from simulated traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InsufficientEdgesError, MeasurementError
+from ..jitter.tie import recover_clock, tie_from_edges
+from ..signals.edges import auto_threshold, crossing_times
+from ..signals.waveform import Waveform
+
+__all__ = ["EyeDiagram", "EyeMetrics"]
+
+
+@dataclass(frozen=True)
+class EyeMetrics:
+    """Summary numbers of one eye diagram (times in seconds, volts in V).
+
+    Attributes
+    ----------
+    unit_interval:
+        The recovered unit interval.
+    total_jitter_pp:
+        Peak-to-peak spread of the crossing times (scope "TJ p-p").
+    rms_jitter:
+        One-sigma spread of the crossing times.
+    eye_width:
+        ``unit_interval - total_jitter_pp`` (open horizontal aperture).
+    eye_height:
+        Vertical opening at the eye centre.
+    amplitude:
+        Steady-state differential half-swing.
+    crossing_fraction:
+        Mean crossing position within the UI, 0..1 (0.5 = centred
+        crossings; deviation indicates duty-cycle distortion).
+    n_edges:
+        Number of crossings folded into the eye.
+    """
+
+    unit_interval: float
+    total_jitter_pp: float
+    rms_jitter: float
+    eye_width: float
+    eye_height: float
+    amplitude: float
+    crossing_fraction: float
+    n_edges: int
+
+
+class EyeDiagram:
+    """Fold a waveform into an eye and measure it.
+
+    Parameters
+    ----------
+    waveform:
+        The data (or clock) trace.
+    unit_interval:
+        Nominal UI used to seed clock recovery.  For a clock signal
+        pass the half period, so both edges fold onto one crossing.
+    threshold:
+        Crossing threshold; defaults to the trace's 50 % level.
+    """
+
+    def __init__(
+        self,
+        waveform: Waveform,
+        unit_interval: float,
+        threshold: Optional[float] = None,
+    ):
+        if unit_interval <= 0:
+            raise MeasurementError(
+                f"unit interval must be positive: {unit_interval}"
+            )
+        self.waveform = waveform
+        self.nominal_ui = float(unit_interval)
+        self.threshold = (
+            auto_threshold(waveform) if threshold is None else float(threshold)
+        )
+        edges = crossing_times(waveform, self.threshold, "both")
+        if edges.size < 4:
+            raise InsufficientEdgesError(
+                f"an eye needs >= 4 crossings, got {edges.size}"
+            )
+        self.edges = edges
+        self.clock = recover_clock(edges, self.nominal_ui)
+        self.tie = tie_from_edges(edges, self.nominal_ui, self.clock)
+
+    # -- folding ---------------------------------------------------------
+
+    def phases(self) -> np.ndarray:
+        """Sample phases within the UI (0..1), aligned to the crossings.
+
+        Phase 0 corresponds to the mean crossing instant, so the eye
+        centre falls at phase 0.5.
+        """
+        reference = self.clock.grid_time(
+            self.clock.nearest_index(np.array([self.waveform.t0]))
+        )[0]
+        t = self.waveform.times() - (reference + self.tie.mean())
+        return np.mod(t / self.clock.period, 1.0)
+
+    def folded(self) -> tuple:
+        """Return ``(phases, values)`` for eye plotting/rasterising."""
+        return self.phases(), self.waveform.values
+
+    # -- metrics -----------------------------------------------------------
+
+    def total_jitter_pp(self) -> float:
+        """Peak-to-peak spread of the folded crossing times."""
+        return float(self.tie.max() - self.tie.min())
+
+    def rms_jitter(self) -> float:
+        """One-sigma spread of the folded crossing times."""
+        return float(self.tie.std(ddof=1))
+
+    def eye_width(self) -> float:
+        """Horizontal opening: UI minus the crossing spread."""
+        return max(self.clock.period - self.total_jitter_pp(), 0.0)
+
+    def eye_height(self, window: float = 0.1) -> float:
+        """Vertical opening at the eye centre.
+
+        Samples within ``±window`` (fraction of UI) of phase 0.5 are
+        split into the high and low rails around the threshold; the
+        opening is the gap between the lowest high sample and the
+        highest low sample (zero if the eye is closed).
+        """
+        if not 0.0 < window < 0.5:
+            raise MeasurementError(f"window must be in (0, 0.5): {window}")
+        phases = self.phases()
+        in_centre = np.abs(phases - 0.5) <= window
+        centre_values = self.waveform.values[in_centre]
+        highs = centre_values[centre_values > self.threshold]
+        lows = centre_values[centre_values <= self.threshold]
+        if highs.size == 0 or lows.size == 0:
+            return 0.0
+        return max(float(highs.min() - lows.max()), 0.0)
+
+    def crossing_fraction(self) -> float:
+        """Mean crossing position within the UI (0..1)."""
+        indices = self.clock.nearest_index(self.edges)
+        residual = self.edges - self.clock.grid_time(indices)
+        return float(np.mod(residual / self.clock.period + 0.5, 1.0).mean())
+
+    def metrics(self) -> EyeMetrics:
+        """Compute the full metric set in one pass."""
+        return EyeMetrics(
+            unit_interval=self.clock.period,
+            total_jitter_pp=self.total_jitter_pp(),
+            rms_jitter=self.rms_jitter(),
+            eye_width=self.eye_width(),
+            eye_height=self.eye_height(),
+            amplitude=self.waveform.amplitude(),
+            crossing_fraction=self.crossing_fraction(),
+            n_edges=int(self.edges.size),
+        )

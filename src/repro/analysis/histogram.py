@@ -1,0 +1,118 @@
+"""Histogram utilities for crossing-time and TIE populations.
+
+A sampling scope's jitter view is a histogram of crossing times; these
+helpers build and summarise such histograms from edge populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+__all__ = ["Histogram", "build_histogram"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned sample distribution.
+
+    Attributes
+    ----------
+    bin_edges:
+        Bin boundaries (length ``n_bins + 1``).
+    counts:
+        Samples per bin (length ``n_bins``).
+    """
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.bin_edges) != len(self.counts) + 1:
+            raise MeasurementError(
+                "bin_edges must be one longer than counts"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of samples binned."""
+        return int(self.counts.sum())
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        """Midpoints of the bins."""
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+
+    @property
+    def bin_width(self) -> float:
+        """Width of the (uniform) bins."""
+        return float(self.bin_edges[1] - self.bin_edges[0])
+
+    def mode(self) -> float:
+        """Centre of the most populated bin."""
+        return float(self.bin_centers[int(np.argmax(self.counts))])
+
+    def mean(self) -> float:
+        """Mean of the binned distribution."""
+        if self.n_samples == 0:
+            raise MeasurementError("histogram is empty")
+        return float(
+            np.average(self.bin_centers, weights=self.counts)
+        )
+
+    def density(self) -> np.ndarray:
+        """Normalised density (integrates to 1 over the bins)."""
+        total = self.counts.sum()
+        if total == 0:
+            raise MeasurementError("histogram is empty")
+        return self.counts / (total * self.bin_width)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (0..100) from the binned counts."""
+        if not 0.0 <= q <= 100.0:
+            raise MeasurementError(f"percentile must be in 0..100: {q}")
+        if self.n_samples == 0:
+            raise MeasurementError("histogram is empty")
+        cumulative = np.cumsum(self.counts) / self.n_samples
+        target = q / 100.0
+        index = int(np.searchsorted(cumulative, target))
+        index = min(index, len(self.counts) - 1)
+        return float(self.bin_centers[index])
+
+
+def build_histogram(
+    samples: np.ndarray,
+    n_bins: int = 50,
+    span: Optional[tuple] = None,
+) -> Histogram:
+    """Bin a sample population into a :class:`Histogram`.
+
+    Parameters
+    ----------
+    samples:
+        The population (e.g. TIE values).
+    n_bins:
+        Number of uniform bins.
+    span:
+        Optional ``(low, high)`` range; defaults to the sample extrema
+        padded by one bin width on each side.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise MeasurementError("cannot histogram an empty sample")
+    if n_bins < 1:
+        raise MeasurementError(f"need at least one bin, got {n_bins}")
+    if span is None:
+        low = float(samples.min())
+        high = float(samples.max())
+        if low == high:
+            pad = abs(low) * 1e-6 + 1e-15
+        else:
+            pad = (high - low) / n_bins
+        span = (low - pad, high + pad)
+    counts, edges = np.histogram(samples, bins=n_bins, range=span)
+    return Histogram(bin_edges=edges, counts=counts)

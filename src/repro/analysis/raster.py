@@ -1,0 +1,122 @@
+"""Eye-diagram rasterisation: scope-style persistence displays.
+
+Folds a waveform into a 2-D hit-count raster (phase x voltage), the
+data behind a sampling scope's colour-graded eye.  Useful for visual
+inspection (ASCII or exported arrays) and for mask testing: counting
+hits inside a keep-out polygon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .eye import EyeDiagram
+
+__all__ = ["EyeRaster", "rasterize_eye", "ascii_eye", "mask_hits"]
+
+
+@dataclass(frozen=True)
+class EyeRaster:
+    """A 2-D hit-count raster of an eye diagram.
+
+    Attributes
+    ----------
+    counts:
+        Hit counts, shape ``(n_voltage_bins, n_phase_bins)``; row 0 is
+        the highest voltage (display orientation).
+    phase_edges:
+        Phase bin boundaries, fraction of UI (length ``n_phase + 1``).
+    voltage_edges:
+        Voltage bin boundaries, volts, descending (length ``n_v + 1``).
+    """
+
+    counts: np.ndarray
+    phase_edges: np.ndarray
+    voltage_edges: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(voltage bins, phase bins)."""
+        return self.counts.shape
+
+    def normalized(self) -> np.ndarray:
+        """Counts scaled to [0, 1] by the peak bin."""
+        peak = self.counts.max()
+        if peak == 0:
+            return self.counts.astype(np.float64)
+        return self.counts / peak
+
+
+def rasterize_eye(
+    eye: EyeDiagram, n_phase: int = 64, n_voltage: int = 32
+) -> EyeRaster:
+    """Fold an :class:`EyeDiagram` into an :class:`EyeRaster`."""
+    if n_phase < 2 or n_voltage < 2:
+        raise MeasurementError("raster needs >= 2 bins per axis")
+    phases, values = eye.folded()
+    v_high = float(values.max())
+    v_low = float(values.min())
+    if v_high == v_low:
+        raise MeasurementError("waveform has no swing to rasterise")
+    counts, v_edges, p_edges = np.histogram2d(
+        values,
+        phases,
+        bins=[n_voltage, n_phase],
+        range=[[v_low, v_high], [0.0, 1.0]],
+    )
+    # Flip so row 0 is the highest voltage (scope orientation).
+    return EyeRaster(
+        counts=counts[::-1].astype(np.int64),
+        phase_edges=p_edges,
+        voltage_edges=v_edges[::-1],
+    )
+
+
+def ascii_eye(raster: EyeRaster, shades: str = " .:*#") -> str:
+    """Render a raster as ASCII art (one char per bin)."""
+    if len(shades) < 2:
+        raise MeasurementError("need at least two shade characters")
+    normalised = raster.normalized()
+    n_levels = len(shades)
+    lines = []
+    for row in normalised:
+        indices = np.minimum(
+            (row * (n_levels - 1) + 0.999).astype(int), n_levels - 1
+        )
+        indices[row == 0.0] = 0
+        lines.append("|" + "".join(shades[i] for i in indices) + "|")
+    return "\n".join(lines)
+
+
+def mask_hits(
+    raster: EyeRaster,
+    phase_range: Tuple[float, float],
+    voltage_range: Tuple[float, float],
+) -> int:
+    """Count raster hits inside a rectangular keep-out mask.
+
+    Parameters
+    ----------
+    phase_range:
+        ``(low, high)`` phase bounds, fraction of UI.
+    voltage_range:
+        ``(low, high)`` voltage bounds, volts.
+
+    A compliant eye has zero hits inside the central mask; hits mean
+    signal trajectories crossed the receiver's forbidden region.
+    """
+    p_low, p_high = phase_range
+    v_low, v_high = voltage_range
+    if p_low >= p_high or v_low >= v_high:
+        raise MeasurementError("mask ranges must be (low, high)")
+    phase_centres = (raster.phase_edges[:-1] + raster.phase_edges[1:]) / 2
+    voltage_centres = (
+        raster.voltage_edges[:-1] + raster.voltage_edges[1:]
+    ) / 2
+    phase_mask = (phase_centres >= p_low) & (phase_centres <= p_high)
+    voltage_mask = (voltage_centres >= v_low) & (voltage_centres <= v_high)
+    return int(raster.counts[np.ix_(voltage_mask, phase_mask)].sum())

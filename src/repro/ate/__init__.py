@@ -1,0 +1,33 @@
+"""ATE application layer: channels, buses, deskew, and DUT receivers.
+
+The system the paper built its circuit *for*: parallel 6.4 Gbps buses
+from an ATE whose native deskew resolution (~100 ps) cannot align a
+parallel-synchronous interface, corrected per channel by the combined
+coarse/fine delay circuits.
+"""
+
+from .channel import ATEChannel
+from .bus import ParallelBus
+from .deskew import DeskewController, DeskewReport
+from .dut import ClockedReceiver, SampleResult, bus_eye_width
+from .bert import BertResult, BitErrorRateTester, align_pattern
+from .shmoo import ShmooResult, timing_shmoo
+from .source_sync import AlignmentReport, SourceSynchronousLink, worst_edge_margin
+
+__all__ = [
+    "ATEChannel",
+    "ParallelBus",
+    "DeskewController",
+    "DeskewReport",
+    "ClockedReceiver",
+    "SampleResult",
+    "bus_eye_width",
+    "BertResult",
+    "BitErrorRateTester",
+    "align_pattern",
+    "ShmooResult",
+    "timing_shmoo",
+    "AlignmentReport",
+    "SourceSynchronousLink",
+    "worst_edge_margin",
+]

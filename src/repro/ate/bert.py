@@ -1,0 +1,148 @@
+"""Bit-error-rate tester (BERT) model.
+
+Production jitter-tolerance testing (the paper's Sec. 5 application,
+and its reference [1], Shimanouchi ITC'03) measures whether a receiver
+still meets a BER target while jitter is injected.  This module
+provides the counting side: align a sampled bit stream against the
+known transmitted pattern, count errors, and report the standard
+confidence-bound BER statistics used on the test floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+__all__ = ["BertResult", "align_pattern", "BitErrorRateTester"]
+
+
+@dataclass(frozen=True)
+class BertResult:
+    """Outcome of one BER measurement.
+
+    Attributes
+    ----------
+    n_bits:
+        Bits compared.
+    n_errors:
+        Bits that mismatched the expected pattern.
+    alignment:
+        Pattern offset (bits) found by the aligner.
+    """
+
+    n_bits: int
+    n_errors: int
+    alignment: int
+
+    @property
+    def ber(self) -> float:
+        """Measured bit error ratio (0 when error-free)."""
+        if self.n_bits == 0:
+            raise MeasurementError("no bits were compared")
+        return self.n_errors / self.n_bits
+
+    def ber_upper_bound(self, confidence: float = 0.95) -> float:
+        """Upper confidence bound on the true BER.
+
+        For zero observed errors this is the classic
+        ``-ln(1 - CL) / N`` rule (e.g. 3/N at 95 %); for ``k`` errors
+        it uses the Poisson-approximation bound
+        ``(k + sqrt(k) * z + z^2/2 ... )`` simplified to the common
+        ``(k + z*sqrt(k) + z^2) / N`` test-floor formula.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise MeasurementError(
+                f"confidence must be in (0, 1): {confidence}"
+            )
+        if self.n_bits == 0:
+            raise MeasurementError("no bits were compared")
+        if self.n_errors == 0:
+            return -math.log(1.0 - confidence) / self.n_bits
+        z = math.sqrt(2.0) * _erfinv(confidence)
+        k = float(self.n_errors)
+        return (k + z * math.sqrt(k) + z * z) / self.n_bits
+
+    def passes(self, target_ber: float, confidence: float = 0.95) -> bool:
+        """True when the BER upper bound meets *target_ber*."""
+        return self.ber_upper_bound(confidence) <= target_ber
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function via scipy (kept local to the module)."""
+    from scipy import special
+
+    return float(special.erfinv(x))
+
+
+def align_pattern(
+    received: np.ndarray, pattern: np.ndarray, max_offset: Optional[int] = None
+) -> int:
+    """Find the cyclic pattern offset that best explains *received*.
+
+    Real BERTs synchronise to the incoming pattern before counting;
+    this helper tries every cyclic shift of *pattern* (up to
+    *max_offset*) and returns the one with the fewest mismatches.
+    """
+    received = np.asarray(received, dtype=np.uint8)
+    pattern = np.asarray(pattern, dtype=np.uint8)
+    if pattern.size == 0:
+        raise MeasurementError("pattern must not be empty")
+    if received.size == 0:
+        raise MeasurementError("received stream must not be empty")
+    if max_offset is None:
+        max_offset = pattern.size
+    max_offset = min(max_offset, pattern.size)
+    best_offset = 0
+    best_errors = received.size + 1
+    for offset in range(max_offset):
+        rolled = np.roll(pattern, -offset)
+        reference = np.resize(rolled, received.size)
+        errors = int(np.sum(received != reference))
+        if errors < best_errors:
+            best_errors = errors
+            best_offset = offset
+            if errors == 0:
+                break
+    return best_offset
+
+
+class BitErrorRateTester:
+    """Compare a received bit stream against a known repeating pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The transmitted repeating pattern (e.g. one PRBS7 period).
+    auto_align:
+        Synchronise to the pattern phase before counting (default), as
+        hardware BERTs do.
+    """
+
+    def __init__(self, pattern: Sequence[int], auto_align: bool = True):
+        self.pattern = np.asarray(pattern, dtype=np.uint8)
+        if self.pattern.size == 0:
+            raise MeasurementError("pattern must not be empty")
+        if set(np.unique(self.pattern)) - {0, 1}:
+            raise MeasurementError("pattern must contain only bits")
+        self.auto_align = bool(auto_align)
+
+    def measure(self, received: Sequence[int]) -> BertResult:
+        """Count bit errors in *received*."""
+        received = np.asarray(received, dtype=np.uint8)
+        if received.size == 0:
+            raise MeasurementError("received stream must not be empty")
+        offset = (
+            align_pattern(received, self.pattern) if self.auto_align else 0
+        )
+        reference = np.resize(
+            np.roll(self.pattern, -offset), received.size
+        )
+        errors = int(np.sum(received != reference))
+        return BertResult(
+            n_bits=int(received.size), n_errors=errors, alignment=offset
+        )

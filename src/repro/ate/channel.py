@@ -1,0 +1,126 @@
+"""One ATE signal-source channel.
+
+Models a Teradyne UltraFlex SB6G-style source as the paper's
+experiments see it: an NRZ pattern generator with
+
+* a fixed, unknown-to-the-user **static skew** (cable/fixture length
+  mismatch plus instrument offsets — the thing deskew must remove),
+* a **programmable delay** with ~100 ps resolution
+  (:class:`~repro.baselines.coarse_only.QuantizedProgrammableDelay`),
+* its own **random jitter**, and
+* finite edge rate and amplitude.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..baselines.coarse_only import QuantizedProgrammableDelay
+from ..errors import CircuitError
+from ..jitter.components import JitterComponent, RandomJitter
+from ..jitter.generators import jittered_nrz
+from ..signals.waveform import Waveform
+
+__all__ = ["ATEChannel"]
+
+
+class ATEChannel:
+    """A single high-speed pattern source channel.
+
+    Parameters
+    ----------
+    bit_rate:
+        Data rate, bit/s (the application's 6.4 Gbps by default).
+    static_skew:
+        The channel's fixed timing offset, seconds.  In a real system
+        this is unknown; deskew procedures must discover and remove it.
+    programmable:
+        The channel's native programmable delay; defaults to the
+        UltraFlex-like 100 ps-step instrument.
+    jitter:
+        Source jitter model; defaults to ~1 ps RMS random jitter.
+    amplitude, rise_time:
+        Output swing (differential half-swing, volts) and 20-80 % edge
+        rate, seconds.
+    seed:
+        Seed for the channel's private randomness.
+    """
+
+    def __init__(
+        self,
+        bit_rate: float = 6.4e9,
+        static_skew: float = 0.0,
+        programmable: Optional[QuantizedProgrammableDelay] = None,
+        jitter: Optional[JitterComponent] = None,
+        amplitude: float = 0.4,
+        rise_time: float = 30e-12,
+        seed: Optional[int] = None,
+    ):
+        if bit_rate <= 0:
+            raise CircuitError(f"bit rate must be positive: {bit_rate}")
+        self.bit_rate = float(bit_rate)
+        self.static_skew = float(static_skew)
+        if programmable is None:
+            sub_seed = None if seed is None else seed + 1
+            programmable = QuantizedProgrammableDelay(seed=sub_seed)
+        self.programmable = programmable
+        self.jitter = jitter if jitter is not None else RandomJitter(1e-12)
+        self.amplitude = float(amplitude)
+        self.rise_time = float(rise_time)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def unit_interval(self) -> float:
+        """The channel's bit period, seconds."""
+        return 1.0 / self.bit_rate
+
+    def total_offset(self) -> float:
+        """Static skew plus the currently programmed delay, seconds."""
+        return self.static_skew + self.programmable.actual_delay()
+
+    def drive(
+        self,
+        bits: Sequence[int],
+        dt: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Waveform:
+        """Produce the channel's output waveform for *bits*.
+
+        The returned record's time axis is absolute: the static skew
+        and programmed delay move the edges, not the record origin, so
+        multi-channel acquisitions line up like a multi-input scope
+        capture.
+        """
+        rng = self._rng if rng is None else rng
+        waveform = jittered_nrz(
+            bits,
+            self.bit_rate,
+            dt,
+            jitter=self.jitter,
+            rng=rng,
+            amplitude=self.amplitude,
+            rise_time=self.rise_time,
+        )
+        return waveform.shifted(self.total_offset())
+
+    def edge_times(
+        self,
+        bits: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Fast path: ideal jittered edge instants without rendering.
+
+        Used by the event-model deskew loops; the instants include the
+        static skew, the programmed delay, and a jitter draw.
+        """
+        from ..signals.nrz import transition_times_from_bits
+
+        rng = self._rng if rng is None else rng
+        times, targets = transition_times_from_bits(
+            bits, self.unit_interval, t_start=0.0
+        )
+        rising = targets == 1
+        offsets = self.jitter.offsets(times, rising, rng)
+        return times + offsets + self.total_offset()

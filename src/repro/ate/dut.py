@@ -1,0 +1,133 @@
+"""Device-under-test receiver models.
+
+The point of deskewing a parallel bus (paper Fig. 1-2) is that a
+parallel-synchronous receiver latches every data line with one common
+clock; skew eats directly into its setup/hold margin.  These models
+quantify that: a clocked sampler with setup/hold windows, and the
+"bus eye" — the timing aperture that remains open across *all*
+channels simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..jitter.tie import recover_clock
+from ..signals.edges import auto_threshold, crossing_times
+from ..signals.waveform import Waveform
+
+__all__ = ["SampleResult", "ClockedReceiver", "bus_eye_width"]
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Outcome of latching one data line with a clock.
+
+    Attributes
+    ----------
+    bits:
+        The latched bit per sampling instant.
+    violations:
+        Number of sampling instants whose setup/hold window contained a
+        data transition (metastability risk).
+    sample_times:
+        The sampling instants used.
+    """
+
+    bits: np.ndarray
+    violations: int
+    sample_times: np.ndarray
+
+
+class ClockedReceiver:
+    """A register clocked by a common bus clock.
+
+    Parameters
+    ----------
+    setup, hold:
+        Setup and hold windows, seconds: a data transition inside
+        ``[t - setup, t + hold]`` around a sampling instant *t* counts
+        as a timing violation.
+    threshold:
+        Data slicing threshold, volts (``None`` = per-record 50 %).
+    """
+
+    def __init__(
+        self,
+        setup: float = 20e-12,
+        hold: float = 10e-12,
+        threshold: Optional[float] = None,
+    ):
+        if setup < 0 or hold < 0:
+            raise MeasurementError("setup/hold must be >= 0")
+        self.setup = float(setup)
+        self.hold = float(hold)
+        self.threshold = threshold
+
+    def sample(
+        self, data: Waveform, sample_times: np.ndarray
+    ) -> SampleResult:
+        """Latch *data* at the given instants."""
+        sample_times = np.asarray(sample_times, dtype=np.float64)
+        if sample_times.size == 0:
+            raise MeasurementError("no sampling instants supplied")
+        threshold = (
+            auto_threshold(data) if self.threshold is None else self.threshold
+        )
+        values = data.value_at(sample_times)
+        bits = (np.asarray(values) > threshold).astype(np.uint8)
+        edges = crossing_times(data, threshold)
+        violations = 0
+        for instant in sample_times:
+            in_window = np.any(
+                (edges >= instant - self.setup)
+                & (edges <= instant + self.hold)
+            )
+            if in_window:
+                violations += 1
+        return SampleResult(
+            bits=bits, violations=int(violations), sample_times=sample_times
+        )
+
+    def sample_with_clock(self, data: Waveform, clock: Waveform) -> SampleResult:
+        """Latch *data* at the rising edges of *clock*."""
+        clock_threshold = auto_threshold(clock)
+        instants = crossing_times(clock, clock_threshold, "rising")
+        if instants.size == 0:
+            raise MeasurementError("clock record contains no rising edges")
+        return self.sample(data, instants)
+
+
+def bus_eye_width(
+    records: Sequence[Waveform], unit_interval: float
+) -> float:
+    """The common timing aperture across all bus channels, seconds.
+
+    All channels' threshold crossings are folded onto one shared bit
+    grid (recovered from the pooled edges); the bus eye is the UI minus
+    the pooled crossing spread.  Residual skew between channels widens
+    the pooled spread one-for-one, which is why deskew directly buys
+    receiver margin.
+    """
+    if len(records) < 1:
+        raise MeasurementError("need at least one record")
+    if unit_interval <= 0:
+        raise MeasurementError(
+            f"unit interval must be positive: {unit_interval}"
+        )
+    all_edges = []
+    for record in records:
+        edges = crossing_times(record, auto_threshold(record))
+        if edges.size < 2:
+            raise MeasurementError("a record contains fewer than two edges")
+        all_edges.append(edges)
+    pooled = np.sort(np.concatenate(all_edges))
+    clock = recover_clock(pooled, unit_interval)
+    indices = clock.nearest_index(pooled)
+    tie = pooled - clock.grid_time(indices)
+    spread = float(tie.max() - tie.min())
+    return max(clock.period - spread, 0.0)

@@ -1,0 +1,150 @@
+"""Timing shmoo: measured BER vs sampling position.
+
+The bench counterpart of the analytic bathtub
+(:mod:`repro.analysis.bathtub`): sweep a receiver's sampling instant
+across the unit interval, count bit errors against the known pattern at
+each position, and report the measured eye opening.  On an ATE this is
+the "timing shmoo" used to place the strobe and to quantify margin
+after deskew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..signals.edges import auto_threshold
+from ..signals.waveform import Waveform
+from .bert import BitErrorRateTester
+
+__all__ = ["ShmooResult", "timing_shmoo"]
+
+
+@dataclass(frozen=True)
+class ShmooResult:
+    """Measured BER across sampling positions within one UI.
+
+    Attributes
+    ----------
+    offsets:
+        Sampling offsets within the UI (0..1, fraction of a bit).
+    ber:
+        Measured bit error ratio at each offset.
+    n_bits:
+        Bits compared per offset.
+    unit_interval:
+        The UI, seconds.
+    """
+
+    offsets: np.ndarray
+    ber: np.ndarray
+    n_bits: int
+    unit_interval: float
+
+    def opening(self, max_ber: float = 0.0) -> float:
+        """Width (seconds) of the contiguous region with BER <= max_ber.
+
+        Returns the longest error-free (or sub-threshold) stretch of
+        sampling positions, converted to seconds.
+        """
+        good = self.ber <= max_ber
+        if not np.any(good):
+            return 0.0
+        best = 0
+        run = 0
+        for flag in good:
+            run = run + 1 if flag else 0
+            best = max(best, run)
+        step = (
+            (self.offsets[1] - self.offsets[0])
+            if len(self.offsets) > 1
+            else 1.0
+        )
+        return best * step * self.unit_interval
+
+    def best_offset(self) -> float:
+        """Centre of the widest clean region (fraction of UI)."""
+        good = self.ber <= self.ber.min()
+        indices = np.flatnonzero(good)
+        return float(self.offsets[indices[len(indices) // 2]])
+
+
+def timing_shmoo(
+    data: Waveform,
+    bits: Sequence[int],
+    unit_interval: float,
+    n_positions: int = 21,
+    first_bit_time: Optional[float] = None,
+    threshold: Optional[float] = None,
+) -> ShmooResult:
+    """Sweep the sampling instant across the UI and count errors.
+
+    Parameters
+    ----------
+    data:
+        The received waveform (e.g. the output of a delay circuit).
+    bits:
+        The transmitted pattern the sampler should recover.
+    unit_interval:
+        Bit period, seconds.
+    n_positions:
+        Number of sampling offsets across the UI.
+    first_bit_time:
+        Instant where bit 0 begins.  Defaults to ``t = 0``, the
+        library's synthesis convention (``synthesize_nrz`` places bit k
+        at ``k * UI``; the record's lead-in sits at negative time).
+        Pass the measured insertion delay when the data has travelled
+        through a circuit.
+    threshold:
+        Slicing threshold; defaults to the record's 50 % level.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size == 0:
+        raise MeasurementError("need a non-empty expected pattern")
+    if unit_interval <= 0:
+        raise MeasurementError(
+            f"unit interval must be positive: {unit_interval}"
+        )
+    if n_positions < 2:
+        raise MeasurementError(f"need >= 2 positions, got {n_positions}")
+    if first_bit_time is None:
+        first_bit_time = 0.0
+    if threshold is None:
+        threshold = auto_threshold(data)
+
+    # Only bits whose whole UI lies inside the record are compared.
+    first_index = int(
+        np.ceil((data.t0 - first_bit_time) / unit_interval + 1e-9)
+    )
+    first_index = max(first_index, 0)
+    last_index = int(
+        np.floor((data.t_end - first_bit_time) / unit_interval - 1 + 1e-9)
+    )
+    last_index = min(last_index, bits.size - 1)
+    if last_index - first_index + 1 < 8:
+        raise MeasurementError(
+            "record too short: fewer than 8 complete bits to compare"
+        )
+    compared = bits[first_index : last_index + 1]
+    tester = BitErrorRateTester(compared, auto_align=False)
+
+    offsets = np.linspace(0.0, 1.0, n_positions, endpoint=False)
+    bers = []
+    bit_starts = first_bit_time + unit_interval * np.arange(
+        first_index, last_index + 1
+    )
+    for offset in offsets:
+        instants = bit_starts + offset * unit_interval
+        sampled = (
+            np.asarray(data.value_at(instants)) > threshold
+        ).astype(np.uint8)
+        bers.append(tester.measure(sampled).ber)
+    return ShmooResult(
+        offsets=offsets,
+        ber=np.asarray(bers),
+        n_bits=int(compared.size),
+        unit_interval=float(unit_interval),
+    )

@@ -1,0 +1,22 @@
+"""Comparison systems the paper's circuit is evaluated against.
+
+* :class:`TwoStageFineDelayLine` — the authors' early 2-stage circuit
+  (Fig. 15's bottom curve);
+* :class:`QuantizedProgrammableDelay` — the ATE's native ~100 ps deskew
+  capability (the problem statement of Sec. 1);
+* :class:`IdealVariableDelay` — a perfect delay element, the upper
+  bound for added-jitter and accuracy comparisons.
+"""
+
+from .two_stage import TwoStageFineDelayLine
+from .coarse_only import QuantizedProgrammableDelay
+from .ideal import IdealVariableDelay
+from .clock_phase import PhaseInterpolatorClockShifter, is_periodic_clock
+
+__all__ = [
+    "TwoStageFineDelayLine",
+    "QuantizedProgrammableDelay",
+    "IdealVariableDelay",
+    "PhaseInterpolatorClockShifter",
+    "is_periodic_clock",
+]

@@ -1,0 +1,109 @@
+"""Clock-phase adjustment: the solved problem the paper contrasts with.
+
+Paper Sec. 1: "Since it is generally easier to adjust a
+constant-frequency (narrow-bandwidth) clock signal, rather than the
+wide-bandwidth data signal, the solution usually involves adjusting
+the clock phase.  Many VCO and PLL or DLL techniques are widely used
+for this purpose [1-8].  However, the more general (and more
+difficult) problem of aligning multiple data signals is not so easily
+solved."
+
+:class:`PhaseInterpolatorClockShifter` models that established
+capability: an arbitrary, unlimited-range phase shift — but only for
+*periodic* signals.  Fed a data signal, it refuses (a real phase
+interpolator mixes quadrature phases of a carrier; there is no carrier
+in NRZ data), which is exactly the limitation that motivates the
+paper's data-path delay circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.element import CircuitElement
+from ..errors import CircuitError
+from ..signals.edges import auto_threshold, crossing_times
+from ..signals.waveform import Waveform
+
+__all__ = ["PhaseInterpolatorClockShifter", "is_periodic_clock"]
+
+
+def is_periodic_clock(
+    waveform: Waveform, tolerance: float = 0.05
+) -> bool:
+    """True when the waveform's edges are (near-)uniformly spaced.
+
+    A phase interpolator needs a constant-frequency carrier; a signal
+    whose edge intervals vary by more than *tolerance* (fractionally)
+    is data, not a clock.
+    """
+    edges = crossing_times(waveform, auto_threshold(waveform))
+    if edges.size < 4:
+        return False
+    intervals = np.diff(edges)
+    mean = float(intervals.mean())
+    if mean <= 0:
+        return False
+    return bool(np.max(np.abs(intervals - mean)) <= tolerance * mean)
+
+
+class PhaseInterpolatorClockShifter(CircuitElement):
+    """An idealised PI/DLL clock phase shifter.
+
+    Parameters
+    ----------
+    phase:
+        Programmed phase shift, radians (full 2-pi range, wrapping).
+    n_steps:
+        Interpolator resolution (phase DAC steps per turn).
+
+    Notes
+    -----
+    * For a clock of period ``T`` the applied delay is
+      ``phase/(2 pi) * T`` — measured from the signal itself, as a DLL
+      locks to its input.
+    * Calling :meth:`process` on a non-periodic (data) signal raises
+      :class:`~repro.errors.CircuitError`: there is no carrier to
+      interpolate.  This is the baseline's structural limitation, not
+      an implementation shortcut.
+    """
+
+    def __init__(self, phase: float = 0.0, n_steps: int = 64):
+        super().__init__()
+        if n_steps < 4:
+            raise CircuitError(f"need >= 4 interpolator steps: {n_steps}")
+        self.n_steps = int(n_steps)
+        self.phase = phase
+
+    @property
+    def phase(self) -> float:
+        """Programmed phase, radians (quantized to the step grid)."""
+        return self._phase
+
+    @phase.setter
+    def phase(self, value: float) -> None:
+        step = 2.0 * np.pi / self.n_steps
+        self._phase = float(np.round(value / step) * step) % (2.0 * np.pi)
+
+    def lock_period(self, waveform: Waveform) -> float:
+        """The carrier period the DLL locks to (edge-interval mean)."""
+        edges = crossing_times(waveform, auto_threshold(waveform))
+        if edges.size < 4:
+            raise CircuitError("cannot lock: fewer than 4 edges")
+        return 2.0 * float(np.diff(edges).mean())
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        if not is_periodic_clock(waveform):
+            raise CircuitError(
+                "phase interpolator requires a periodic clock; "
+                "wide-band data has no carrier to interpolate "
+                "(the limitation motivating the paper's data-path "
+                "delay circuit)"
+            )
+        period = self.lock_period(waveform)
+        delay = self._phase / (2.0 * np.pi) * period
+        return waveform.shifted(delay)

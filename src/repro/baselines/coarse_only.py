@@ -1,0 +1,111 @@
+"""ATE-native deskew baseline: ~100 ps programmable steps only.
+
+The Teradyne UltraFlex SB6G sources the paper targets can shift each
+channel's timing internally, but "the resolution is on the order of
+100 ps" (Sec. 1) — adequate for lane-independent links (PCI Express),
+far too coarse for parallel-synchronous buses at 6.4 Gbps where the
+whole bit period is 156 ps.  This baseline models that native
+capability: delay programmable only on a quantized grid, with the
+instrument's own timing accuracy limits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.element import CircuitElement
+from ..errors import DelayRangeError
+from ..signals.waveform import Waveform
+
+__all__ = ["QuantizedProgrammableDelay"]
+
+
+class QuantizedProgrammableDelay(CircuitElement):
+    """Programmable delay restricted to a coarse step grid.
+
+    Parameters
+    ----------
+    resolution:
+        Programming step, seconds (the UltraFlex's ~100 ps).
+    max_delay:
+        Largest programmable delay, seconds.
+    linearity_error:
+        RMS deviation of each grid point from its nominal value,
+        seconds; drawn once at construction (a fixed instrument has a
+        fixed error table).
+    seed:
+        Seed for the static error draw.
+    """
+
+    def __init__(
+        self,
+        resolution: float = 100e-12,
+        max_delay: float = 2e-9,
+        linearity_error: float = 5e-12,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if resolution <= 0:
+            raise DelayRangeError(f"resolution must be positive: {resolution}")
+        if max_delay < resolution:
+            raise DelayRangeError(
+                "max_delay must cover at least one resolution step"
+            )
+        if linearity_error < 0:
+            raise DelayRangeError(
+                f"linearity_error must be >= 0: {linearity_error}"
+            )
+        self.resolution = float(resolution)
+        self.max_delay = float(max_delay)
+        n_steps = int(np.floor(max_delay / resolution)) + 1
+        rng = np.random.default_rng(seed)
+        self._step_errors = rng.normal(0.0, linearity_error, size=n_steps)
+        self._step_errors[0] = 0.0
+        self._code = 0
+
+    @property
+    def n_steps(self) -> int:
+        """Number of programmable grid points (including zero)."""
+        return len(self._step_errors)
+
+    @property
+    def code(self) -> int:
+        """Currently programmed step index."""
+        return self._code
+
+    def set_delay(self, target: float) -> float:
+        """Program the nearest representable delay; return the actual one.
+
+        The achieved delay includes the instrument's static linearity
+        error at the chosen grid point — the caller asked for *target*
+        but gets what the hardware delivers.
+        """
+        if not 0.0 <= target <= self.max_delay:
+            raise DelayRangeError(
+                f"target {target:.3e} s outside [0, {self.max_delay:.3e}] s"
+            )
+        self._code = int(round(target / self.resolution))
+        self._code = min(self._code, self.n_steps - 1)
+        return self.actual_delay()
+
+    def actual_delay(self) -> float:
+        """The delay the instrument actually applies, seconds."""
+        return self._code * self.resolution + float(
+            self._step_errors[self._code]
+        )
+
+    def programming_error(self, target: float) -> float:
+        """Achieved minus requested delay for *target*, seconds."""
+        saved = self._code
+        try:
+            achieved = self.set_delay(target)
+        finally:
+            self._code = saved
+        return achieved - target
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return waveform.shifted(self.actual_delay())

@@ -1,0 +1,60 @@
+"""Idealised variable delay: the distortion-free upper bound.
+
+A hypothetical element that applies exactly the requested delay with
+no bandwidth limit, no added jitter, and unlimited resolution.  Used
+by benchmarks as the reference against which the physical circuit's
+added jitter and programming error are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.element import CircuitElement
+from ..errors import DelayRangeError
+from ..signals.waveform import Waveform
+
+__all__ = ["IdealVariableDelay"]
+
+
+class IdealVariableDelay(CircuitElement):
+    """A lossless, jitter-free, infinitely fine programmable delay.
+
+    Mirrors the :class:`~repro.core.combined.CombinedDelayLine` control
+    surface (``set_delay`` / ``process``) so comparison harnesses can
+    swap it in directly.
+
+    Parameters
+    ----------
+    max_delay:
+        Largest programmable delay, seconds (matched by default to the
+        paper circuit's ~140 ps so range comparisons are fair).
+    """
+
+    def __init__(self, max_delay: float = 140e-12):
+        super().__init__()
+        if max_delay <= 0:
+            raise DelayRangeError(f"max_delay must be positive: {max_delay}")
+        self.max_delay = float(max_delay)
+        self._delay = 0.0
+
+    @property
+    def delay(self) -> float:
+        """Currently programmed delay, seconds."""
+        return self._delay
+
+    def set_delay(self, target: float) -> float:
+        """Program the delay; returns the (exact) achieved value."""
+        if not 0.0 <= target <= self.max_delay:
+            raise DelayRangeError(
+                f"target {target:.3e} s outside [0, {self.max_delay:.3e}] s"
+            )
+        self._delay = float(target)
+        return self._delay
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return waveform.shifted(self._delay)

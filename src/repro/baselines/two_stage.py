@@ -1,0 +1,38 @@
+"""The paper's early 2-stage fine-delay prototype (Fig. 15, bottom).
+
+Before building the 4-stage production circuit the authors evaluated a
+2-stage version with an earlier buffer.  It "worked well up to 2.6 GHz
+(5.2 Gbps effective NRZ rate), but had a much smaller delay range as
+the frequency increased, becoming ineffective beyond 6 GHz" (Sec. 4).
+Reproducing it gives the comparison curve of Fig. 15 and motivates the
+4-stage + coarse-section design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.vga_buffer import BufferParams, ControlInput
+from ..core.fine_delay import FineDelayLine
+from ..core.params import TWO_STAGE_BUFFER
+
+__all__ = ["TwoStageFineDelayLine"]
+
+
+class TwoStageFineDelayLine(FineDelayLine):
+    """The early 2-stage circuit: two slower buffers plus output stage."""
+
+    def __init__(
+        self,
+        params: Optional[BufferParams] = None,
+        output_amplitude: float = 0.4,
+        vctrl: ControlInput = 0.75,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(
+            n_stages=2,
+            params=params if params is not None else TWO_STAGE_BUFFER,
+            output_amplitude=output_amplitude,
+            vctrl=vctrl,
+            seed=seed,
+        )

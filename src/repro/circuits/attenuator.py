@@ -1,0 +1,56 @@
+"""Resistive attenuation in the measurement path.
+
+The paper's Fig. 13 eye shows amplitude attenuation "due to series
+resistors added for measurement convenience" — the prototype board's
+buffered test points drive the scope through series resistors forming a
+divider with the 50 ohm termination.  This block models that divider so
+the Fig. 13 reproduction shows the same (harmless) amplitude loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..signals.waveform import Waveform
+from .element import CircuitElement
+
+__all__ = ["SeriesResistorPad"]
+
+
+class SeriesResistorPad(CircuitElement):
+    """Series resistor into a terminated load: a resistive divider.
+
+    Parameters
+    ----------
+    series_ohms:
+        The series resistor value per leg, ohms.
+    load_ohms:
+        Termination the signal is measured across, ohms (scope input).
+    """
+
+    def __init__(self, series_ohms: float = 50.0, load_ohms: float = 50.0):
+        super().__init__()
+        if series_ohms < 0:
+            raise CircuitError(f"series resistance must be >= 0: {series_ohms}")
+        if load_ohms <= 0:
+            raise CircuitError(f"load resistance must be > 0: {load_ohms}")
+        self.series_ohms = float(series_ohms)
+        self.load_ohms = float(load_ohms)
+
+    @property
+    def gain(self) -> float:
+        """Voltage divider ratio seen at the load."""
+        return self.load_ohms / (self.load_ohms + self.series_ohms)
+
+    @property
+    def loss_db(self) -> float:
+        """Insertion loss in dB (positive number)."""
+        return -20.0 * np.log10(self.gain)
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return waveform * self.gain

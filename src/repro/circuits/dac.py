@@ -1,0 +1,104 @@
+"""Control-voltage DAC model.
+
+The target application programs Vctrl through a 12-bit DAC (paper,
+Sec. 2: "Vctrl will be provided using a 12-bit DAC, so sub-picosecond
+resolution will be achievable").  This model provides the code-to-
+voltage transfer with optional INL/DNL so the resolution claim can be
+checked against a non-ideal converter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CircuitError, ControlRangeError
+
+__all__ = ["ControlDAC"]
+
+
+class ControlDAC:
+    """An N-bit voltage-output DAC with static nonlinearity.
+
+    Parameters
+    ----------
+    n_bits:
+        Resolution in bits (paper: 12).
+    v_min, v_max:
+        Output range, volts (paper's Vctrl range: 0-1.5 V).
+    dnl_lsb:
+        RMS differential nonlinearity, in LSB.  Per-code step errors are
+        drawn once at construction (they model a fixed part, so they do
+        not change between conversions) and re-centred so the endpoints
+        stay exact (endpoint-corrected INL convention).
+    seed:
+        Seed for the static error draw.
+    """
+
+    def __init__(
+        self,
+        n_bits: int = 12,
+        v_min: float = 0.0,
+        v_max: float = 1.5,
+        dnl_lsb: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if n_bits < 1 or n_bits > 20:
+            raise CircuitError(f"n_bits must be in 1..20, got {n_bits}")
+        if v_min >= v_max:
+            raise CircuitError(f"need v_min < v_max, got {v_min}, {v_max}")
+        if dnl_lsb < 0:
+            raise CircuitError(f"dnl_lsb must be >= 0, got {dnl_lsb}")
+        self.n_bits = int(n_bits)
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self.n_codes = 1 << self.n_bits
+        rng = np.random.default_rng(seed)
+        if dnl_lsb > 0:
+            steps = 1.0 + rng.normal(0.0, dnl_lsb, size=self.n_codes - 1)
+            steps = np.clip(steps, 0.05, None)  # keep transfer monotonic
+            ramp = np.concatenate([[0.0], np.cumsum(steps)])
+            ramp /= ramp[-1]  # endpoint correction
+        else:
+            ramp = np.linspace(0.0, 1.0, self.n_codes)
+        self._transfer = self.v_min + (self.v_max - self.v_min) * ramp
+
+    @property
+    def lsb(self) -> float:
+        """Nominal step size, volts."""
+        return (self.v_max - self.v_min) / (self.n_codes - 1)
+
+    def voltage(self, code: int) -> float:
+        """Output voltage for a digital *code*."""
+        code = int(code)
+        if not 0 <= code < self.n_codes:
+            raise ControlRangeError(
+                f"code {code} out of range 0..{self.n_codes - 1}"
+            )
+        return float(self._transfer[code])
+
+    def code_for_voltage(self, voltage: float) -> int:
+        """Nearest code whose output approximates *voltage*.
+
+        Voltages outside the range clamp to the end codes.
+        """
+        if voltage <= self._transfer[0]:
+            return 0
+        if voltage >= self._transfer[-1]:
+            return self.n_codes - 1
+        index = int(np.searchsorted(self._transfer, voltage))
+        below = self._transfer[index - 1]
+        above = self._transfer[index]
+        if abs(voltage - below) <= abs(above - voltage):
+            return index - 1
+        return index
+
+    def quantize(self, voltage: float) -> float:
+        """Round-trip a voltage through the DAC (code, then voltage)."""
+        return self.voltage(self.code_for_voltage(voltage))
+
+    def inl_lsb(self) -> np.ndarray:
+        """Integral nonlinearity per code, in LSB (endpoint-corrected)."""
+        ideal = np.linspace(self.v_min, self.v_max, self.n_codes)
+        return (self._transfer - ideal) / self.lsb

@@ -1,0 +1,144 @@
+"""Circuit-element framework.
+
+Every analog block in the library is a :class:`CircuitElement`: it
+consumes a differential :class:`~repro.signals.waveform.Waveform` and
+produces a new one.  Elements are *stateless between calls* (each call
+simulates a fresh record, as a scope acquisition would) but may hold
+configuration (control voltages, select codes) as attributes.
+
+Elements that add noise draw it from a :class:`numpy.random.Generator`.
+Each element owns a default generator seeded at construction so results
+are reproducible run-to-run, while successive ``process`` calls on the
+same element see fresh noise (as successive scope acquisitions would).
+Callers who need exact control pass an explicit ``rng``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..signals.waveform import Waveform
+
+__all__ = ["CircuitElement", "Chain", "IdealDelay", "Gain", "Inverter"]
+
+
+class CircuitElement(abc.ABC):
+    """Base class for all behavioural circuit blocks.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the element's private random generator (used when the
+        caller does not supply one to :meth:`process`).
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        """Simulate the block on *waveform* and return the output."""
+
+    def __call__(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return self.process(waveform, rng)
+
+    def _resolve_rng(
+        self, rng: Optional[np.random.Generator]
+    ) -> np.random.Generator:
+        """Return the caller's generator, or this element's private one."""
+        return self._rng if rng is None else rng
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Reset the element's private random generator."""
+        self._rng = np.random.default_rng(seed)
+
+
+class Chain(CircuitElement):
+    """Series composition of circuit elements.
+
+    ``Chain(a, b, c).process(x)`` is ``c(b(a(x)))``.  The chain passes
+    the same ``rng`` down to every element so a single generator can
+    drive the whole signal path deterministically.
+    """
+
+    def __init__(self, *elements: CircuitElement, seed: Optional[int] = None):
+        super().__init__(seed)
+        flattened: List[CircuitElement] = []
+        for element in elements:
+            if isinstance(element, Chain):
+                flattened.extend(element.elements)
+            elif isinstance(element, CircuitElement):
+                flattened.append(element)
+            else:
+                raise CircuitError(f"not a CircuitElement: {element!r}")
+        self._elements = tuple(flattened)
+
+    @property
+    def elements(self) -> tuple:
+        """The composed elements, in signal order."""
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        rng = self._resolve_rng(rng)
+        result = waveform
+        for element in self._elements:
+            result = element.process(result, rng)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = " -> ".join(type(e).__name__ for e in self._elements)
+        return f"Chain({inner})"
+
+
+class IdealDelay(CircuitElement):
+    """A distortion-free pure delay (the idealised comparison element).
+
+    Implemented as an exact time-axis shift, so it adds no interpolation
+    error, no jitter, and no bandwidth limit.
+    """
+
+    def __init__(self, delay: float):
+        super().__init__()
+        self.delay = float(delay)
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return waveform.shifted(self.delay)
+
+
+class Gain(CircuitElement):
+    """Ideal linear gain (or attenuation) block."""
+
+    def __init__(self, gain: float):
+        super().__init__()
+        if gain == 0:
+            raise CircuitError("gain must be non-zero")
+        self.gain = float(gain)
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return waveform * self.gain
+
+
+class Inverter(CircuitElement):
+    """Differential polarity swap (exchange P and N legs)."""
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        return -waveform

@@ -1,0 +1,123 @@
+"""Voltage noise sources and AC coupling.
+
+Section 5 of the paper turns the fine delay line into a jitter injector
+by AC-coupling an external voltage-noise generator onto the Vctrl node.
+These classes model that bench setup:
+
+* :class:`NoiseSource` — a generator producing Gaussian, uniform, or
+  sinusoidal noise voltage records (the paper's experiment used a
+  900 mV peak-to-peak Gaussian source);
+* :class:`ACCoupler` — a single-pole high-pass that sums the noise onto
+  a DC control level, the way the bench bias-tee/capacitor did.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..signals.filters import single_pole_highpass
+from ..signals.waveform import Waveform
+from .vga_buffer import band_limited_noise
+
+__all__ = ["NoiseSource", "ACCoupler", "GAUSSIAN_PP_SIGMA_RATIO"]
+
+#: Conversion between the "peak-to-peak" number on a noise generator's
+#: front panel and the Gaussian sigma it actually produces.  Generators
+#: conventionally spec p-p as ~6 sigma (99.7 % of excursions inside).
+GAUSSIAN_PP_SIGMA_RATIO = 6.0
+
+
+class NoiseSource:
+    """A bench voltage-noise generator.
+
+    Parameters
+    ----------
+    kind:
+        ``"gaussian"``, ``"uniform"`` or ``"sine"``.
+    peak_to_peak:
+        Front-panel peak-to-peak amplitude, volts.  For Gaussian noise
+        this is interpreted as ``6 sigma`` (see
+        :data:`GAUSSIAN_PP_SIGMA_RATIO`); for uniform and sine it is the
+        true bound.
+    bandwidth:
+        Noise bandwidth, Hz (Gaussian/uniform); modulation frequency for
+        ``"sine"``.
+    seed:
+        Seed for the source's private generator.
+    """
+
+    def __init__(
+        self,
+        kind: str = "gaussian",
+        peak_to_peak: float = 0.9,
+        bandwidth: float = 500e6,
+        seed: Optional[int] = None,
+    ):
+        if kind not in ("gaussian", "uniform", "sine"):
+            raise CircuitError(f"unknown noise kind: {kind!r}")
+        if peak_to_peak < 0:
+            raise CircuitError(
+                f"peak-to-peak must be >= 0, got {peak_to_peak}"
+            )
+        if bandwidth <= 0:
+            raise CircuitError(f"bandwidth must be positive: {bandwidth}")
+        self.kind = kind
+        self.peak_to_peak = float(peak_to_peak)
+        self.bandwidth = float(bandwidth)
+        self._rng = np.random.default_rng(seed)
+
+    def record(
+        self,
+        duration: float,
+        dt: float,
+        t0: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Waveform:
+        """Generate a noise voltage record covering *duration* seconds."""
+        rng = self._rng if rng is None else rng
+        n_samples = int(round(duration / dt)) + 1
+        if self.peak_to_peak == 0.0:
+            return Waveform(np.zeros(n_samples), dt, t0)
+        if self.kind == "sine":
+            t = t0 + dt * np.arange(n_samples)
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            values = (self.peak_to_peak / 2.0) * np.sin(
+                2.0 * math.pi * self.bandwidth * t + phase
+            )
+            return Waveform(values, dt, t0)
+        if self.kind == "uniform":
+            white = rng.uniform(
+                -self.peak_to_peak / 2.0,
+                self.peak_to_peak / 2.0,
+                size=n_samples,
+            )
+            return Waveform(white, dt, t0)
+        sigma = self.peak_to_peak / GAUSSIAN_PP_SIGMA_RATIO
+        values = band_limited_noise(n_samples, sigma, self.bandwidth, dt, rng)
+        return Waveform(values, dt, t0)
+
+
+class ACCoupler:
+    """Sum an AC-coupled disturbance onto a DC control level.
+
+    Parameters
+    ----------
+    cutoff:
+        High-pass -3 dB corner, Hz.  Frequencies well above the corner
+        pass through; the DC component of the disturbance is blocked,
+        as the series capacitor on the bench would.
+    """
+
+    def __init__(self, cutoff: float = 10e3):
+        if cutoff <= 0:
+            raise CircuitError(f"cutoff must be positive: {cutoff}")
+        self.cutoff = float(cutoff)
+
+    def couple(self, dc_level: float, disturbance: Waveform) -> Waveform:
+        """Return ``dc_level + highpass(disturbance)`` as a waveform."""
+        coupled = single_pole_highpass(disturbance, self.cutoff)
+        return coupled + float(dc_level)

@@ -1,0 +1,379 @@
+"""Delay calibration: turning measured transfer curves into settings.
+
+The paper's deployment flow is implicit in Sec. 2-3: measure the
+delay-vs-Vctrl curve of the fine section (Fig. 7) and the as-built tap
+delays of the coarse section (Fig. 9), then, for any requested delay,
+pick the coarse tap and solve the fine curve for the Vctrl (a 12-bit
+DAC code) that lands on the residual.  This module implements that
+flow on simulated hardware: build a :class:`CalibrationTable` by
+measurement, then let :class:`CombinedDelaySolver` translate target
+delays into ``(tap, vctrl)`` settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.measurements import measure_delay
+from ..circuits.dac import ControlDAC
+from ..errors import CalibrationError, DelayRangeError
+from ..signals.nrz import synthesize_nrz
+from ..signals.patterns import prbs_sequence
+from ..signals.waveform import Waveform
+
+__all__ = [
+    "CalibrationTable",
+    "calibration_stimulus",
+    "calibrate_fine_delay",
+    "DelaySetting",
+    "CombinedDelaySolver",
+]
+
+
+def calibration_stimulus(
+    bit_rate: float = 2.4e9,
+    n_bits: int = 127,
+    dt: float = 1e-12,
+    amplitude: float = 0.4,
+    rise_time: float = 30e-12,
+) -> Waveform:
+    """The standard calibration pattern: one PRBS7 period as NRZ.
+
+    A full PRBS7 period gives a balanced mix of run lengths, so the
+    measured delay is a pattern-averaged number (as the paper's eye
+    measurements are).
+    """
+    bits = prbs_sequence(7, n_bits)
+    return synthesize_nrz(
+        bits, bit_rate, dt, amplitude=amplitude, rise_time=rise_time
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationTable:
+    """Measured delay-vs-Vctrl transfer curve (the Fig. 7 data).
+
+    Delays are *relative* to the curve's minimum-control point, so the
+    table describes the usable adjustment range rather than absolute
+    insertion delay.
+
+    Attributes
+    ----------
+    vctrls:
+        Control grid, volts, strictly ascending.
+    delays:
+        Relative delay at each grid point, seconds, non-decreasing
+        (enforced at construction by isotonic clean-up of measurement
+        noise).
+    """
+
+    vctrls: np.ndarray
+    delays: np.ndarray
+
+    def __post_init__(self) -> None:
+        vctrls = np.asarray(self.vctrls, dtype=np.float64)
+        delays = np.asarray(self.delays, dtype=np.float64)
+        if vctrls.ndim != 1 or vctrls.size < 2:
+            raise CalibrationError("need at least two calibration points")
+        if vctrls.shape != delays.shape:
+            raise CalibrationError("vctrls/delays length mismatch")
+        if np.any(np.diff(vctrls) <= 0):
+            raise CalibrationError("vctrl grid must be strictly ascending")
+        # Isotonic clean-up: measurement noise can produce tiny local
+        # inversions; replace the curve with its running maximum so the
+        # inverse lookup is well defined.
+        monotone = np.maximum.accumulate(delays)
+        object.__setattr__(self, "vctrls", vctrls)
+        object.__setattr__(self, "delays", monotone)
+
+    @property
+    def range(self) -> float:
+        """Full-scale adjustable delay, seconds."""
+        return float(self.delays[-1] - self.delays[0])
+
+    def delay_for_vctrl(self, vctrl: float) -> float:
+        """Interpolated relative delay at *vctrl* (clamped to the grid)."""
+        return float(np.interp(vctrl, self.vctrls, self.delays))
+
+    def vctrl_for_delay(self, delay: float, tolerance: float = 0.0) -> float:
+        """Control voltage whose calibrated delay equals *delay*.
+
+        Parameters
+        ----------
+        delay:
+            Requested relative delay, seconds.
+        tolerance:
+            Requests within this much outside the calibrated range are
+            clamped to the end points instead of raising.
+
+        Raises
+        ------
+        DelayRangeError
+            If *delay* is outside the calibrated range by more than
+            *tolerance*.
+        """
+        low = float(self.delays[0])
+        high = float(self.delays[-1])
+        if delay < low - tolerance or delay > high + tolerance:
+            raise DelayRangeError(
+                f"requested delay {delay:.3e} s outside calibrated range "
+                f"[{low:.3e}, {high:.3e}] s"
+            )
+        delay = min(max(delay, low), high)
+        return float(np.interp(delay, self.delays, self.vctrls))
+
+    def slope_at(self, vctrl: float) -> float:
+        """Local delay-vs-Vctrl slope, s/V (the jitter-injection gain)."""
+        index = int(np.searchsorted(self.vctrls, vctrl))
+        index = min(max(index, 1), len(self.vctrls) - 1)
+        dv = self.vctrls[index] - self.vctrls[index - 1]
+        dd = self.delays[index] - self.delays[index - 1]
+        return float(dd / dv)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain dict (JSON-friendly)."""
+        return {
+            "vctrls": [float(v) for v in self.vctrls],
+            "delays": [float(d) for d in self.delays],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationTable":
+        """Reconstruct a table serialised by :meth:`to_dict`."""
+        try:
+            vctrls = np.asarray(data["vctrls"], dtype=np.float64)
+            delays = np.asarray(data["delays"], dtype=np.float64)
+        except (KeyError, TypeError) as bad:
+            raise CalibrationError(
+                f"not a calibration-table dict: {bad}"
+            ) from bad
+        return cls(vctrls=vctrls, delays=delays)
+
+    def save(self, path) -> None:
+        """Write the table to a JSON file."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path) -> "CalibrationTable":
+        """Read a table previously written by :meth:`save`."""
+        import json
+
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def calibrate_fine_delay(
+    delay_line,
+    stimulus: Optional[Waveform] = None,
+    n_points: int = 13,
+    rng: Optional[np.random.Generator] = None,
+) -> CalibrationTable:
+    """Measure a fine delay line's delay-vs-Vctrl curve.
+
+    Runs the calibration *stimulus* through *delay_line* at a grid of
+    control voltages and measures the output delay relative to the
+    minimum-control setting — exactly the sweep the paper plots in
+    Fig. 7.
+
+    Parameters
+    ----------
+    delay_line:
+        A :class:`~repro.core.fine_delay.FineDelayLine` (anything with
+        ``params``, a ``vctrl`` property, and ``process``).
+    stimulus:
+        Calibration waveform; defaults to :func:`calibration_stimulus`.
+    n_points:
+        Number of Vctrl grid points.
+    rng:
+        Randomness source for the circuit noise during calibration.
+    """
+    if n_points < 2:
+        raise CalibrationError(f"need >= 2 points, got {n_points}")
+    if stimulus is None:
+        stimulus = calibration_stimulus()
+    if rng is None:
+        rng = np.random.default_rng(0xCA1)
+    params = delay_line.params
+    vctrls = np.linspace(params.vctrl_min, params.vctrl_max, n_points)
+    saved = delay_line.vctrl
+    delays = []
+    try:
+        for vctrl in vctrls:
+            delay_line.vctrl = float(vctrl)
+            output = delay_line.process(stimulus, rng)
+            delays.append(measure_delay(stimulus, output).delay)
+    finally:
+        delay_line.vctrl = saved
+    delays = np.asarray(delays)
+    return CalibrationTable(vctrls=vctrls, delays=delays - delays[0])
+
+
+@dataclass(frozen=True)
+class DelaySetting:
+    """A solved programming point for the combined delay circuit.
+
+    Attributes
+    ----------
+    tap:
+        Coarse tap index.
+    vctrl:
+        Fine control voltage, volts.
+    dac_code:
+        DAC code for *vctrl* (when a DAC was supplied to the solver).
+    predicted_delay:
+        Delay the calibration predicts for this setting, seconds,
+        relative to (tap 0, minimum Vctrl).
+    """
+
+    tap: int
+    vctrl: float
+    predicted_delay: float
+    dac_code: Optional[int] = None
+
+
+class CombinedDelaySolver:
+    """Translate target delays into (coarse tap, fine Vctrl) settings.
+
+    Parameters
+    ----------
+    fine_table:
+        Calibrated fine-section transfer curve.
+    tap_delays:
+        Measured coarse tap delays relative to tap 0, seconds,
+        ascending (e.g. the paper's 0 / 33 / 70 / 95 ps).
+    dac:
+        Optional Vctrl DAC; when given, solved voltages are quantized
+        to the nearest code and the code is reported.
+
+    Notes
+    -----
+    The solver requires the fine range to cover the largest tap-to-tap
+    gap — the paper's design rule "we need about 33 ps of [fine] range
+    to cover the coarse delay steps" (Sec. 4).
+    """
+
+    def __init__(
+        self,
+        fine_table: CalibrationTable,
+        tap_delays: Sequence[float],
+        dac: Optional[ControlDAC] = None,
+    ):
+        tap_delays = [float(t) for t in tap_delays]
+        if len(tap_delays) < 1:
+            raise CalibrationError("need at least one coarse tap")
+        if any(b <= a for a, b in zip(tap_delays, tap_delays[1:])):
+            raise CalibrationError("tap delays must be strictly ascending")
+        if tap_delays[0] != 0.0:
+            tap_delays = [t - tap_delays[0] for t in tap_delays]
+        self.fine_table = fine_table
+        self.tap_delays = tap_delays
+        self.dac = dac
+        gaps = [b - a for a, b in zip(tap_delays, tap_delays[1:])]
+        if gaps and max(gaps) > fine_table.range:
+            raise CalibrationError(
+                f"fine range {fine_table.range:.3e} s cannot cover the "
+                f"largest coarse gap {max(gaps):.3e} s; delays in the gap "
+                "would be unreachable"
+            )
+
+    @property
+    def total_range(self) -> float:
+        """Largest programmable delay relative to the minimum, seconds."""
+        return self.tap_delays[-1] + self.fine_table.range
+
+    def solve(self, target: float) -> DelaySetting:
+        """Find the setting whose calibrated delay equals *target*.
+
+        Prefers the largest tap that still reaches the target with the
+        fine section, which keeps the fine control away from its
+        (flatter, less linear) extremes for most targets.
+
+        Raises
+        ------
+        DelayRangeError
+            If *target* is outside ``[0, total_range]``.
+        """
+        if target < 0.0 or target > self.total_range:
+            raise DelayRangeError(
+                f"target {target:.3e} s outside [0, "
+                f"{self.total_range:.3e}] s"
+            )
+        chosen = None
+        for tap in reversed(range(len(self.tap_delays))):
+            residual = target - self.tap_delays[tap]
+            if 0.0 <= residual <= self.fine_table.range:
+                chosen = (tap, residual)
+                break
+        if chosen is None:
+            raise DelayRangeError(
+                f"no tap reaches target {target:.3e} s (coverage gap)"
+            )
+        tap, residual = chosen
+        vctrl = self.fine_table.vctrl_for_delay(residual)
+        dac_code = None
+        if self.dac is not None:
+            dac_code = self.dac.code_for_voltage(vctrl)
+            vctrl = self.dac.voltage(dac_code)
+        predicted = self.tap_delays[tap] + self.fine_table.delay_for_vctrl(
+            vctrl
+        )
+        return DelaySetting(
+            tap=tap, vctrl=vctrl, predicted_delay=predicted, dac_code=dac_code
+        )
+
+    def resolution_estimate(self, vctrl: float) -> float:
+        """Delay step per DAC LSB at *vctrl*, seconds.
+
+        The paper's sub-picosecond-resolution claim: local slope times
+        the DAC step.  Requires a DAC.
+        """
+        if self.dac is None:
+            raise CalibrationError("no DAC configured")
+        return abs(self.fine_table.slope_at(vctrl)) * self.dac.lsb
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise solver state (table + taps; the DAC is hardware)."""
+        return {
+            "fine_table": self.fine_table.to_dict(),
+            "tap_delays": [float(t) for t in self.tap_delays],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, dac: Optional[ControlDAC] = None
+    ) -> "CombinedDelaySolver":
+        """Reconstruct a solver serialised by :meth:`to_dict`.
+
+        The DAC (a hardware object) is supplied separately.
+        """
+        try:
+            table = CalibrationTable.from_dict(data["fine_table"])
+            taps = data["tap_delays"]
+        except (KeyError, TypeError) as bad:
+            raise CalibrationError(f"not a solver dict: {bad}") from bad
+        return cls(fine_table=table, tap_delays=taps, dac=dac)
+
+    def save(self, path) -> None:
+        """Write the solver's calibration data to a JSON file."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path, dac: Optional[ControlDAC] = None) -> "CombinedDelaySolver":
+        """Read a solver previously written by :meth:`save`."""
+        import json
+
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle), dac=dac)

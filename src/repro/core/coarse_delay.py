@@ -1,0 +1,155 @@
+"""The coarse delay selector: fanout, delay-line taps, multiplexer.
+
+Paper Sec. 3 (Fig. 8): a 1:4 fanout buffer drives four differential
+transmission lines whose lengths step by 33 ps; a 4:1 mux steered by
+two select lines passes one of them on.  Only two levels of active
+logic sit in the path, so the coarse section adds far less jitter than
+cascading more fine stages would — that is exactly why the paper chose
+it (Sec. 3, first paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.buffers import FanoutBuffer
+from ..circuits.element import CircuitElement
+from ..circuits.mux import Multiplexer
+from ..circuits.tline import TransmissionLine
+from ..errors import CircuitError
+from ..signals.waveform import Waveform
+from .params import COARSE_STEP, COARSE_TAP_ERRORS
+
+__all__ = ["CoarseDelayLine"]
+
+
+class CoarseDelayLine(CircuitElement):
+    """Selectable transmission-line delay taps (0, 33, 66, 99 ps nominal).
+
+    Parameters
+    ----------
+    step:
+        Nominal tap-to-tap increment, seconds (paper: 33 ps).
+    n_taps:
+        Number of taps (paper: 4, giving 0..99 ps in 33 ps steps).
+    tap_errors:
+        Per-tap electrical-length errors, seconds.  Defaults to the
+        calibration that reproduces the paper's measured
+        0 / 33 / 70 / 95 ps (Fig. 9).
+    amplitude:
+        Logic half-swing of the fanout and mux drivers, volts.
+    seed:
+        Master seed for the active components' noise.
+    """
+
+    def __init__(
+        self,
+        step: float = COARSE_STEP,
+        n_taps: int = 4,
+        tap_errors: Optional[Sequence[float]] = None,
+        amplitude: float = 0.4,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if step <= 0:
+            raise CircuitError(f"step must be positive: {step}")
+        if n_taps < 2:
+            raise CircuitError(f"need at least two taps, got {n_taps}")
+        if tap_errors is None:
+            if n_taps == len(COARSE_TAP_ERRORS):
+                tap_errors = COARSE_TAP_ERRORS
+            else:
+                tap_errors = (0.0,) * n_taps
+        tap_errors = tuple(float(e) for e in tap_errors)
+        if len(tap_errors) != n_taps:
+            raise CircuitError(
+                f"tap_errors has {len(tap_errors)} entries for {n_taps} taps"
+            )
+        self.step = float(step)
+        self.n_taps = int(n_taps)
+        self.tap_errors = tap_errors
+
+        if seed is None:
+            fanout_seed = mux_seed = None
+        else:
+            sequence = np.random.SeedSequence(seed)
+            children = sequence.spawn(2)
+            fanout_seed = int(children[0].generate_state(1)[0])
+            mux_seed = int(children[1].generate_state(1)[0])
+        self._fanout = FanoutBuffer(
+            n_outputs=n_taps, amplitude=amplitude, seed=fanout_seed
+        )
+        self._lines = [
+            TransmissionLine(delay=i * step, length_error=tap_errors[i])
+            for i in range(n_taps)
+        ]
+        self._mux = Multiplexer(
+            n_inputs=n_taps, amplitude=amplitude, seed=mux_seed
+        )
+
+    # -- control -----------------------------------------------------------
+
+    @property
+    def select(self) -> int:
+        """Currently selected tap (0-based)."""
+        return self._mux.select
+
+    @select.setter
+    def select(self, tap: int) -> None:
+        self._mux.select = tap
+
+    def set_select_lines(self, sel0: int, sel1: int) -> None:
+        """Program the tap from the two digital select lines (Fig. 8)."""
+        self._mux.set_select_lines(sel0, sel1)
+
+    @property
+    def lines(self) -> Sequence[TransmissionLine]:
+        """The tap transmission lines, in tap order."""
+        return tuple(self._lines)
+
+    def nominal_tap_delays(self) -> List[float]:
+        """Designed tap increments relative to tap 0, seconds."""
+        return [i * self.step for i in range(self.n_taps)]
+
+    def actual_tap_delays(self) -> List[float]:
+        """As-built tap increments (including length errors), seconds."""
+        base = self._lines[0].total_delay
+        return [line.total_delay - base for line in self._lines]
+
+    # -- behaviour -----------------------------------------------------------
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        """Simulate the selected signal path.
+
+        Only the selected tap's path is simulated (the unselected legs
+        carry signal in hardware but do not affect the output).
+        """
+        rng = self._resolve_rng(rng)
+        buffered = self._fanout.process(waveform, rng)
+        lined = self._lines[self._mux.select].process(buffered, rng)
+        return self._mux.process(lined, rng)
+
+    def process_all_taps(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> List[Waveform]:
+        """Simulate the output for every tap (the Fig. 9 overlay).
+
+        Returns one output waveform per tap, each through its own
+        fanout leg, line, and the mux output driver.
+        """
+        rng = self._resolve_rng(rng)
+        copies = self._fanout.copies(waveform, rng)
+        outputs = []
+        saved = self._mux.select
+        try:
+            for tap, copy in enumerate(copies):
+                self._mux.select = tap
+                lined = self._lines[tap].process(copy, rng)
+                outputs.append(self._mux.process(lined, rng))
+        finally:
+            self._mux.select = saved
+        return outputs

@@ -1,0 +1,241 @@
+"""The combined coarse + fine delay circuit (paper Fig. 10).
+
+Cascades the coarse tap selector in front of the fine variable-gain
+cascade: four 33 ps coarse steps plus a ~50 ps continuously adjustable
+fine section give ~140 ps of total range — comfortably beyond the
+application's 120 ps requirement — with picosecond-scale setability
+everywhere in between.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.dac import ControlDAC
+from ..circuits.element import CircuitElement
+from ..circuits.vga_buffer import BufferParams, ControlInput
+from ..errors import CalibrationError
+from ..signals.waveform import Waveform
+from .calibration import (
+    CombinedDelaySolver,
+    DelaySetting,
+    calibrate_fine_delay,
+    calibration_stimulus,
+)
+from .coarse_delay import CoarseDelayLine
+from .fine_delay import FineDelayLine
+from ..analysis.measurements import measure_delay
+
+__all__ = ["CombinedDelayLine"]
+
+
+class CombinedDelayLine(CircuitElement):
+    """Coarse tap selector followed by the fine delay cascade.
+
+    Parameters
+    ----------
+    coarse:
+        The coarse section; a default 4-tap, 33 ps-step line is built
+        when omitted.
+    fine:
+        The fine section; a default 4-stage line is built when omitted.
+    dac:
+        Optional Vctrl DAC used when solving delay targets.
+    seed:
+        Master seed used for default-constructed sections.
+    """
+
+    def __init__(
+        self,
+        coarse: Optional[CoarseDelayLine] = None,
+        fine: Optional[FineDelayLine] = None,
+        dac: Optional[ControlDAC] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if seed is None:
+            coarse_seed = fine_seed = None
+        else:
+            children = np.random.SeedSequence(seed).spawn(2)
+            coarse_seed = int(children[0].generate_state(1)[0])
+            fine_seed = int(children[1].generate_state(1)[0])
+        self.coarse = coarse if coarse is not None else CoarseDelayLine(
+            seed=coarse_seed
+        )
+        self.fine = fine if fine is not None else FineDelayLine(seed=fine_seed)
+        self.dac = dac
+        self._solver: Optional[CombinedDelaySolver] = None
+
+    # -- control -----------------------------------------------------------
+
+    @property
+    def select(self) -> int:
+        """Coarse tap selection."""
+        return self.coarse.select
+
+    @select.setter
+    def select(self, tap: int) -> None:
+        self.coarse.select = tap
+
+    @property
+    def vctrl(self) -> ControlInput:
+        """Fine-section common control voltage."""
+        return self.fine.vctrl
+
+    @vctrl.setter
+    def vctrl(self, value: ControlInput) -> None:
+        self.fine.vctrl = value
+
+    @property
+    def solver(self) -> Optional[CombinedDelaySolver]:
+        """The calibration solver, once :meth:`calibrate` has run."""
+        return self._solver
+
+    @property
+    def params(self) -> BufferParams:
+        """The fine section's buffer parameters (control range source)."""
+        return self.fine.params
+
+    # -- behaviour -----------------------------------------------------------
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        rng = self._resolve_rng(rng)
+        return self.fine.process(self.coarse.process(waveform, rng), rng)
+
+    # -- calibration flow ------------------------------------------------------
+
+    def calibrate(
+        self,
+        stimulus: Optional[Waveform] = None,
+        n_points: int = 13,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CombinedDelaySolver:
+        """Measure fine curve and coarse taps; build and store the solver.
+
+        Both measurements run through the *full combined path* (the
+        fine sweep with the coarse section at tap 0, the tap sweep with
+        the fine section at minimum control), so the solver's numbers
+        include every path interaction — exactly as a bench calibration
+        through the assembled board would.
+        """
+        if stimulus is None:
+            stimulus = calibration_stimulus()
+        if rng is None:
+            rng = np.random.default_rng(0xCA1B)
+        saved_tap0 = self.coarse.select
+        try:
+            self.coarse.select = 0
+            fine_table = calibrate_fine_delay(
+                self, stimulus=stimulus, n_points=n_points, rng=rng
+            )
+        finally:
+            self.coarse.select = saved_tap0
+        saved_tap = self.coarse.select
+        saved_vctrl = self.fine.vctrl
+        tap_delays = []
+        try:
+            self.fine.vctrl = self.fine.params.vctrl_min
+            for tap in range(self.coarse.n_taps):
+                self.coarse.select = tap
+                output = self.process(stimulus, rng)
+                tap_delays.append(measure_delay(stimulus, output).delay)
+        finally:
+            self.coarse.select = saved_tap
+            self.fine.vctrl = saved_vctrl
+        tap_delays = [t - tap_delays[0] for t in tap_delays]
+        self._solver = CombinedDelaySolver(
+            fine_table=fine_table, tap_delays=tap_delays, dac=self.dac
+        )
+        return self._solver
+
+    def set_delay(self, target: float) -> DelaySetting:
+        """Program the circuit for *target* seconds of relative delay.
+
+        Requires :meth:`calibrate` to have been run.  Returns the
+        solved setting (also applied to the hardware controls).
+        """
+        if self._solver is None:
+            raise CalibrationError(
+                "delay line is not calibrated; call calibrate() first"
+            )
+        setting = self._solver.solve(target)
+        self.coarse.select = setting.tap
+        self.fine.vctrl = setting.vctrl
+        return setting
+
+    @property
+    def total_range(self) -> float:
+        """Calibrated total range, seconds (requires calibration)."""
+        if self._solver is None:
+            raise CalibrationError(
+                "delay line is not calibrated; call calibrate() first"
+            )
+        return self._solver.total_range
+
+    def verify_calibration(
+        self,
+        targets: Optional[list] = None,
+        stimulus: Optional[Waveform] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> list:
+        """Measure achieved-minus-requested delay at several targets.
+
+        The production sanity check after calibration (and the drift
+        detector before re-use): program each target, measure the
+        actual delay against the zero setting, and return the list of
+        errors in seconds.  Controls are restored afterwards.
+        """
+        if self._solver is None:
+            raise CalibrationError(
+                "delay line is not calibrated; call calibrate() first"
+            )
+        if stimulus is None:
+            stimulus = calibration_stimulus()
+        if rng is None:
+            rng = np.random.default_rng(0xC4EC)
+        if targets is None:
+            span = self._solver.total_range
+            targets = [0.25 * span, 0.5 * span, 0.75 * span]
+        saved_tap = self.coarse.select
+        saved_vctrl = self.fine.vctrl
+        try:
+            self.set_delay(0.0)
+            base = measure_delay(
+                stimulus, self.process(stimulus, rng)
+            ).delay
+            errors = []
+            for target in targets:
+                self.set_delay(float(target))
+                achieved = (
+                    measure_delay(
+                        stimulus, self.process(stimulus, rng)
+                    ).delay
+                    - base
+                )
+                errors.append(achieved - float(target))
+            return errors
+        finally:
+            self.coarse.select = saved_tap
+            self.fine.vctrl = saved_vctrl
+
+    def event_model(self):
+        """A fast closed-form model of this line's delays.
+
+        Returns an :class:`~repro.core.event_model.EventDelayModel`
+        configured with this line's stage physics and as-built tap
+        delays.  Used by the ATE layer's fast (edge-event) simulation
+        paths; relative delays between settings are what matters there.
+        """
+        from .event_model import EventDelayModel
+
+        return EventDelayModel(
+            n_stages=self.fine.n_stages,
+            params=self.fine.params,
+            output_params=self.fine.output_stage.params,
+            output_amplitude=self.fine.output_stage.amplitude,
+            tap_delays=self.coarse.actual_tap_delays(),
+        )

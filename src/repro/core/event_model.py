@@ -1,0 +1,211 @@
+"""Fast analytic (edge-event) model of the delay circuits.
+
+The waveform simulation in :mod:`repro.circuits` is the reference
+model, but it costs milliseconds per stage per record.  Deskew sweeps
+over many channels and settings only need edge *times*, so this module
+propagates edge timestamps through closed-form per-stage delay
+formulas derived from the same physics:
+
+* per-stage slew delay ``A_eff / slew_rate`` with the same
+  half-period-dependent amplitude compression,
+* the output pole's crossing lag, solved by fixed-point iteration of
+  ``t = A_eff/SR + tau * (1 - exp(-t / tau))``,
+* per-stage Gaussian jitter from input noise divided by the crossing
+  slope.
+
+Property tests assert the event model agrees with the waveform model
+on mean delay to within a stated tolerance; the ATE deskew layer uses
+it for its inner search loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits.buffers import OUTPUT_STAGE_PARAMS
+from ..circuits.vga_buffer import BufferParams
+from ..errors import CircuitError
+from ..signals.filters import bandwidth_to_time_constant
+from .params import FOUR_STAGE_BUFFER
+
+__all__ = ["EventDelayModel"]
+
+
+def _crossing_time(slew_delay: float, tau: float) -> float:
+    """Crossing instant of a slew ramp through a single pole.
+
+    Solves ``t = t_slew + tau * (1 - exp(-t / tau))`` by fixed-point
+    iteration (the map is a contraction for t > 0).
+    """
+    t = slew_delay + tau
+    for _ in range(4):
+        t = slew_delay + tau * (1.0 - math.exp(-t / tau))
+    return t
+
+
+class EventDelayModel:
+    """Closed-form delay model of a fine (or combined) delay line.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of variable-gain stages.
+    params:
+        Variable-gain stage physics.
+    output_params:
+        Output-stage physics.
+    output_amplitude:
+        Output stage swing, volts.
+    tap_delays:
+        Optional coarse tap delays (relative, seconds) to include; the
+        model then covers the combined circuit.
+    """
+
+    def __init__(
+        self,
+        n_stages: int = 4,
+        params: Optional[BufferParams] = None,
+        output_params: Optional[BufferParams] = None,
+        output_amplitude: float = 0.4,
+        tap_delays: Optional[Sequence[float]] = None,
+    ):
+        if n_stages < 1:
+            raise CircuitError(f"need at least one stage, got {n_stages}")
+        self.n_stages = int(n_stages)
+        self.params = params if params is not None else FOUR_STAGE_BUFFER
+        self.output_params = (
+            output_params if output_params is not None else OUTPUT_STAGE_PARAMS
+        )
+        self.output_amplitude = float(output_amplitude)
+        self.tap_delays = (
+            [float(t) for t in tap_delays] if tap_delays is not None else [0.0]
+        )
+        self._tau = bandwidth_to_time_constant(self.params.bandwidth)
+        self._tau_out = bandwidth_to_time_constant(self.output_params.bandwidth)
+
+    # -- per-stage pieces ------------------------------------------------
+
+    def _effective_amplitude(
+        self, amplitude: float, half_period: float, params: BufferParams
+    ) -> float:
+        """Amplitude reached given the preceding half period."""
+        if not math.isfinite(half_period):
+            return amplitude
+        g = float(params.compression_factor(half_period))
+        floor = min(amplitude, params.amplitude_min)
+        return floor + (amplitude - floor) * g
+
+    def stage_delay(self, vctrl: float, half_period: float = math.inf) -> float:
+        """One variable-gain stage's insertion delay, seconds."""
+        amplitude = self.params.amplitude_from_vctrl(vctrl)
+        a_eff = self._effective_amplitude(amplitude, half_period, self.params)
+        slew_delay = a_eff / self.params.slew_rate
+        return self.params.propagation_delay + _crossing_time(
+            slew_delay, self._tau
+        )
+
+    def output_stage_delay(self, half_period: float = math.inf) -> float:
+        """The fixed output stage's insertion delay, seconds."""
+        a_eff = self._effective_amplitude(
+            self.output_amplitude, half_period, self.output_params
+        )
+        slew_delay = a_eff / self.output_params.slew_rate
+        return self.output_params.propagation_delay + _crossing_time(
+            slew_delay, self._tau_out
+        )
+
+    # -- whole-line quantities ----------------------------------------------
+
+    def total_delay(
+        self, vctrl: float, half_period: float = math.inf, tap: int = 0
+    ) -> float:
+        """Insertion delay of the whole line at a setting, seconds."""
+        if not 0 <= tap < len(self.tap_delays):
+            raise CircuitError(
+                f"tap {tap} out of range 0..{len(self.tap_delays) - 1}"
+            )
+        return (
+            self.tap_delays[tap]
+            + self.n_stages * self.stage_delay(vctrl, half_period)
+            + self.output_stage_delay(half_period)
+        )
+
+    def delay_range(self, half_period: float = math.inf) -> float:
+        """Full-scale fine adjustment range at a toggle rate, seconds."""
+        return self.total_delay(
+            self.params.vctrl_max, half_period
+        ) - self.total_delay(self.params.vctrl_min, half_period)
+
+    def rj_sigma(self, vctrl: float = 0.75) -> float:
+        """Predicted added random jitter (one sigma), seconds.
+
+        Each stage converts its input-referred noise at the crossing
+        slope; contributions add in quadrature across the cascade.
+        """
+        total_var = 0.0
+        for params, amplitude, tau in (
+            (self.params, self.params.amplitude_from_vctrl(vctrl), self._tau),
+            (self.output_params, self.output_amplitude, self._tau_out),
+        ):
+            count = self.n_stages if params is self.params else 1
+            t_c = _crossing_time(amplitude / params.slew_rate, tau)
+            slope = params.slew_rate * (1.0 - math.exp(-t_c / tau))
+            sigma = params.noise_sigma / slope
+            total_var += count * sigma**2
+        return math.sqrt(total_var)
+
+    # -- per-edge propagation ----------------------------------------------------
+
+    def propagate_edges(
+        self,
+        times: np.ndarray,
+        vctrl: float,
+        tap: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        add_jitter: bool = True,
+    ) -> np.ndarray:
+        """Propagate edge instants through the line.
+
+        Each edge's delay uses the interval since the previous edge as
+        its compression half-period (the same rule as the waveform
+        model's tracker), plus an optional Gaussian jitter draw.
+
+        Parameters
+        ----------
+        times:
+            Input edge instants, seconds, ascending.
+        vctrl:
+            Fine control voltage.
+        tap:
+            Coarse tap (if the model includes taps).
+        rng:
+            Randomness source for the jitter draws.
+        add_jitter:
+            Disable to get the deterministic delay component only.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if times.size == 0:
+            return times.copy()
+        if np.any(np.diff(times) < 0):
+            raise CircuitError("edge times must be ascending")
+        intervals = np.empty_like(times)
+        intervals[0] = math.inf
+        intervals[1:] = np.diff(times)
+        delays = np.array(
+            [
+                self.total_delay(vctrl, half_period=interval, tap=tap)
+                for interval in intervals
+            ]
+        )
+        out = times + delays
+        if add_jitter:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            out = out + rng.normal(0.0, self.rj_sigma(vctrl), size=out.shape)
+        # A later edge can never overtake an earlier one through a real
+        # buffer chain (the signal would simply swallow the runt pulse);
+        # enforce monotonicity the same way.
+        return np.maximum.accumulate(out)

@@ -1,0 +1,148 @@
+"""The fine delay line: a cascade of variable-gain buffers.
+
+This is the paper's Sec. 2 circuit (Fig. 6): N variable-amplitude
+buffers in series, all driven by a common ``Vctrl``, followed by a
+fixed full-swing output stage that recovers the logic amplitude.  Each
+stage contributes ~14 ps of amplitude-dependent delay, so the 4-stage
+production circuit spans ~56 ps (Fig. 7) with sub-picosecond
+setability through a DAC on Vctrl.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.buffers import OutputBuffer
+from ..circuits.element import CircuitElement
+from ..circuits.vga_buffer import BufferParams, ControlInput, VariableGainBuffer
+from ..errors import CircuitError
+from ..signals.waveform import Waveform
+from .params import DEFAULT_FINE_STAGES, FOUR_STAGE_BUFFER
+
+__all__ = ["FineDelayLine"]
+
+
+def _spawn_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
+    """Derive *count* independent child seeds (or all-None)."""
+    if seed is None:
+        return [None] * count
+    sequence = np.random.SeedSequence(seed)
+    return [int(s.generate_state(1)[0]) for s in sequence.spawn(count)]
+
+
+class FineDelayLine(CircuitElement):
+    """N cascaded variable-gain buffers plus a full-swing output stage.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of variable-gain stages (4 in the paper's production
+        circuit, 2 in the early prototype).
+    params:
+        Physics of each variable-gain stage.
+    output_amplitude:
+        Differential half-swing restored by the output stage, volts.
+    vctrl:
+        Initial common control voltage (scalar, or a
+        :class:`~repro.signals.waveform.Waveform` for jitter injection).
+    seed:
+        Master seed; per-stage noise generators are derived from it.
+
+    Notes
+    -----
+    The paper drives all stages from one Vctrl "for simplicity"; the
+    :attr:`vctrl` property follows that convention.  Per-stage control
+    (for the linearity ablation) is available via
+    :meth:`set_stage_vctrl`.
+    """
+
+    def __init__(
+        self,
+        n_stages: int = DEFAULT_FINE_STAGES,
+        params: Optional[BufferParams] = None,
+        output_amplitude: float = 0.4,
+        vctrl: ControlInput = 0.75,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if n_stages < 1:
+            raise CircuitError(f"need at least one stage, got {n_stages}")
+        self.params = params if params is not None else FOUR_STAGE_BUFFER
+        seeds = _spawn_seeds(seed, n_stages + 1)
+        self._stages = [
+            VariableGainBuffer(self.params, vctrl=vctrl, seed=seeds[i])
+            for i in range(n_stages)
+        ]
+        self._output_stage = OutputBuffer(
+            amplitude=output_amplitude, seed=seeds[n_stages]
+        )
+
+    # -- control ---------------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        """Number of variable-gain stages (excluding the output stage)."""
+        return len(self._stages)
+
+    @property
+    def stages(self) -> Sequence[VariableGainBuffer]:
+        """The variable-gain stages, in signal order."""
+        return tuple(self._stages)
+
+    @property
+    def output_stage(self) -> OutputBuffer:
+        """The full-swing recovery stage."""
+        return self._output_stage
+
+    @property
+    def vctrl(self) -> ControlInput:
+        """The common control voltage (the paper's single-Vctrl scheme).
+
+        Reading returns stage 0's control; writing programs every stage.
+        """
+        return self._stages[0].vctrl
+
+    @vctrl.setter
+    def vctrl(self, value: ControlInput) -> None:
+        for stage in self._stages:
+            stage.vctrl = value
+
+    def set_stage_vctrl(self, index: int, value: ControlInput) -> None:
+        """Program one stage's control independently (ablation mode)."""
+        self._stages[index].vctrl = value
+
+    def stage_vctrls(self) -> List[ControlInput]:
+        """Current per-stage control voltages."""
+        return [stage.vctrl for stage in self._stages]
+
+    # -- behaviour ---------------------------------------------------------
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        result = waveform
+        for stage in self._stages:
+            result = stage.process(result, rng)
+        return self._output_stage.process(result, rng)
+
+    def nominal_delay(self, vctrl: float, half_period: float = float("inf")) -> float:
+        """Analytic estimate of the total insertion delay at *vctrl*.
+
+        Sums the per-stage slew delays plus fixed propagation delays;
+        see :meth:`BufferParams.nominal_delay`.  Useful for seeding
+        calibration sweeps; the waveform simulation is authoritative.
+        """
+        amplitude = self.params.amplitude_from_vctrl(vctrl)
+        per_stage = self.params.nominal_delay(amplitude, half_period)
+        output = self._output_stage.params.nominal_delay(
+            self._output_stage.amplitude, half_period
+        )
+        return self.n_stages * per_stage + output
+
+    def nominal_range(self, half_period: float = float("inf")) -> float:
+        """Analytic estimate of the full-scale delay range, seconds."""
+        return self.nominal_delay(
+            self.params.vctrl_max, half_period
+        ) - self.nominal_delay(self.params.vctrl_min, half_period)

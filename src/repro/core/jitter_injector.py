@@ -1,0 +1,132 @@
+"""Jitter injection through the fine-delay control voltage.
+
+Paper Sec. 5: AC-couple a voltage-noise generator onto Vctrl and the
+fine delay line converts voltage noise into timing jitter — a
+controllable jitter-injection test resource, limited in magnitude by
+the fine adjustment range.  The injected amount follows the local
+delay-vs-Vctrl slope (Fig. 7), so the paper's Fig. 17 "added jitter vs
+noise amplitude" curve is approximately linear.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.noise import ACCoupler, NoiseSource
+from ..circuits.element import CircuitElement
+from ..errors import CircuitError
+from ..signals.waveform import Waveform
+from .calibration import CalibrationTable
+from .fine_delay import FineDelayLine
+
+__all__ = ["JitterInjector"]
+
+
+class JitterInjector(CircuitElement):
+    """A fine delay line with noise AC-coupled onto its Vctrl.
+
+    Parameters
+    ----------
+    delay_line:
+        The fine delay line to modulate; a default 4-stage line is
+        built when omitted.
+    noise:
+        The bench noise generator; defaults to a 900 mV p-p Gaussian
+        source (the paper's Fig. 16 setting).
+    coupler:
+        AC-coupling network between the generator and the Vctrl node.
+    dc_vctrl:
+        The DC operating point of Vctrl, volts.  Mid-range maximises
+        both the injection gain and its linearity (Fig. 7 is steepest
+        and straightest mid-range).
+    seed:
+        Master seed for default-constructed components.
+    """
+
+    def __init__(
+        self,
+        delay_line: Optional[FineDelayLine] = None,
+        noise: Optional[NoiseSource] = None,
+        coupler: Optional[ACCoupler] = None,
+        dc_vctrl: float = 0.75,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(seed)
+        if seed is None:
+            line_seed = noise_seed = None
+        else:
+            children = np.random.SeedSequence(seed).spawn(2)
+            line_seed = int(children[0].generate_state(1)[0])
+            noise_seed = int(children[1].generate_state(1)[0])
+        self.delay_line = (
+            delay_line if delay_line is not None else FineDelayLine(seed=line_seed)
+        )
+        self.noise = (
+            noise if noise is not None else NoiseSource(seed=noise_seed)
+        )
+        self.coupler = coupler if coupler is not None else ACCoupler()
+        params = self.delay_line.params
+        if not params.vctrl_min <= dc_vctrl <= params.vctrl_max:
+            raise CircuitError(
+                f"dc_vctrl {dc_vctrl} outside the control range "
+                f"[{params.vctrl_min}, {params.vctrl_max}]"
+            )
+        self.dc_vctrl = float(dc_vctrl)
+
+    def vctrl_record(
+        self,
+        waveform: Waveform,
+        rng: Optional[np.random.Generator] = None,
+        margin: float = 2e-9,
+    ) -> Waveform:
+        """Generate the noisy Vctrl waveform covering *waveform*'s span.
+
+        The record extends *margin* seconds beyond both ends so the
+        signal still sees valid control values after accumulating the
+        line's propagation delay.
+        """
+        rng = self._resolve_rng(rng)
+        duration = waveform.duration + 2.0 * margin
+        record = self.noise.record(
+            duration, waveform.dt, t0=waveform.t0 - margin, rng=rng
+        )
+        return self.coupler.couple(self.dc_vctrl, record)
+
+    def process(
+        self, waveform: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        """Pass *waveform* through the line with noise-modulated Vctrl."""
+        rng = self._resolve_rng(rng)
+        saved = self.delay_line.vctrl
+        try:
+            self.delay_line.vctrl = self.vctrl_record(waveform, rng)
+            return self.delay_line.process(waveform, rng)
+        finally:
+            self.delay_line.vctrl = saved
+
+    def injection_gain(self, table: CalibrationTable) -> float:
+        """Jitter-injection gain at the DC operating point, s/V.
+
+        The local slope of the calibrated delay-vs-Vctrl curve: a noise
+        sigma of ``v`` volts injects roughly ``gain * v`` seconds of
+        RMS jitter (for noise slow enough to be flat across an edge).
+        """
+        return table.slope_at(self.dc_vctrl)
+
+    def predicted_injected_pp(
+        self, table: CalibrationTable, n_edges: int = 1000
+    ) -> float:
+        """Predicted injected peak-to-peak jitter for Gaussian noise.
+
+        Converts the generator's front-panel p-p (≈ 6 sigma) through
+        the injection gain, then back to an expected p-p over
+        *n_edges* observations.
+        """
+        from ..circuits.noise import GAUSSIAN_PP_SIGMA_RATIO
+
+        sigma_v = self.noise.peak_to_peak / GAUSSIAN_PP_SIGMA_RATIO
+        sigma_t = abs(self.injection_gain(table)) * sigma_v
+        spread = 2.0 * np.sqrt(2.0 * np.log(max(n_edges, 2)))
+        return float(spread * sigma_t)

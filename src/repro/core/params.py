@@ -1,0 +1,95 @@
+"""Calibrated parameter sets for the paper's circuits.
+
+Single home for every number that was fitted against the paper's
+measurements, so the calibration is auditable in one place.  Each
+constant documents which figure pinned it down.
+
+Two buffer generations appear in the paper:
+
+* the part used in the **4-stage prototype** (Figs. 7, 9-14, the top
+  curve of Fig. 15) — ``FOUR_STAGE_BUFFER``;
+* the slower part of the **early 2-stage circuit** (bottom curve of
+  Fig. 15), which had a similar per-stage delay range at low frequency
+  but collapsed above ~5-6 GHz — ``TWO_STAGE_BUFFER``.
+"""
+
+from __future__ import annotations
+
+from ..circuits.vga_buffer import BufferParams
+
+__all__ = [
+    "FOUR_STAGE_BUFFER",
+    "TWO_STAGE_BUFFER",
+    "IDEAL_WIDEBAND_BUFFER",
+    "COARSE_STEP",
+    "COARSE_TAP_ERRORS",
+    "DEFAULT_FINE_STAGES",
+    "SOURCE_AMPLITUDE",
+    "SOURCE_RISE_TIME",
+    "VCTRL_RANGE",
+]
+
+#: Differential half-swing of the lab sources and logic levels, volts.
+SOURCE_AMPLITUDE = 0.4
+
+#: 20-80 % rise time of the pattern-generator edges, seconds.
+SOURCE_RISE_TIME = 30e-12
+
+#: The legal Vctrl range of the paper's buffer (Fig. 7 x-axis), volts.
+VCTRL_RANGE = (0.0, 1.5)
+
+#: Number of variable-gain stages in the paper's production fine line.
+DEFAULT_FINE_STAGES = 4
+
+#: Buffer of the 4-stage prototype.
+#:
+#: * ``slew_rate = 52 V/ns`` sets the per-stage amplitude-delay range to
+#:   (750 mV - 100 mV) / 52 V/ns = 12.5 ps; with cascade interactions the
+#:   measured 4-stage range lands at the ~56 ps of Fig. 7.
+#: * ``compression_corner = 6.2 GHz`` / ``order = 3`` fit the Fig. 15
+#:   roll-off: ~full range through 3.2 GHz, ~23 ps at a 6.4 GHz clock,
+#:   still usable at 6.8 GHz.
+#: * ``noise_sigma = 19 mV`` reproduces the few-ps added total jitter of
+#:   Figs. 12-13 through the 7-stage combined signal path.
+FOUR_STAGE_BUFFER = BufferParams(
+    amplitude_min=0.10,
+    amplitude_max=0.75,
+    vctrl_min=VCTRL_RANGE[0],
+    vctrl_max=VCTRL_RANGE[1],
+    control_shape=2.5,
+    v_linear=0.03,
+    slew_rate=52e9,
+    bandwidth=12e9,
+    propagation_delay=80e-12,
+    noise_sigma=19e-3,
+    noise_bandwidth=20e9,
+    compression_corner=6.2e9,
+    compression_order=3,
+)
+
+#: Buffer of the early 2-stage circuit (Fig. 15, bottom curve): the
+#: same per-stage delay physics (so its 2 stages give ~half the 4-stage
+#: range at low frequency) but a much lower compression corner — the
+#: early part "worked well up to 2.6 GHz ... becoming ineffective
+#: beyond 6 GHz".
+TWO_STAGE_BUFFER = FOUR_STAGE_BUFFER.with_updates(
+    compression_corner=4.5e9,
+)
+
+#: A hypothetical distortion-free wideband part (no compression, wide
+#: bandwidth, low noise) used by ablation studies as an upper bound.
+IDEAL_WIDEBAND_BUFFER = FOUR_STAGE_BUFFER.with_updates(
+    bandwidth=40e9,
+    noise_sigma=2e-3,
+    compression_corner=float("inf"),
+)
+
+#: Coarse-section nominal tap step, seconds (paper Fig. 8: 33 ps).
+COARSE_STEP = 33e-12
+
+#: Per-tap electrical-length manufacturing errors, seconds, calibrated
+#: so the measured taps land at the paper's 0 / 33 / 70 / 95 ps
+#: (Fig. 9) instead of the ideal 0 / 33 / 66 / 99 ps.  (The values
+#: differ from the naive 0 / 0 / +4 / -4 because the longer lines'
+#: dispersion adds a little extra measured delay of its own.)
+COARSE_TAP_ERRORS = (0.0, -1.3e-12, 1.5e-12, -7.8e-12)

@@ -1,0 +1,88 @@
+"""Experiment runners: one module per reproduced figure or application.
+
+Each module exposes ``run(fast=False) -> ExperimentResult``; the
+benchmark suite executes them and asserts every shape check, and
+``python -m repro.experiments`` prints all tables.
+
+Registry
+--------
+========================  =================================================
+``fig04``                 single-buffer amplitude-dependent delay
+``fig07``                 4-stage delay vs Vctrl transfer curve
+``fig09``                 coarse tap delays (0/33/70/95 ps)
+``fig10``                 combined circuit total range & programming
+``fig12``                 4.8 Gbps range + jitter
+``fig13``                 6.4 Gbps eye through the complete circuit
+``fig14``                 6.4 GHz clock (12.8 Gbps-equivalent)
+``fig15``                 range vs frequency, 2-stage vs 4-stage
+``fig16``                 jitter injection at 900 mV noise
+``fig17``                 injected jitter vs noise amplitude
+``app_deskew``            8-channel bus deskew vs ATE-only baseline
+``app_resolution``        sub-ps resolution through the 12-bit DAC
+``ablation_stages``       range/jitter vs cascade length
+``ablation_coarse_step``  coarse step size vs coverage
+``ablation_model``        waveform vs event model fidelity/speed
+========================  =================================================
+"""
+
+from typing import Callable, Dict
+
+from .common import DEFAULT_DT, PRECISION_DT, ExperimentResult, steady_state
+from . import (
+    ablation_coarse_step,
+    ablation_model_fidelity,
+    ablation_stages,
+    ablation_tj_depth,
+    ext_clock_centering,
+    ext_clock_only,
+    ext_drift_recalibration,
+    ext_fast_deskew,
+    ext_per_stage_control,
+    ext_sj_injection,
+    app_deskew,
+    app_resolution,
+    fig04_buffer,
+    fig07_vctrl_curve,
+    fig09_coarse_taps,
+    fig10_combined_range,
+    fig12_48gbps,
+    fig13_64gbps_eye,
+    fig14_rz_clock,
+    fig15_range_vs_freq,
+    fig16_injection_eye,
+    fig17_jitter_vs_noise,
+)
+
+#: Experiment id -> runner.  The benchmark suite iterates this table.
+RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig04": fig04_buffer.run,
+    "fig07": fig07_vctrl_curve.run,
+    "fig09": fig09_coarse_taps.run,
+    "fig10": fig10_combined_range.run,
+    "fig12": fig12_48gbps.run,
+    "fig13": fig13_64gbps_eye.run,
+    "fig14": fig14_rz_clock.run,
+    "fig15": fig15_range_vs_freq.run,
+    "fig16": fig16_injection_eye.run,
+    "fig17": fig17_jitter_vs_noise.run,
+    "app_deskew": app_deskew.run,
+    "app_resolution": app_resolution.run,
+    "ablation_stages": ablation_stages.run,
+    "ablation_coarse_step": ablation_coarse_step.run,
+    "ablation_model": ablation_model_fidelity.run,
+    "ablation_tj_depth": ablation_tj_depth.run,
+    "ext_sj": ext_sj_injection.run,
+    "ext_per_stage": ext_per_stage_control.run,
+    "ext_drift": ext_drift_recalibration.run,
+    "ext_clock_centering": ext_clock_centering.run,
+    "ext_clock_only": ext_clock_only.run,
+    "ext_fast_deskew": ext_fast_deskew.run,
+}
+
+__all__ = [
+    "DEFAULT_DT",
+    "PRECISION_DT",
+    "ExperimentResult",
+    "steady_state",
+    "RUNNERS",
+]

@@ -1,0 +1,64 @@
+"""Run every experiment and print its table: ``python -m repro.experiments``.
+
+Options
+-------
+``--fast``
+    Use reduced record lengths and sweep densities (CI speed).
+``--only fig15,fig17``
+    Run a comma-separated subset of experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import RUNNERS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures and print result tables.",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced-size CI runs"
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit Markdown sections instead of text tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.only:
+        wanted = [name.strip() for name in args.only.split(",")]
+        unknown = [name for name in wanted if name not in RUNNERS]
+        if unknown:
+            parser.error(
+                f"unknown experiments: {unknown}; known: {sorted(RUNNERS)}"
+            )
+        selected = {name: RUNNERS[name] for name in wanted}
+    else:
+        selected = RUNNERS
+
+    any_failed = False
+    for name, runner in selected.items():
+        result = runner(fast=args.fast)
+        if args.markdown:
+            print(result.format_markdown())
+        else:
+            print(result.format_table())
+            print()
+        if not result.all_checks_pass:
+            any_failed = True
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

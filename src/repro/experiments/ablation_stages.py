@@ -1,0 +1,84 @@
+"""Ablation — delay range and added jitter vs stage count.
+
+Paper Sec. 3: "In theory we could cascade two or more of these
+circuits to obtain the desired range.  However, in practice we must be
+concerned with the undesirable noise and jitter added by each stage."
+This ablation quantifies that trade-off: range grows ~linearly with
+stage count, but so does the added jitter — which is exactly why the
+paper caps the cascade at 4 and adds a passive coarse section instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.measurements import measure_delay, peak_to_peak_jitter
+from ..core.fine_delay import FineDelayLine
+from ..jitter.generators import jittered_prbs
+from .common import DEFAULT_DT, ExperimentResult, steady_state
+
+__all__ = ["run"]
+
+BIT_RATE = 2.4e9
+FULL_COUNTS = (1, 2, 4, 6, 8)
+FAST_COUNTS = (1, 4, 8)
+
+
+def run(fast: bool = False, seed: int = 201) -> ExperimentResult:
+    """Sweep the number of cascaded fine stages."""
+    counts = FAST_COUNTS if fast else FULL_COUNTS
+    n_bits = 200 if fast else 600
+    dt = DEFAULT_DT
+    unit_interval = 1.0 / BIT_RATE
+    stimulus = jittered_prbs(
+        7, n_bits, BIT_RATE, dt, rng=np.random.default_rng(seed)
+    )
+    tj_input = peak_to_peak_jitter(steady_state(stimulus), unit_interval)
+    rng = np.random.default_rng(seed + 1)
+
+    result = ExperimentResult(
+        experiment="ablation_stages",
+        title="Fine cascade: delay range vs added jitter per stage count",
+        notes=(
+            "The paper's design rationale: more stages buy range but "
+            "accumulate jitter; a passive coarse section extends range "
+            "without the jitter cost."
+        ),
+    )
+    ranges = []
+    added_list = []
+    for n_stages in counts:
+        line = FineDelayLine(n_stages=n_stages, seed=seed + n_stages)
+        line.vctrl = line.params.vctrl_min
+        out_min = line.process(stimulus, rng)
+        line.vctrl = line.params.vctrl_max
+        out_max = line.process(stimulus, rng)
+        delay_range = measure_delay(out_min, out_max).delay
+        line.vctrl = 0.75
+        out_mid = line.process(stimulus, rng)
+        tj = peak_to_peak_jitter(steady_state(out_mid), unit_interval)
+        added = tj - tj_input
+        ranges.append(delay_range)
+        added_list.append(added)
+        result.add_row(
+            n_stages=n_stages,
+            range_ps=round(delay_range * 1e12, 1),
+            added_tj_ps=round(added * 1e12, 1),
+            range_per_added_jitter=round(delay_range / max(added, 1e-13), 1),
+        )
+
+    ranges = np.asarray(ranges)
+    added = np.asarray(added_list)
+    result.add_check(
+        "range grows monotonically with stage count",
+        bool(np.all(np.diff(ranges) > 0)),
+    )
+    result.add_check(
+        "range ~linear in stage count (r > 0.99)",
+        float(np.corrcoef(counts, ranges)[0, 1]) > 0.99,
+    )
+    result.add_check(
+        "added jitter grows with stage count (first vs last)",
+        added[-1] > added[0],
+    )
+    return result

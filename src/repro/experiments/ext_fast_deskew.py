@@ -1,0 +1,101 @@
+"""Extension — fast (event-model) deskew for wide buses.
+
+The paper's end application wants many channels ("buses with 8
+differential channels") and production test time is money.  The
+library's closed-form event model replaces waveform rendering inside
+the deskew loop; its small systematic error is removed by one final
+waveform-measured trim.  This experiment deskews the same bus with
+both measurement backends and compares accuracy and wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..ate.bus import ParallelBus
+from ..ate.deskew import DeskewController
+from .common import DEFAULT_DT, ExperimentResult
+
+__all__ = ["run"]
+
+BIT_RATE = 6.4e9
+
+
+def _reset(bus: ParallelBus) -> None:
+    """Return every programmable element to its zero state."""
+    for channel in bus.channels:
+        channel.programmable.set_delay(0.0)
+    for line in bus.delay_lines:
+        line.set_delay(0.0)
+
+
+def run(fast: bool = False, seed: int = 306) -> ExperimentResult:
+    """Deskew one bus with waveform vs event measurement backends."""
+    n_channels = 3 if fast else 8
+    n_bits = 80 if fast else 127
+    bus = ParallelBus(
+        n_channels=n_channels, bit_rate=BIT_RATE, seed=seed
+    )
+    bus.calibrate_delay_lines(n_points=7 if fast else 9)
+
+    results = {}
+    for backend in ("waveform", "event"):
+        _reset(bus)
+        controller = DeskewController(
+            bus, n_bits=n_bits, dt=DEFAULT_DT, measurement=backend
+        )
+        start = time.perf_counter()
+        report = controller.deskew(np.random.default_rng(seed + 1))
+        elapsed = time.perf_counter() - start
+        # Verify with an independent waveform measurement regardless of
+        # the backend used for the loop.
+        verify = controller.measure_arrivals(
+            np.random.default_rng(seed + 2), through_delay_lines=True
+        )
+        results[backend] = {
+            "report": report,
+            "elapsed": elapsed,
+            "verified_spread": max(verify) - min(verify),
+        }
+
+    result = ExperimentResult(
+        experiment="ext_fast_deskew",
+        title="Deskew with waveform vs event-model measurement",
+        notes=(
+            "The event backend runs the correction loop on closed-form "
+            "edge times and finishes with one waveform-measured trim; "
+            "it reaches the same < 5 ps residual in a fraction of the "
+            "time."
+        ),
+    )
+    for backend, data in results.items():
+        result.add_row(
+            backend=backend,
+            loop_time_s=round(data["elapsed"], 2),
+            final_spread_ps=round(data["report"].final_spread * 1e12, 2),
+            verified_spread_ps=round(data["verified_spread"] * 1e12, 2),
+            converged=data["report"].converged,
+        )
+    speedup = results["waveform"]["elapsed"] / max(
+        results["event"]["elapsed"], 1e-9
+    )
+    result.add_row(
+        backend="speedup",
+        loop_time_s=round(speedup, 1),
+        final_spread_ps="-",
+        verified_spread_ps="-",
+        converged="-",
+    )
+
+    result.add_check(
+        "waveform backend meets < 5 ps",
+        results["waveform"]["verified_spread"] <= 5e-12,
+    )
+    result.add_check(
+        "event backend meets < 5 ps (waveform-verified)",
+        results["event"]["verified_spread"] <= 5e-12,
+    )
+    result.add_check("event backend at least 2x faster", speedup >= 2.0)
+    return result

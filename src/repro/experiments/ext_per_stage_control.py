@@ -1,0 +1,136 @@
+"""Extension ablation — common Vctrl vs per-stage (thermometer) control.
+
+The paper drives all four stages from one Vctrl "for simplicity"
+(Sec. 2).  The alternative is per-stage control: park most stages at a
+control extreme (where the Fig. 7 curve is flat, so their delay is
+insensitive to control noise) and use a single "vernier" stage on the
+steep part.  Both schemes cover the same range; the difference is the
+circuit's *sensitivity to control-voltage noise*:
+
+* common control at mid-range puts **all four** stages on the steepest
+  part of the curve simultaneously — worst-case sensitivity;
+* thermometer control has **at most one** stage on the steep part.
+
+This experiment programs the same mid-range delay under both schemes
+and measures the delay shift caused by a small disturbance on every
+control input (a supply-coupling model), i.e. the control-noise power
+supply rejection of the two schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.measurements import measure_delay
+from ..core.calibration import calibrate_fine_delay, calibration_stimulus
+from ..core.fine_delay import FineDelayLine
+from .common import DEFAULT_DT, ExperimentResult
+
+__all__ = ["run"]
+
+#: Disturbance applied to every stage control, volts (supply ripple).
+DISTURBANCE = 0.02
+
+
+def _thermometer_settings(line, table, target: float) -> list:
+    """Per-stage controls realising *target* with one vernier stage."""
+    per_stage = table.range / line.n_stages
+    n_full = int(target // per_stage)
+    n_full = min(n_full, line.n_stages - 1)
+    residual = target - n_full * per_stage
+    # The single-stage curve is approximated as the 4-stage curve
+    # scaled down; invert it for the vernier stage.
+    vernier = table.vctrl_for_delay(
+        min(residual * line.n_stages, table.range)
+    )
+    settings = []
+    for index in range(line.n_stages):
+        if index < n_full:
+            settings.append(line.params.vctrl_max)
+        elif index == n_full:
+            settings.append(vernier)
+        else:
+            settings.append(line.params.vctrl_min)
+    return settings
+
+
+def _sensitivity(line, stimulus, rng_seed: int) -> float:
+    """Delay shift per volt of common disturbance on all controls."""
+    saved = line.stage_vctrls()
+    try:
+        outputs = []
+        for sign in (-1.0, +1.0):
+            for index, vctrl in enumerate(saved):
+                line.set_stage_vctrl(
+                    index,
+                    float(
+                        np.clip(
+                            vctrl + sign * DISTURBANCE / 2,
+                            line.params.vctrl_min,
+                            line.params.vctrl_max,
+                        )
+                    ),
+                )
+            outputs.append(
+                line.process(stimulus, np.random.default_rng(rng_seed))
+            )
+        shift = measure_delay(outputs[0], outputs[1]).delay
+        return abs(shift) / DISTURBANCE
+    finally:
+        for index, vctrl in enumerate(saved):
+            line.set_stage_vctrl(index, vctrl)
+
+
+def run(fast: bool = False, seed: int = 302) -> ExperimentResult:
+    """Compare control-noise sensitivity of the two schemes."""
+    n_bits = 60 if fast else 127
+    stimulus = calibration_stimulus(n_bits=n_bits, dt=DEFAULT_DT)
+    line = FineDelayLine(seed=seed)
+    table = calibrate_fine_delay(
+        line, stimulus=stimulus, n_points=9 if fast else 13,
+        rng=np.random.default_rng(seed),
+    )
+
+    result = ExperimentResult(
+        experiment="ext_per_stage",
+        title="Common vs per-stage Vctrl: control-noise sensitivity",
+        notes=(
+            "Both schemes reach the same delays; thermometer control "
+            "parks idle stages on the flat curve ends, so control/supply "
+            "noise moves the delay far less at mid-range settings."
+        ),
+    )
+    targets = (
+        [0.5 * table.range]
+        if fast
+        else [0.25 * table.range, 0.5 * table.range, 0.75 * table.range]
+    )
+    ratios = []
+    for target in targets:
+        # Scheme A: common control (the paper's).
+        line.vctrl = table.vctrl_for_delay(target)
+        common_sensitivity = _sensitivity(line, stimulus, seed + 1)
+        # Scheme B: thermometer + vernier.
+        for index, vctrl in enumerate(
+            _thermometer_settings(line, table, target)
+        ):
+            line.set_stage_vctrl(index, vctrl)
+        thermo_sensitivity = _sensitivity(line, stimulus, seed + 1)
+        ratio = common_sensitivity / max(thermo_sensitivity, 1e-18)
+        ratios.append(ratio)
+        result.add_row(
+            target_ps=round(target * 1e12, 1),
+            common_ps_per_V=round(common_sensitivity * 1e12, 1),
+            thermometer_ps_per_V=round(thermo_sensitivity * 1e12, 1),
+            improvement=round(ratio, 1),
+        )
+
+    result.add_check(
+        "thermometer control is less noise-sensitive at every target",
+        all(r > 1.0 for r in ratios),
+    )
+    result.add_check(
+        "mid-range improvement is substantial (>= 2x)",
+        max(ratios) >= 2.0,
+    )
+    return result

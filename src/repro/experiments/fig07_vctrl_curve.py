@@ -1,0 +1,72 @@
+"""Fig. 7 — 4-stage fine delay vs control voltage.
+
+The paper's measured transfer curve: ~56 ps of delay range across the
+1.5 V control span, "approximately linear throughout much of the
+mid-range, with changes in slope near the extremes".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.calibration import calibrate_fine_delay, calibration_stimulus
+from ..core.fine_delay import FineDelayLine
+from .common import DEFAULT_DT, ExperimentResult
+
+__all__ = ["run"]
+
+#: The paper's measured 4-stage range (Sec. 2: "this ~56 ps range").
+PAPER_RANGE = 56e-12
+
+
+def run(fast: bool = False, seed: int = 21) -> ExperimentResult:
+    """Measure the delay-vs-Vctrl transfer curve of the 4-stage line."""
+    n_points = 7 if fast else 17
+    n_bits = 60 if fast else 127
+    stimulus = calibration_stimulus(n_bits=n_bits, dt=DEFAULT_DT)
+    line = FineDelayLine(seed=seed)
+    table = calibrate_fine_delay(
+        line,
+        stimulus=stimulus,
+        n_points=n_points,
+        rng=np.random.default_rng(seed),
+    )
+
+    result = ExperimentResult(
+        experiment="fig07",
+        title="4-stage fine delay vs Vctrl (0-1.5 V)",
+        notes=(
+            "Paper: ~56 ps range, linear mid-range, slope flattening at "
+            "the extremes (the S-shaped amplitude control law)."
+        ),
+    )
+    for vctrl, delay in zip(table.vctrls, table.delays):
+        result.add_row(
+            vctrl_V=round(float(vctrl), 3),
+            delay_ps=round(float(delay) * 1e12, 2),
+        )
+    measured_range = table.range
+    result.add_row(vctrl_V="range", delay_ps=round(measured_range * 1e12, 2))
+
+    result.add_check(
+        "range within 25% of paper's 56 ps",
+        0.75 * PAPER_RANGE <= measured_range <= 1.25 * PAPER_RANGE,
+    )
+    result.add_check(
+        "monotone non-decreasing", bool(np.all(np.diff(table.delays) >= 0))
+    )
+    # Slope shape: the mid-range slope should exceed both end slopes
+    # (the Fig. 7 flattening at the extremes).
+    slopes = np.diff(table.delays) / np.diff(table.vctrls)
+    mid = len(slopes) // 2
+    result.add_check(
+        "mid-range slope steeper than both extremes",
+        slopes[mid] > slopes[0] and slopes[mid] > slopes[-1],
+    )
+    # Mid-range linearity: correlation over the central half of the span.
+    quarter = len(table.vctrls) // 4
+    central_v = table.vctrls[quarter : len(table.vctrls) - quarter]
+    central_d = table.delays[quarter : len(table.delays) - quarter]
+    correlation = float(np.corrcoef(central_v, central_d)[0, 1])
+    result.add_check("mid-range ~linear (r > 0.97)", correlation > 0.97)
+    return result

@@ -1,0 +1,96 @@
+"""Fig. 12 — 4.8 Gbps eyes at minimum and maximum fine delay.
+
+The paper overlays two 4.8 Gbps data eyes (min and max Vctrl), reading
+off a fine delay range of 49.5 ps and a total jitter of 18.5 ps —
+"about 7 ps larger than the input reference signal".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.measurements import measure_delay, peak_to_peak_jitter
+from ..core.fine_delay import FineDelayLine
+from ..jitter.components import RandomJitter
+from ..jitter.generators import jittered_prbs, rj_sigma_for_peak_to_peak
+from .common import DEFAULT_DT, ExperimentResult, steady_state
+
+__all__ = ["run"]
+
+BIT_RATE = 4.8e9
+PAPER_FINE_RANGE = 49.5e-12
+PAPER_INPUT_TJ = 11.5e-12  # 18.5 ps output minus the ~7 ps increase
+PAPER_OUTPUT_TJ = 18.5e-12
+
+
+def run(fast: bool = False, seed: int = 12) -> ExperimentResult:
+    """Reproduce the 4.8 Gbps delay-range and jitter measurement."""
+    n_bits = 300 if fast else 1000
+    dt = DEFAULT_DT
+    unit_interval = 1.0 / BIT_RATE
+    edges_expected = n_bits // 2
+    source_jitter = RandomJitter(
+        rj_sigma_for_peak_to_peak(PAPER_INPUT_TJ, edges_expected)
+    )
+    stimulus = jittered_prbs(
+        7,
+        n_bits,
+        BIT_RATE,
+        dt,
+        jitter=source_jitter,
+        rng=np.random.default_rng(seed),
+    )
+    line = FineDelayLine(seed=seed)
+    rng = np.random.default_rng(seed + 1)
+
+    line.vctrl = line.params.vctrl_min
+    out_min = line.process(stimulus, rng)
+    line.vctrl = line.params.vctrl_max
+    out_max = line.process(stimulus, rng)
+    fine_range = measure_delay(out_min, out_max).delay
+
+    tj_input = peak_to_peak_jitter(steady_state(stimulus), unit_interval)
+    line.vctrl = 0.75
+    out_mid = line.process(stimulus, rng)
+    tj_output = peak_to_peak_jitter(steady_state(out_mid), unit_interval)
+    added = tj_output - tj_input
+
+    result = ExperimentResult(
+        experiment="fig12",
+        title="4.8 Gbps: fine delay range and total jitter",
+        notes=(
+            "Paper: 49.5 ps fine range; TJ 18.5 ps = input + ~7 ps. "
+            "The model's added jitter comes from per-stage input noise "
+            "converted at the crossing slope."
+        ),
+    )
+    result.add_row(
+        quantity="fine delay range",
+        paper_ps=PAPER_FINE_RANGE * 1e12,
+        measured_ps=round(fine_range * 1e12, 1),
+    )
+    result.add_row(
+        quantity="input TJ (p-p)",
+        paper_ps=PAPER_INPUT_TJ * 1e12,
+        measured_ps=round(tj_input * 1e12, 1),
+    )
+    result.add_row(
+        quantity="output TJ (p-p)",
+        paper_ps=PAPER_OUTPUT_TJ * 1e12,
+        measured_ps=round(tj_output * 1e12, 1),
+    )
+    result.add_row(
+        quantity="added TJ",
+        paper_ps=7.0,
+        measured_ps=round(added * 1e12, 1),
+    )
+
+    result.add_check(
+        "fine range within 25% of paper's 49.5 ps",
+        0.75 * PAPER_FINE_RANGE <= fine_range <= 1.25 * PAPER_FINE_RANGE,
+    )
+    result.add_check("output TJ exceeds input TJ", tj_output > tj_input)
+    result.add_check(
+        "added TJ small (0 < added < 12 ps)", 0.0 < added < 12e-12
+    )
+    return result

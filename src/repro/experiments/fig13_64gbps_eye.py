@@ -1,0 +1,112 @@
+"""Fig. 13 — 6.4 Gbps data eye through the complete delay circuit.
+
+The paper drives a jittery 6.4 Gbps DUT-output-like signal (TJ ~26 ps)
+through the full combined circuit and measures ~13 ps of added jitter
+(output TJ ~39 ps).  The eye also shows amplitude attenuation from the
+series measurement resistors — "not a concern for our applications" —
+which we reproduce with the resistive pad model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.eye import EyeDiagram
+from ..analysis.measurements import peak_to_peak_jitter
+from ..circuits.attenuator import SeriesResistorPad
+from ..circuits.tline import ReflectiveStub
+from ..core.combined import CombinedDelayLine
+from ..jitter.components import RandomJitter
+from ..jitter.generators import jittered_prbs, rj_sigma_for_peak_to_peak
+from .common import DEFAULT_DT, ExperimentResult, steady_state
+
+__all__ = ["run"]
+
+BIT_RATE = 6.4e9
+PAPER_INPUT_TJ = 26e-12
+PAPER_OUTPUT_TJ = 39e-12
+
+
+def run(fast: bool = False, seed: int = 13) -> ExperimentResult:
+    """Reproduce the 6.4 Gbps input/output eye comparison."""
+    n_bits = 300 if fast else 1000
+    dt = DEFAULT_DT
+    unit_interval = 1.0 / BIT_RATE
+    edges_expected = n_bits // 2
+    source_jitter = RandomJitter(
+        rj_sigma_for_peak_to_peak(PAPER_INPUT_TJ, edges_expected)
+    )
+    stimulus = jittered_prbs(
+        7,
+        n_bits,
+        BIT_RATE,
+        dt,
+        jitter=source_jitter,
+        rng=np.random.default_rng(seed),
+    )
+    line = CombinedDelayLine(seed=seed)
+    line.select = 1
+    line.vctrl = 0.75
+    # The prototype's measurement path: SMA + buffered-test-point
+    # reflections (the DDJ source at 6.4 Gbps) and the series-resistor
+    # pad that attenuates the Fig. 13 eye.
+    stub = ReflectiveStub(reflection=0.28, stub_delay=130e-12, n_echoes=1)
+    pad = SeriesResistorPad(series_ohms=50.0, load_ohms=50.0)
+    rng = np.random.default_rng(seed + 1)
+
+    output = pad.process(stub.process(line.process(stimulus, rng), rng), rng)
+
+    tj_input = peak_to_peak_jitter(steady_state(stimulus), unit_interval)
+    tj_output = peak_to_peak_jitter(steady_state(output), unit_interval)
+    added = tj_output - tj_input
+    input_eye = EyeDiagram(steady_state(stimulus), unit_interval).metrics()
+    output_eye = EyeDiagram(steady_state(output), unit_interval).metrics()
+
+    result = ExperimentResult(
+        experiment="fig13",
+        title="6.4 Gbps eye through the complete circuit (+ measurement pad)",
+        notes=(
+            "Paper: input TJ 26 ps -> output TJ 39 ps (~13 ps added); "
+            "output amplitude attenuated by the series measurement "
+            "resistors."
+        ),
+    )
+    result.add_row(
+        quantity="input TJ (p-p)",
+        paper_ps=PAPER_INPUT_TJ * 1e12,
+        measured_ps=round(tj_input * 1e12, 1),
+    )
+    result.add_row(
+        quantity="output TJ (p-p)",
+        paper_ps=PAPER_OUTPUT_TJ * 1e12,
+        measured_ps=round(tj_output * 1e12, 1),
+    )
+    result.add_row(
+        quantity="added TJ",
+        paper_ps=13.0,
+        measured_ps=round(added * 1e12, 1),
+    )
+    result.add_row(
+        quantity="input eye amplitude (mV)",
+        paper_ps="-",
+        measured_ps=round(input_eye.amplitude * 1e3, 0),
+    )
+    result.add_row(
+        quantity="output eye amplitude (mV)",
+        paper_ps="attenuated",
+        measured_ps=round(output_eye.amplitude * 1e3, 0),
+    )
+
+    result.add_check("output TJ exceeds input TJ", tj_output > tj_input)
+    result.add_check(
+        "added TJ in the paper's regime (2-20 ps)",
+        2e-12 <= added <= 20e-12,
+    )
+    result.add_check(
+        "pad attenuates the output amplitude",
+        output_eye.amplitude < 0.8 * input_eye.amplitude,
+    )
+    result.add_check(
+        "eye still open at 6.4 Gbps", output_eye.eye_width > 0.4 * unit_interval
+    )
+    return result

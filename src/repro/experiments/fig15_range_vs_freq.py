@@ -1,0 +1,129 @@
+"""Fig. 15 — fine delay range vs clock frequency, 2-stage vs 4-stage.
+
+The paper's key comparison plot: the 4-stage circuit holds a large
+delay range through ~3 GHz and remains usable beyond 6.4 GHz, while
+the early 2-stage circuit starts with half the range and collapses
+("becoming ineffective") beyond ~6 GHz.  The 33 ps line matters: that
+is the range needed to cover the coarse steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.measurements import measure_delay
+from ..baselines.two_stage import TwoStageFineDelayLine
+from ..core.fine_delay import FineDelayLine
+from ..signals.nrz import synthesize_clock
+from .common import ExperimentResult, PRECISION_DT, steady_state
+
+__all__ = ["run", "measure_range_at"]
+
+#: Range needed to cover the 33 ps coarse steps (paper Sec. 4).
+COVERAGE_REQUIREMENT = 33e-12
+
+#: Frequencies probed, Hz (the paper sweeps ~0.5-6.8 GHz).
+FULL_SWEEP = (0.5e9, 1.3e9, 2.6e9, 3.2e9, 4.0e9, 5.0e9, 6.0e9, 6.4e9, 6.8e9)
+FAST_SWEEP = (0.5e9, 2.6e9, 5.0e9, 6.4e9)
+
+
+def measure_range_at(
+    line,
+    frequency: float,
+    dt: float = PRECISION_DT,
+    rng: Optional[np.random.Generator] = None,
+    min_cycles: int = 100,
+    duration: float = 40e-9,
+) -> float:
+    """Fine delay range of *line* driven by a clock at *frequency*."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n_cycles = max(min_cycles, int(duration * frequency))
+    stimulus = synthesize_clock(frequency, n_cycles, dt)
+    saved = line.vctrl
+    try:
+        line.vctrl = line.params.vctrl_min
+        out_min = line.process(stimulus, rng)
+        line.vctrl = line.params.vctrl_max
+        out_max = line.process(stimulus, rng)
+    finally:
+        line.vctrl = saved
+    return measure_delay(steady_state(out_min), steady_state(out_max)).delay
+
+
+def run(fast: bool = False, seed: int = 15) -> ExperimentResult:
+    """Sweep clock frequency for both circuits and compare ranges."""
+    frequencies = FAST_SWEEP if fast else FULL_SWEEP
+    four_stage = FineDelayLine(seed=seed)
+    two_stage = TwoStageFineDelayLine(seed=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+
+    ranges_4: List[float] = []
+    ranges_2: List[float] = []
+    result = ExperimentResult(
+        experiment="fig15",
+        title="Fine delay range vs clock frequency (2-stage vs 4-stage)",
+        notes=(
+            "Paper: 4-stage ~56 ps at low f, ~23.5 ps at 6.4 GHz, usable "
+            "at 6.8 GHz; 2-stage ~25 ps at low f, ineffective beyond "
+            "~6 GHz.  33 ps is the coverage requirement for the coarse "
+            "steps."
+        ),
+    )
+    for frequency in frequencies:
+        r4 = measure_range_at(four_stage, frequency, rng=rng)
+        r2 = measure_range_at(two_stage, frequency, rng=rng)
+        ranges_4.append(r4)
+        ranges_2.append(r2)
+        result.add_row(
+            freq_GHz=round(frequency / 1e9, 1),
+            four_stage_ps=round(r4 * 1e12, 1),
+            two_stage_ps=round(r2 * 1e12, 1),
+            covers_33ps_4stage=r4 >= COVERAGE_REQUIREMENT,
+            covers_33ps_2stage=r2 >= COVERAGE_REQUIREMENT,
+        )
+
+    frequencies = list(frequencies)
+    low_index = 0
+    result.add_check(
+        "4-stage low-frequency range ~56 ps (42-70 ps)",
+        42e-12 <= ranges_4[low_index] <= 70e-12,
+    )
+    result.add_check(
+        "2-stage low-frequency range about half the 4-stage",
+        0.3 * ranges_4[low_index]
+        <= ranges_2[low_index]
+        <= 0.7 * ranges_4[low_index],
+    )
+    result.add_check(
+        "4-stage range beats 2-stage at every frequency",
+        all(r4 > r2 for r4, r2 in zip(ranges_4, ranges_2)),
+    )
+    result.add_check(
+        "both ranges decline toward high frequency",
+        ranges_4[-1] < 0.75 * ranges_4[0] and ranges_2[-1] < 0.5 * ranges_2[0],
+    )
+    index_64 = frequencies.index(6.4e9) if 6.4e9 in frequencies else -1
+    result.add_check(
+        "4-stage still delivers >= 12 ps at 6.4 GHz",
+        ranges_4[index_64] >= 12e-12,
+    )
+    result.add_check(
+        "2-stage ineffective at 6.4 GHz (< 12 ps)",
+        ranges_2[index_64] < 12e-12,
+    )
+    # The crossover story: the 2-stage loses 33 ps coverage at a lower
+    # frequency than the 4-stage (it never has it, or loses it earlier).
+    def last_covering(ranges: List[float]) -> float:
+        covering = [
+            f for f, r in zip(frequencies, ranges) if r >= COVERAGE_REQUIREMENT
+        ]
+        return max(covering) if covering else 0.0
+
+    result.add_check(
+        "4-stage covers 33 ps to a higher frequency than 2-stage",
+        last_covering(ranges_4) > last_covering(ranges_2),
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Jitter substrate: component models, stimulus generation, analysis.
+
+Models the jitter phenomena the paper measures (peak-to-peak total
+jitter of reference and delayed signals) and injects (Sec. 5), plus the
+standard dual-Dirac decomposition used industry-wide to extrapolate
+total jitter to low bit-error ratios.
+"""
+
+from .components import (
+    JitterComponent,
+    RandomJitter,
+    PeriodicJitter,
+    DutyCycleDistortion,
+    BoundedUniformJitter,
+    CompositeJitter,
+    NoJitter,
+)
+from .generators import (
+    jittered_nrz,
+    jittered_clock,
+    jittered_prbs,
+    rj_sigma_for_peak_to_peak,
+)
+from .tie import (
+    RecoveredClock,
+    recover_clock,
+    tie_from_edges,
+    tie_statistics,
+    TieStatistics,
+)
+from .decomposition import (
+    DualDiracModel,
+    q_ber,
+    fit_dual_dirac,
+    total_jitter_at_ber,
+)
+from .spectrum import JitterSpectrum, jitter_spectrum, dominant_tone
+
+__all__ = [
+    "JitterComponent",
+    "RandomJitter",
+    "PeriodicJitter",
+    "DutyCycleDistortion",
+    "BoundedUniformJitter",
+    "CompositeJitter",
+    "NoJitter",
+    "jittered_nrz",
+    "jittered_clock",
+    "jittered_prbs",
+    "rj_sigma_for_peak_to_peak",
+    "RecoveredClock",
+    "recover_clock",
+    "tie_from_edges",
+    "tie_statistics",
+    "TieStatistics",
+    "DualDiracModel",
+    "q_ber",
+    "fit_dual_dirac",
+    "total_jitter_at_ber",
+    "JitterSpectrum",
+    "jitter_spectrum",
+    "dominant_tone",
+]

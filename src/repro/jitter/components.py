@@ -1,0 +1,231 @@
+"""Jitter component models.
+
+Timing jitter on a digital signal is conventionally decomposed into:
+
+* **RJ** — random jitter, unbounded, Gaussian, quantified by its sigma;
+* **PJ** — periodic jitter, a sinusoidal modulation of edge positions
+  (e.g. supply spurs, or the deliberate injection of Shimanouchi-style
+  jitter-tolerance stimuli);
+* **DCD** — duty-cycle distortion, a fixed offset with opposite sign on
+  rising and falling edges;
+* **BUJ** — bounded-uncorrelated jitter, modelled here as uniform.
+
+Each component knows how to produce per-edge time offsets given the
+ideal edge instants and polarities, so a composite budget can be
+applied exactly where jitter physically acts: at the transitions.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "JitterComponent",
+    "RandomJitter",
+    "PeriodicJitter",
+    "DutyCycleDistortion",
+    "BoundedUniformJitter",
+    "CompositeJitter",
+    "NoJitter",
+]
+
+
+class JitterComponent(abc.ABC):
+    """Something that perturbs edge instants."""
+
+    @abc.abstractmethod
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-edge time offsets (seconds) for edges at *edge_times*.
+
+        Parameters
+        ----------
+        edge_times:
+            Ideal transition instants, seconds.
+        rising:
+            Boolean polarity flags, same length as *edge_times*.
+        rng:
+            Randomness source (unused by deterministic components).
+        """
+
+    @abc.abstractmethod
+    def peak_to_peak_bound(self) -> float:
+        """Deterministic peak-to-peak contribution (inf for unbounded RJ)."""
+
+
+@dataclass(frozen=True)
+class RandomJitter(JitterComponent):
+    """Gaussian random jitter with standard deviation *sigma* seconds."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ReproError(f"RJ sigma must be >= 0, got {self.sigma}")
+
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self.sigma == 0:
+            return np.zeros_like(edge_times)
+        return rng.normal(0.0, self.sigma, size=edge_times.shape)
+
+    def peak_to_peak_bound(self) -> float:
+        return math.inf if self.sigma > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PeriodicJitter(JitterComponent):
+    """Sinusoidal jitter: ``A * sin(2 pi f t + phase)`` seconds.
+
+    Attributes
+    ----------
+    amplitude:
+        Peak deviation, seconds (peak-to-peak is ``2 * amplitude``).
+    frequency:
+        Modulation frequency, hertz.
+    phase:
+        Phase at t = 0, radians.
+    """
+
+    amplitude: float
+    frequency: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ReproError(f"PJ amplitude must be >= 0: {self.amplitude}")
+        if self.frequency <= 0:
+            raise ReproError(f"PJ frequency must be > 0: {self.frequency}")
+
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return self.amplitude * np.sin(
+            2.0 * np.pi * self.frequency * edge_times + self.phase
+        )
+
+    def peak_to_peak_bound(self) -> float:
+        return 2.0 * self.amplitude
+
+
+@dataclass(frozen=True)
+class DutyCycleDistortion(JitterComponent):
+    """Fixed half-magnitude shift, opposite on rising vs falling edges.
+
+    *magnitude* is the conventional DCD number: the peak-to-peak
+    separation between the rising- and falling-edge populations.
+    """
+
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 0:
+            raise ReproError(f"DCD must be >= 0, got {self.magnitude}")
+
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        half = self.magnitude / 2.0
+        return np.where(rising, half, -half)
+
+    def peak_to_peak_bound(self) -> float:
+        return self.magnitude
+
+
+@dataclass(frozen=True)
+class BoundedUniformJitter(JitterComponent):
+    """Uniform jitter in ``[-half_range, +half_range]`` seconds."""
+
+    half_range: float
+
+    def __post_init__(self) -> None:
+        if self.half_range < 0:
+            raise ReproError(f"range must be >= 0, got {self.half_range}")
+
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self.half_range == 0:
+            return np.zeros_like(edge_times)
+        return rng.uniform(
+            -self.half_range, self.half_range, size=edge_times.shape
+        )
+
+    def peak_to_peak_bound(self) -> float:
+        return 2.0 * self.half_range
+
+
+class NoJitter(JitterComponent):
+    """The absence of jitter (useful as a default)."""
+
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return np.zeros_like(edge_times)
+
+    def peak_to_peak_bound(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NoJitter()"
+
+
+class CompositeJitter(JitterComponent):
+    """Sum of several jitter components."""
+
+    def __init__(self, *components: JitterComponent):
+        for component in components:
+            if not isinstance(component, JitterComponent):
+                raise ReproError(
+                    f"not a JitterComponent: {component!r}"
+                )
+        self._components = tuple(components)
+
+    @property
+    def components(self) -> tuple:
+        """The constituent components."""
+        return self._components
+
+    def offsets(
+        self,
+        edge_times: np.ndarray,
+        rising: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        total = np.zeros_like(np.asarray(edge_times, dtype=np.float64))
+        for component in self._components:
+            total = total + component.offsets(edge_times, rising, rng)
+        return total
+
+    def peak_to_peak_bound(self) -> float:
+        return sum(c.peak_to_peak_bound() for c in self._components)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(repr(c) for c in self._components)
+        return f"CompositeJitter({inner})"

@@ -1,0 +1,131 @@
+"""Helpers for generating jittered stimuli.
+
+These convenience functions tie the jitter component models to the
+waveform synthesis layer: they compute the ideal transition instants of
+a pattern, draw per-edge offsets from a jitter budget, and render the
+perturbed signal.  They are what the experiment runners use to model
+the paper's *reference* (input) signals, which themselves carried
+6-28 ps of peak-to-peak jitter depending on the source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import PatternError
+from ..signals.nrz import synthesize_nrz, transition_times_from_bits
+from ..signals.patterns import alternating_bits, prbs_sequence
+from ..signals.waveform import Waveform
+from .components import JitterComponent, NoJitter
+
+__all__ = [
+    "jittered_nrz",
+    "jittered_clock",
+    "jittered_prbs",
+    "rj_sigma_for_peak_to_peak",
+]
+
+#: Expected ratio between peak-to-peak and sigma for a Gaussian sample
+#: of ~1000 edges (the scale of the paper's eye measurements).  The
+#: expected extreme spread of N standard normals is roughly
+#: ``2 * sqrt(2 ln N)``; for N = 1000 this is ~6.6.
+_PP_OVER_SIGMA_1000 = 6.6
+
+
+def rj_sigma_for_peak_to_peak(
+    peak_to_peak: float, n_edges: int = 1000
+) -> float:
+    """RJ sigma that yields roughly *peak_to_peak* over *n_edges* edges.
+
+    The paper quotes total jitter as scope peak-to-peak values over an
+    eye acquisition; for pure Gaussian jitter the expected p-p over N
+    edges is about ``2 sqrt(2 ln N) * sigma``.
+    """
+    if peak_to_peak < 0:
+        raise PatternError(f"peak-to-peak must be >= 0: {peak_to_peak}")
+    if n_edges < 2:
+        raise PatternError(f"need at least 2 edges, got {n_edges}")
+    spread = 2.0 * np.sqrt(2.0 * np.log(n_edges))
+    return peak_to_peak / spread
+
+
+def jittered_nrz(
+    bits: Sequence[int],
+    bit_rate: float,
+    dt: float,
+    jitter: Optional[JitterComponent] = None,
+    rng: Optional[np.random.Generator] = None,
+    amplitude: float = 0.4,
+    rise_time: float = 30e-12,
+    t0: float = 0.0,
+) -> Waveform:
+    """Render *bits* as NRZ with per-edge jitter from *jitter*."""
+    if jitter is None:
+        jitter = NoJitter()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    unit_interval = 1.0 / bit_rate
+    times, targets = transition_times_from_bits(bits, unit_interval, t0)
+    rising = targets == 1
+    offsets = jitter.offsets(times, rising, rng)
+    return synthesize_nrz(
+        bits,
+        bit_rate,
+        dt,
+        amplitude=amplitude,
+        rise_time=rise_time,
+        edge_jitter=offsets,
+        t0=t0,
+    )
+
+
+def jittered_clock(
+    frequency: float,
+    n_cycles: int,
+    dt: float,
+    jitter: Optional[JitterComponent] = None,
+    rng: Optional[np.random.Generator] = None,
+    amplitude: float = 0.4,
+    rise_time: float = 30e-12,
+    t0: float = 0.0,
+) -> Waveform:
+    """Render a square clock at *frequency* with per-edge jitter."""
+    bits = alternating_bits(2 * n_cycles, first=1)
+    return jittered_nrz(
+        bits,
+        bit_rate=2.0 * frequency,
+        dt=dt,
+        jitter=jitter,
+        rng=rng,
+        amplitude=amplitude,
+        rise_time=rise_time,
+        t0=t0,
+    )
+
+
+def jittered_prbs(
+    order: int,
+    n_bits: int,
+    bit_rate: float,
+    dt: float,
+    jitter: Optional[JitterComponent] = None,
+    rng: Optional[np.random.Generator] = None,
+    amplitude: float = 0.4,
+    rise_time: float = 30e-12,
+    seed: int = 1,
+    t0: float = 0.0,
+) -> Waveform:
+    """Render a PRBS-*order* pattern as jittered NRZ."""
+    bits = prbs_sequence(order, n_bits, seed=seed)
+    return jittered_nrz(
+        bits,
+        bit_rate,
+        dt,
+        jitter=jitter,
+        rng=rng,
+        amplitude=amplitude,
+        rise_time=rise_time,
+        t0=t0,
+    )

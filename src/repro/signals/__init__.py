@@ -1,0 +1,89 @@
+"""Waveform substrate: sampled traces, bit patterns, synthesis, edges.
+
+This subpackage plays the role of the paper's lab signal sources and
+probes: it generates the PRBS / clock / RZ stimuli the authors drove
+their prototype with, renders them into analog differential waveforms
+with sub-picosecond edge placement, and extracts threshold crossings
+back out of simulated traces.
+"""
+
+from .waveform import Waveform, DifferentialPair
+from .patterns import (
+    PRBS_TAPS,
+    prbs_sequence,
+    prbs_period,
+    clock_bits,
+    alternating_bits,
+    k28_5_bits,
+    bits_from_string,
+    random_bits,
+    repeat_to_length,
+    run_lengths,
+)
+from .nrz import (
+    GAUSSIAN_RISE_SIGMA_RATIO,
+    transition_times_from_bits,
+    render_transitions,
+    synthesize_nrz,
+    synthesize_clock,
+    synthesize_rz_clock,
+    synthesize_step,
+)
+from .edges import (
+    EdgeList,
+    extract_edges,
+    crossing_times,
+    crossing_times_hysteresis,
+    rising_edge_times,
+    falling_edge_times,
+    auto_threshold,
+    slew_rate_at_crossings,
+)
+from .filters import (
+    single_pole_lowpass,
+    multi_pole_lowpass,
+    single_pole_highpass,
+    gaussian_lowpass,
+    moving_average,
+    bandwidth_to_time_constant,
+    rise_time_to_bandwidth,
+    bandwidth_to_rise_time,
+)
+
+__all__ = [
+    "Waveform",
+    "DifferentialPair",
+    "PRBS_TAPS",
+    "prbs_sequence",
+    "prbs_period",
+    "clock_bits",
+    "alternating_bits",
+    "k28_5_bits",
+    "bits_from_string",
+    "random_bits",
+    "repeat_to_length",
+    "run_lengths",
+    "GAUSSIAN_RISE_SIGMA_RATIO",
+    "transition_times_from_bits",
+    "render_transitions",
+    "synthesize_nrz",
+    "synthesize_clock",
+    "synthesize_rz_clock",
+    "synthesize_step",
+    "EdgeList",
+    "extract_edges",
+    "crossing_times",
+    "crossing_times_hysteresis",
+    "rising_edge_times",
+    "falling_edge_times",
+    "auto_threshold",
+    "slew_rate_at_crossings",
+    "single_pole_lowpass",
+    "multi_pole_lowpass",
+    "single_pole_highpass",
+    "gaussian_lowpass",
+    "moving_average",
+    "bandwidth_to_time_constant",
+    "rise_time_to_bandwidth",
+    "bandwidth_to_rise_time",
+]

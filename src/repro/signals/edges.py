@@ -1,0 +1,238 @@
+"""Threshold-crossing (edge) extraction from sampled waveforms.
+
+The paper's measurements — delay ranges, tap spacings, peak-to-peak
+jitter — are all statements about when signals cross the 50 % threshold.
+A sampling scope interpolates crossing instants far below its sample
+interval; we do the same with linear interpolation between the samples
+that bracket the threshold, which for band-limited signals recovers
+edge times to small fractions of ``dt``.
+
+Two extractors are provided:
+
+* :func:`crossing_times` — plain sign-change detection with linear
+  interpolation; right for clean, analysis-grade traces.
+* :func:`crossing_times_hysteresis` — a comparator with symmetric
+  hysteresis, immune to noise re-crossings near the threshold; right
+  for noisy circuit outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..errors import InsufficientEdgesError, MeasurementError
+from .waveform import Waveform
+
+__all__ = [
+    "EdgeList",
+    "extract_edges",
+    "crossing_times",
+    "crossing_times_hysteresis",
+    "rising_edge_times",
+    "falling_edge_times",
+    "auto_threshold",
+    "slew_rate_at_crossings",
+]
+
+Direction = Literal["rising", "falling", "both"]
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """Edge instants plus polarity flags extracted from one waveform.
+
+    Attributes
+    ----------
+    times:
+        Crossing instants, seconds, ascending.
+    rising:
+        Boolean array, ``True`` where the crossing is low-to-high.
+    threshold:
+        The voltage threshold used for extraction.
+    """
+
+    times: np.ndarray
+    rising: np.ndarray
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.rising.shape:
+            raise MeasurementError("edge times/polarity length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def select(self, direction: Direction) -> np.ndarray:
+        """Return the subset of edge times with the given polarity."""
+        if direction == "rising":
+            return self.times[self.rising]
+        if direction == "falling":
+            return self.times[~self.rising]
+        if direction == "both":
+            return self.times
+        raise MeasurementError(f"unknown edge direction: {direction!r}")
+
+    def intervals(self) -> np.ndarray:
+        """Time between consecutive edges (any polarity)."""
+        return np.diff(self.times)
+
+
+def auto_threshold(waveform: Waveform) -> float:
+    """Estimate the 50 % threshold as the midpoint of the robust swing.
+
+    Uses the 2nd/98th percentiles of the samples so overshoot does not
+    bias the level estimate; equivalent to a scope's auto 50 % cursor
+    on a data signal.
+    """
+    values = waveform.values
+    high = float(np.percentile(values, 98))
+    low = float(np.percentile(values, 2))
+    return (high + low) / 2.0
+
+
+def crossing_times(
+    waveform: Waveform,
+    threshold: float = 0.0,
+    direction: Direction = "both",
+) -> np.ndarray:
+    """Return interpolated threshold-crossing instants.
+
+    Detects sign changes of ``waveform - threshold`` and linearly
+    interpolates each bracketing sample pair.  Samples exactly at the
+    threshold are treated as belonging to the preceding region so each
+    physical edge is reported once.
+    """
+    edges = extract_edges(waveform, threshold)
+    return edges.select(direction)
+
+
+def extract_edges(waveform: Waveform, threshold: float = 0.0) -> EdgeList:
+    """Extract all crossings of *threshold* as an :class:`EdgeList`."""
+    v = waveform.values - threshold
+    sign = np.where(v > 0.0, 1, -1)
+    changes = np.flatnonzero(sign[1:] != sign[:-1])
+    if changes.size == 0:
+        return EdgeList(
+            times=np.empty(0),
+            rising=np.empty(0, dtype=bool),
+            threshold=threshold,
+        )
+    v0 = v[changes]
+    v1 = v[changes + 1]
+    fraction = v0 / (v0 - v1)
+    times = waveform.t0 + (changes + fraction) * waveform.dt
+    rising = v1 > v0
+    return EdgeList(times=times, rising=rising, threshold=threshold)
+
+
+def crossing_times_hysteresis(
+    waveform: Waveform,
+    threshold: float = 0.0,
+    hysteresis: float = 0.0,
+    direction: Direction = "both",
+) -> np.ndarray:
+    """Comparator-with-hysteresis edge extraction.
+
+    The comparator output switches high only when the signal exceeds
+    ``threshold + hysteresis`` and low only below
+    ``threshold - hysteresis``; each switch is then located precisely by
+    interpolating the *threshold* crossing inside the excursion that
+    caused it.  This reports one edge per real transition even when
+    noise re-crosses the bare threshold several times.
+    """
+    if hysteresis < 0:
+        raise MeasurementError(f"hysteresis must be >= 0, got {hysteresis}")
+    if hysteresis == 0.0:
+        return crossing_times(waveform, threshold, direction)
+
+    v = waveform.values - threshold
+    # Tri-state: +1 above the high band, -1 below the low band, 0 inside.
+    state = np.zeros(len(v), dtype=np.int8)
+    state[v > hysteresis] = 1
+    state[v < -hysteresis] = -1
+    # Forward-fill zeros with the last decided state.
+    decided = np.flatnonzero(state)
+    if decided.size < 2:
+        return np.empty(0)
+    filled = np.zeros(len(v), dtype=np.int8)
+    fill_index = np.zeros(len(v), dtype=np.int64)
+    fill_index[decided] = decided
+    fill_index = np.maximum.accumulate(fill_index)
+    filled = state[fill_index]
+    # Before the first decided sample the comparator holds its initial
+    # state; adopt the first decided value there (no edge reported).
+    filled[: decided[0]] = state[decided[0]]
+
+    switches = np.flatnonzero(filled[1:] != filled[:-1]) + 1
+    times = []
+    polarities = []
+    for switch_index in switches:
+        new_state = filled[switch_index]
+        # Walk back to the last sample on the opposite side of the bare
+        # threshold; the crossing lies between it and the next sample.
+        back = switch_index
+        if new_state > 0:
+            # Find the bracketing pair (v[k] <= 0 < v[k+1]) at/before switch.
+            while back > 0 and v[back - 1] > 0.0:
+                back -= 1
+            k = back - 1
+        else:
+            while back > 0 and v[back - 1] < 0.0:
+                back -= 1
+            k = back - 1
+        if k < 0:
+            continue
+        v0, v1 = v[k], v[k + 1]
+        if v0 == v1:
+            fraction = 0.5
+        else:
+            fraction = v0 / (v0 - v1)
+        fraction = min(max(fraction, 0.0), 1.0)
+        times.append(waveform.t0 + (k + fraction) * waveform.dt)
+        polarities.append(new_state > 0)
+    times_array = np.asarray(times)
+    rising_array = np.asarray(polarities, dtype=bool)
+    edge_list = EdgeList(times_array, rising_array, threshold)
+    return edge_list.select(direction)
+
+
+def rising_edge_times(
+    waveform: Waveform, threshold: float = 0.0
+) -> np.ndarray:
+    """Shorthand for :func:`crossing_times` with rising polarity."""
+    return crossing_times(waveform, threshold, "rising")
+
+
+def falling_edge_times(
+    waveform: Waveform, threshold: float = 0.0
+) -> np.ndarray:
+    """Shorthand for :func:`crossing_times` with falling polarity."""
+    return crossing_times(waveform, threshold, "falling")
+
+
+def slew_rate_at_crossings(
+    waveform: Waveform,
+    threshold: float = 0.0,
+    direction: Direction = "both",
+) -> np.ndarray:
+    """Signal slope (V/s) at each threshold crossing.
+
+    The slope is estimated from the bracketing sample pair, i.e. over
+    one sample interval centred on the crossing.
+    """
+    v = waveform.values - threshold
+    sign = np.where(v > 0.0, 1, -1)
+    changes = np.flatnonzero(sign[1:] != sign[:-1])
+    if changes.size == 0:
+        raise InsufficientEdgesError(
+            "waveform never crosses the threshold; cannot measure slew"
+        )
+    slopes = (v[changes + 1] - v[changes]) / waveform.dt
+    if direction == "rising":
+        return slopes[slopes > 0]
+    if direction == "falling":
+        return slopes[slopes < 0]
+    return slopes

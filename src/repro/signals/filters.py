@@ -1,0 +1,159 @@
+"""Linear filtering primitives for waveforms.
+
+The circuit models are built from a small set of linear blocks — mainly
+single-pole low-pass sections (limited bandwidth of a buffer stage) and
+single-pole high-pass sections (AC coupling of the jitter-injection
+path).  All filters here operate on :class:`~repro.signals.waveform.Waveform`
+objects and return new waveforms on the same grid.
+
+The IIR sections are discretised with the bilinear transform via
+:func:`scipy.signal.lfilter`, with the initial filter state chosen so a
+record that starts at a settled DC level stays settled (no artificial
+start-up transient — important because experiments measure the very
+first edges of a record too).
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+from scipy import signal as _scipy_signal
+
+from ..errors import WaveformError
+from .waveform import Waveform
+
+__all__ = [
+    "single_pole_lowpass",
+    "multi_pole_lowpass",
+    "single_pole_highpass",
+    "gaussian_lowpass",
+    "moving_average",
+    "bandwidth_to_time_constant",
+    "rise_time_to_bandwidth",
+    "bandwidth_to_rise_time",
+]
+
+
+def bandwidth_to_time_constant(bandwidth_3db: float) -> float:
+    """Time constant (s) of a single-pole filter with given -3 dB bandwidth."""
+    if bandwidth_3db <= 0:
+        raise WaveformError(f"bandwidth must be positive: {bandwidth_3db}")
+    return 1.0 / (2.0 * math.pi * bandwidth_3db)
+
+
+def rise_time_to_bandwidth(rise_time_10_90: float) -> float:
+    """-3 dB bandwidth of a single pole from its 10-90 % rise time.
+
+    Uses the classic ``BW = 0.35 / t_r`` relation.
+    """
+    if rise_time_10_90 <= 0:
+        raise WaveformError(f"rise time must be positive: {rise_time_10_90}")
+    return 0.35 / rise_time_10_90
+
+
+def bandwidth_to_rise_time(bandwidth_3db: float) -> float:
+    """10-90 % rise time of a single pole from its -3 dB bandwidth."""
+    if bandwidth_3db <= 0:
+        raise WaveformError(f"bandwidth must be positive: {bandwidth_3db}")
+    return 0.35 / bandwidth_3db
+
+
+def _bilinear_single_pole(dt: float, tau: float) -> tuple:
+    """Bilinear-transform coefficients for ``H(s) = 1 / (1 + s tau)``."""
+    k = 2.0 * tau / dt
+    b0 = 1.0 / (1.0 + k)
+    b = np.array([b0, b0])
+    a = np.array([1.0, (1.0 - k) / (1.0 + k)])
+    return b, a
+
+
+def single_pole_lowpass(waveform: Waveform, bandwidth_3db: float) -> Waveform:
+    """First-order low-pass: models the finite bandwidth of one stage.
+
+    The filter state is initialised so the first sample's value is
+    treated as the settled history of the line.
+    """
+    tau = bandwidth_to_time_constant(bandwidth_3db)
+    b, a = _bilinear_single_pole(waveform.dt, tau)
+    zi = _scipy_signal.lfilter_zi(b, a) * waveform.values[0]
+    filtered, _ = _scipy_signal.lfilter(b, a, waveform.values, zi=zi)
+    return Waveform(filtered, waveform.dt, waveform.t0)
+
+
+def multi_pole_lowpass(
+    waveform: Waveform, bandwidth_3db: float, n_poles: int
+) -> Waveform:
+    """Cascade of identical single poles with a combined -3 dB bandwidth.
+
+    The per-pole bandwidth is widened by ``1/sqrt(2**(1/n) - 1)`` so the
+    cascade's overall -3 dB point lands at *bandwidth_3db*.
+    """
+    if n_poles < 1:
+        raise WaveformError(f"need at least one pole, got {n_poles}")
+    per_pole = bandwidth_3db / math.sqrt(2.0 ** (1.0 / n_poles) - 1.0)
+    result = waveform
+    for _ in range(n_poles):
+        result = single_pole_lowpass(result, per_pole)
+    return result
+
+
+def single_pole_highpass(waveform: Waveform, cutoff_3db: float) -> Waveform:
+    """First-order high-pass: models AC coupling.
+
+    ``H(s) = s tau / (1 + s tau)``.  The state is initialised so a
+    record that begins at a DC level starts with zero output (the
+    coupling capacitor has charged), which is the physical steady state
+    of an AC-coupled node.
+    """
+    tau = bandwidth_to_time_constant(cutoff_3db)
+    k = 2.0 * tau / waveform.dt
+    b = np.array([k, -k]) / (1.0 + k)
+    a = np.array([1.0, (1.0 - k) / (1.0 + k)])
+    zi = _scipy_signal.lfilter_zi(b, a) * waveform.values[0]
+    filtered, _ = _scipy_signal.lfilter(b, a, waveform.values, zi=zi)
+    return Waveform(filtered, waveform.dt, waveform.t0)
+
+
+def gaussian_lowpass(waveform: Waveform, sigma_time: float) -> Waveform:
+    """Zero-phase Gaussian smoothing with standard deviation *sigma_time*.
+
+    Linear-phase (symmetric) filtering: edge positions are preserved,
+    only their slopes change.  Used for scope-style display smoothing
+    and for synthesising source rise times.
+    """
+    if sigma_time < 0:
+        raise WaveformError(f"sigma must be >= 0, got {sigma_time}")
+    if sigma_time == 0:
+        return waveform.copy()
+    sigma_samples = sigma_time / waveform.dt
+    half_width = max(1, int(math.ceil(4.0 * sigma_samples)))
+    x = np.arange(-half_width, half_width + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (x / sigma_samples) ** 2)
+    kernel /= kernel.sum()
+    padded = np.concatenate(
+        [
+            np.full(half_width, waveform.values[0]),
+            waveform.values,
+            np.full(half_width, waveform.values[-1]),
+        ]
+    )
+    smoothed = np.convolve(padded, kernel, mode="valid")
+    return Waveform(smoothed, waveform.dt, waveform.t0)
+
+
+def moving_average(waveform: Waveform, window_time: float) -> Waveform:
+    """Boxcar average over *window_time* seconds (zero-phase)."""
+    window = max(1, int(round(window_time / waveform.dt)))
+    if window == 1:
+        return waveform.copy()
+    kernel = np.full(window, 1.0 / window)
+    half = window // 2
+    padded = np.concatenate(
+        [
+            np.full(half, waveform.values[0]),
+            waveform.values,
+            np.full(window - half - 1, waveform.values[-1]),
+        ]
+    )
+    averaged = np.convolve(padded, kernel, mode="valid")
+    return Waveform(averaged, waveform.dt, waveform.t0)

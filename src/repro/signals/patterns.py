@@ -1,0 +1,190 @@
+"""Digital bit-pattern generation.
+
+The paper's experiments drive the delay circuits with:
+
+* NRZ data from a pattern generator (PRBS-style data up to ~7 Gbps), and
+* RZ clock patterns at up to 6.8 GHz, used to probe behaviour beyond the
+  NRZ limit of the lab's generator (Sec. 4 of the paper).
+
+This module produces *bit sequences* (NumPy uint8 arrays of 0/1); the
+:mod:`repro.signals.nrz` module turns them into analog waveforms.
+
+PRBS sequences are generated with Fibonacci LFSRs using the standard
+ITU-T / industry feedback polynomials, so PRBS7 here is bit-compatible
+with lab pattern generators (period ``2**7 - 1`` with the x^7 + x^6 + 1
+polynomial, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PatternError
+
+__all__ = [
+    "PRBS_TAPS",
+    "prbs_sequence",
+    "prbs_period",
+    "clock_bits",
+    "alternating_bits",
+    "k28_5_bits",
+    "bits_from_string",
+    "random_bits",
+    "repeat_to_length",
+    "run_lengths",
+]
+
+# Feedback tap positions (1-indexed, Fibonacci form) for the standard
+# PRBS polynomials.  PRBS-n uses x^n + x^m + 1 with taps (n, m).
+PRBS_TAPS: Dict[int, Tuple[int, int]] = {
+    7: (7, 6),
+    9: (9, 5),
+    11: (11, 9),
+    15: (15, 14),
+    23: (23, 18),
+    31: (31, 28),
+}
+
+
+def prbs_period(order: int) -> int:
+    """Return the period (``2**order - 1``) of a standard PRBS sequence."""
+    if order not in PRBS_TAPS:
+        raise PatternError(
+            f"unsupported PRBS order {order}; choose from {sorted(PRBS_TAPS)}"
+        )
+    return (1 << order) - 1
+
+
+def prbs_sequence(order: int, n_bits: int, seed: int = 1) -> np.ndarray:
+    """Generate *n_bits* of a standard PRBS-*order* sequence.
+
+    Parameters
+    ----------
+    order:
+        PRBS order; one of 7, 9, 11, 15, 23, 31.
+    n_bits:
+        Number of bits to emit.  May exceed the period, in which case
+        the sequence repeats (as a hardware generator's would).
+    seed:
+        Initial LFSR state, 1 .. 2**order - 1.  The all-zero state is
+        forbidden because it is a fixed point of the recurrence.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of 0/1 values, length *n_bits*.
+    """
+    if order not in PRBS_TAPS:
+        raise PatternError(
+            f"unsupported PRBS order {order}; choose from {sorted(PRBS_TAPS)}"
+        )
+    if n_bits < 0:
+        raise PatternError(f"n_bits must be non-negative, got {n_bits}")
+    mask = (1 << order) - 1
+    state = seed & mask
+    if state == 0:
+        raise PatternError("PRBS seed must be a non-zero LFSR state")
+    tap_a, tap_b = PRBS_TAPS[order]
+    period = mask
+
+    # Generate one full period (or fewer bits, if fewer are requested),
+    # then tile.  The LFSR inner loop runs at most 2**order - 1 times.
+    n_core = min(n_bits, period)
+    core = np.empty(n_core, dtype=np.uint8)
+    shift_a = order - tap_a  # == 0 for the standard polynomials
+    shift_b = order - tap_b
+    for i in range(n_core):
+        feedback = ((state >> shift_a) ^ (state >> shift_b)) & 1
+        core[i] = state & 1
+        state = (state >> 1) | (feedback << (order - 1))
+    if n_bits <= period:
+        return core
+    reps = int(np.ceil(n_bits / period))
+    return np.tile(core, reps)[:n_bits]
+
+
+def clock_bits(n_cycles: int) -> np.ndarray:
+    """Return a 1010... clock pattern with *n_cycles* full cycles.
+
+    Each cycle is two bits (1 then 0); an NRZ rendering of this pattern
+    at bit rate ``R`` is a square clock at frequency ``R / 2``.
+    """
+    if n_cycles < 1:
+        raise PatternError(f"need at least one cycle, got {n_cycles}")
+    return np.tile(np.array([1, 0], dtype=np.uint8), n_cycles)
+
+
+def alternating_bits(n_bits: int, first: int = 1) -> np.ndarray:
+    """Return 1010... (or 0101...) of arbitrary length."""
+    if n_bits < 1:
+        raise PatternError(f"need at least one bit, got {n_bits}")
+    if first not in (0, 1):
+        raise PatternError(f"first bit must be 0 or 1, got {first}")
+    bits = np.empty(n_bits, dtype=np.uint8)
+    bits[0::2] = first
+    bits[1::2] = 1 - first
+    return bits
+
+
+def k28_5_bits(n_repeats: int = 1, disparity_negative: bool = True) -> np.ndarray:
+    """Return repetitions of the 8b/10b K28.5 comma character.
+
+    K28.5 (``0011111010`` for RD-, ``1100000101`` for RD+) is a common
+    stress/sync pattern in SerDes testing; the paper's application space
+    (PCI Express, HyperTransport) uses 8b/10b symbols heavily.
+    """
+    if n_repeats < 1:
+        raise PatternError(f"need at least one repeat, got {n_repeats}")
+    if disparity_negative:
+        symbol = [0, 0, 1, 1, 1, 1, 1, 0, 1, 0]
+    else:
+        symbol = [1, 1, 0, 0, 0, 0, 0, 1, 0, 1]
+    return np.tile(np.array(symbol, dtype=np.uint8), n_repeats)
+
+
+def bits_from_string(text: str) -> np.ndarray:
+    """Parse a string like ``"1100 1010"`` into a bit array.
+
+    Spaces and underscores are ignored so long patterns can be grouped
+    for readability.
+    """
+    cleaned = text.replace(" ", "").replace("_", "")
+    if not cleaned:
+        raise PatternError("empty bit string")
+    if set(cleaned) - {"0", "1"}:
+        raise PatternError(f"bit string may contain only 0/1: {text!r}")
+    return np.frombuffer(cleaned.encode("ascii"), dtype=np.uint8) - ord("0")
+
+
+def random_bits(n_bits: int, rng: np.random.Generator) -> np.ndarray:
+    """Return *n_bits* independent fair-coin bits from *rng*."""
+    if n_bits < 0:
+        raise PatternError(f"n_bits must be non-negative, got {n_bits}")
+    return rng.integers(0, 2, size=n_bits, dtype=np.uint8)
+
+
+def repeat_to_length(bits: Sequence[int], n_bits: int) -> np.ndarray:
+    """Tile a base pattern until it is exactly *n_bits* long."""
+    base = np.asarray(bits, dtype=np.uint8)
+    if base.size == 0:
+        raise PatternError("base pattern must not be empty")
+    if n_bits < 0:
+        raise PatternError(f"n_bits must be non-negative, got {n_bits}")
+    reps = int(np.ceil(n_bits / base.size)) if n_bits else 1
+    return np.tile(base, reps)[:n_bits]
+
+
+def run_lengths(bits: Sequence[int]) -> np.ndarray:
+    """Return the lengths of consecutive runs of equal bits.
+
+    Useful for checking PRBS properties (a PRBS-n sequence contains runs
+    up to length n) and for ISI analysis.
+    """
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.size == 0:
+        return np.array([], dtype=np.int64)
+    change_points = np.flatnonzero(np.diff(array)) + 1
+    boundaries = np.concatenate([[0], change_points, [array.size]])
+    return np.diff(boundaries)

@@ -1,0 +1,213 @@
+"""SI unit helpers used throughout the library.
+
+Internally every quantity is stored in SI base units: seconds, volts,
+hertz, bits per second.  The constants below make call sites readable
+(``delay = 33 * PS``) and the formatting helpers make reports readable
+(``format_time(3.3e-11) == "33.0 ps"``).
+
+A small quantity parser (:func:`parse_quantity`) accepts strings such as
+``"33ps"``, ``"6.4 Gbps"`` or ``"750 mV"`` so experiment configuration
+files and command lines can use engineering notation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Tuple
+
+from .errors import UnitError
+
+__all__ = [
+    "FS",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "UV",
+    "MV",
+    "V",
+    "HZ",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "BPS",
+    "KBPS",
+    "MBPS",
+    "GBPS",
+    "OHM",
+    "format_time",
+    "format_voltage",
+    "format_frequency",
+    "format_rate",
+    "parse_quantity",
+    "ui_from_rate",
+    "rate_from_ui",
+]
+
+# -- time -------------------------------------------------------------------
+FS = 1e-15
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+S = 1.0
+
+# -- voltage ----------------------------------------------------------------
+UV = 1e-6
+MV = 1e-3
+V = 1.0
+
+# -- frequency --------------------------------------------------------------
+HZ = 1.0
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# -- data rate --------------------------------------------------------------
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+# -- resistance -------------------------------------------------------------
+OHM = 1.0
+
+# SI prefix table used by both the parser and the formatters.
+_PREFIXES: Dict[str, float] = {
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "K": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+}
+
+# Base units understood by :func:`parse_quantity`, mapped to a canonical
+# dimension name (used only for error messages and sanity checks).
+_BASE_UNITS: Dict[str, str] = {
+    "s": "time",
+    "V": "voltage",
+    "Hz": "frequency",
+    "bps": "rate",
+    "b/s": "rate",
+    "Ohm": "resistance",
+    "ohm": "resistance",
+}
+
+_QUANTITY_RE = re.compile(
+    r"^\s*([+-]?\d+(?:\.\d*)?(?:[eE][+-]?\d+)?)\s*"
+    r"(f|p|n|u|µ|m|k|K|M|G|T)?(s|V|Hz|bps|b/s|Ohm|ohm)\s*$"
+)
+
+
+def parse_quantity(text: str, expect: str | None = None) -> float:
+    """Parse an engineering-notation quantity string into SI base units.
+
+    Parameters
+    ----------
+    text:
+        A string such as ``"33ps"``, ``"6.4 Gbps"``, ``"750 mV"``, or
+        ``"1.5V"``.  Whitespace between the number and the unit is
+        allowed.
+    expect:
+        Optional dimension name (``"time"``, ``"voltage"``,
+        ``"frequency"``, ``"rate"``, ``"resistance"``).  If given and the
+        parsed unit has a different dimension, :class:`UnitError` is
+        raised.
+
+    Returns
+    -------
+    float
+        The value expressed in SI base units.
+
+    Raises
+    ------
+    UnitError
+        If the string cannot be parsed or the dimension does not match.
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity: {text!r}")
+    value_text, prefix, base = match.groups()
+    prefix = prefix or ""
+    dimension = _BASE_UNITS[base]
+    if expect is not None and dimension != expect:
+        raise UnitError(
+            f"expected a {expect} quantity but {text!r} is a {dimension}"
+        )
+    return float(value_text) * _PREFIXES[prefix]
+
+
+def _format_engineering(value: float, base_unit: str, digits: int) -> str:
+    """Format *value* with the most natural SI prefix for *base_unit*."""
+    if value == 0.0:
+        return f"0 {base_unit}"
+    if not math.isfinite(value):
+        return f"{value} {base_unit}"
+    magnitude = abs(value)
+    # Ordered largest-to-smallest so the first fitting prefix wins.
+    scale_table: Tuple[Tuple[float, str], ...] = (
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    )
+    for scale, prefix in scale_table:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}f} {prefix}{base_unit}"
+    scale, prefix = scale_table[-1]
+    return f"{value / scale:.{digits}f} {prefix}{base_unit}"
+
+
+def format_time(seconds: float, digits: int = 1) -> str:
+    """Render a time in seconds with a natural prefix, e.g. ``"33.0 ps"``."""
+    return _format_engineering(seconds, "s", digits)
+
+
+def format_voltage(volts: float, digits: int = 1) -> str:
+    """Render a voltage with a natural prefix, e.g. ``"750.0 mV"``."""
+    return _format_engineering(volts, "V", digits)
+
+
+def format_frequency(hertz: float, digits: int = 2) -> str:
+    """Render a frequency with a natural prefix, e.g. ``"6.40 GHz"``."""
+    return _format_engineering(hertz, "Hz", digits)
+
+
+def format_rate(bits_per_second: float, digits: int = 2) -> str:
+    """Render a data rate with a natural prefix, e.g. ``"6.40 Gbps"``."""
+    return _format_engineering(bits_per_second, "bps", digits)
+
+
+def ui_from_rate(bit_rate: float) -> float:
+    """Return the unit interval (bit period, seconds) for a data rate.
+
+    >>> round(ui_from_rate(6.4e9) / PS, 3)
+    156.25
+    """
+    if bit_rate <= 0:
+        raise UnitError(f"bit rate must be positive, got {bit_rate!r}")
+    return 1.0 / bit_rate
+
+
+def rate_from_ui(unit_interval: float) -> float:
+    """Return the data rate (bit/s) for a unit interval in seconds."""
+    if unit_interval <= 0:
+        raise UnitError(
+            f"unit interval must be positive, got {unit_interval!r}"
+        )
+    return 1.0 / unit_interval

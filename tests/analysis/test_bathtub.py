@@ -1,0 +1,105 @@
+"""Tests for bathtub curves and BER-based eye openings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BathtubCurve,
+    bathtub_from_dual_dirac,
+    eye_opening_at_ber,
+)
+from repro.errors import MeasurementError
+from repro.jitter import DualDiracModel, q_ber
+
+
+UI = 156.25e-12
+
+
+@pytest.fixture
+def rj_model():
+    return DualDiracModel(
+        rj_sigma=1e-12, dj_pp=0.0, mu_left=0.0, mu_right=0.0
+    )
+
+
+@pytest.fixture
+def mixed_model():
+    return DualDiracModel(
+        rj_sigma=1e-12, dj_pp=4e-12, mu_left=-2e-12, mu_right=2e-12
+    )
+
+
+class TestBathtubConstruction:
+    def test_ber_high_at_crossings(self, rj_model):
+        curve = bathtub_from_dual_dirac(rj_model, UI)
+        assert curve.ber[0] > 0.2
+        assert curve.ber[-1] > 0.2
+
+    def test_ber_low_at_centre(self, rj_model):
+        curve = bathtub_from_dual_dirac(rj_model, UI)
+        centre = curve.ber[len(curve.ber) // 2]
+        assert centre < 1e-30
+
+    def test_symmetric_for_symmetric_model(self, rj_model):
+        curve = bathtub_from_dual_dirac(rj_model, UI)
+        np.testing.assert_allclose(curve.ber, curve.ber[::-1], rtol=1e-6)
+
+    def test_transition_density_scales(self, rj_model):
+        full = bathtub_from_dual_dirac(rj_model, UI, transition_density=1.0)
+        half = bathtub_from_dual_dirac(rj_model, UI, transition_density=0.5)
+        np.testing.assert_allclose(half.ber, full.ber / 2)
+
+    def test_rejects_bad_ui(self, rj_model):
+        with pytest.raises(MeasurementError):
+            bathtub_from_dual_dirac(rj_model, -1.0)
+
+    def test_rejects_zero_rj(self):
+        model = DualDiracModel(
+            rj_sigma=0.0, dj_pp=1e-12, mu_left=0.0, mu_right=1e-12
+        )
+        with pytest.raises(MeasurementError):
+            bathtub_from_dual_dirac(model, UI)
+
+
+class TestOpening:
+    def test_opening_matches_closed_form(self, rj_model):
+        curve = bathtub_from_dual_dirac(rj_model, UI, n_points=4001)
+        numeric = curve.opening(1e-12)
+        analytic = eye_opening_at_ber(rj_model, UI, 1e-12)
+        assert numeric == pytest.approx(analytic, abs=0.5e-12)
+
+    def test_dj_shrinks_opening(self, rj_model, mixed_model):
+        assert eye_opening_at_ber(mixed_model, UI) < eye_opening_at_ber(
+            rj_model, UI
+        )
+
+    def test_closed_eye_reports_zero(self):
+        model = DualDiracModel(
+            rj_sigma=50e-12, dj_pp=0.0, mu_left=0.0, mu_right=0.0
+        )
+        assert eye_opening_at_ber(model, UI) == 0.0
+        curve = bathtub_from_dual_dirac(model, UI)
+        assert curve.opening(1e-12) == 0.0
+
+    def test_centre_is_middle(self, rj_model):
+        curve = bathtub_from_dual_dirac(rj_model, UI)
+        assert curve.centre(1e-12) == pytest.approx(UI / 2, rel=0.02)
+
+    def test_centre_raises_when_closed(self):
+        model = DualDiracModel(
+            rj_sigma=50e-12, dj_pp=0.0, mu_left=0.0, mu_right=0.0
+        )
+        curve = bathtub_from_dual_dirac(model, UI)
+        with pytest.raises(MeasurementError):
+            curve.centre(1e-12)
+
+    def test_opening_validates_ber(self, rj_model):
+        curve = bathtub_from_dual_dirac(rj_model, UI)
+        with pytest.raises(MeasurementError):
+            curve.opening(0.7)
+
+    def test_opening_formula(self, mixed_model):
+        expected = UI - 4e-12 - 2 * q_ber(1e-12) * 1e-12
+        assert eye_opening_at_ber(mixed_model, UI, 1e-12) == pytest.approx(
+            expected
+        )

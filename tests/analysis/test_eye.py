@@ -1,0 +1,104 @@
+"""Tests for eye-diagram construction and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EyeDiagram
+from repro.errors import InsufficientEdgesError, MeasurementError
+from repro.jitter import DutyCycleDistortion, RandomJitter, jittered_prbs
+from repro.signals import synthesize_nrz
+
+
+UI = 1 / 2.4e9
+
+
+@pytest.fixture(scope="module")
+def clean_eye():
+    wf = jittered_prbs(7, 254, 2.4e9, 1e-12)
+    return EyeDiagram(wf, UI)
+
+
+@pytest.fixture(scope="module")
+def jittery_eye():
+    wf = jittered_prbs(
+        7,
+        254,
+        2.4e9,
+        1e-12,
+        jitter=RandomJitter(2e-12),
+        rng=np.random.default_rng(8),
+    )
+    return EyeDiagram(wf, UI)
+
+
+class TestConstruction:
+    def test_recovered_ui(self, clean_eye):
+        assert clean_eye.clock.period == pytest.approx(UI, rel=1e-6)
+
+    def test_requires_enough_edges(self):
+        wf = synthesize_nrz([0, 1], 2.4e9, 1e-12)
+        with pytest.raises(InsufficientEdgesError):
+            EyeDiagram(wf, UI)
+
+    def test_rejects_bad_ui(self):
+        wf = jittered_prbs(7, 60, 2.4e9, 1e-12)
+        with pytest.raises(MeasurementError):
+            EyeDiagram(wf, -1.0)
+
+
+class TestMetrics:
+    def test_clean_eye_nearly_full_width(self, clean_eye):
+        metrics = clean_eye.metrics()
+        assert metrics.eye_width > 0.98 * UI
+        assert metrics.total_jitter_pp < 0.02 * UI
+
+    def test_jitter_shrinks_width(self, clean_eye, jittery_eye):
+        assert jittery_eye.eye_width() < clean_eye.eye_width()
+
+    def test_tj_matches_injected(self, jittery_eye):
+        # ~127 edges of 2 ps RJ: expected p-p around 2*sqrt(2 ln127)*2ps.
+        expected = 2 * np.sqrt(2 * np.log(127)) * 2e-12
+        assert jittery_eye.total_jitter_pp() == pytest.approx(
+            expected, rel=0.4
+        )
+
+    def test_rms_jitter(self, jittery_eye):
+        assert jittery_eye.rms_jitter() == pytest.approx(2e-12, rel=0.25)
+
+    def test_eye_height_positive_open_eye(self, clean_eye):
+        assert clean_eye.eye_height() > 0.5  # ~0.8 V differential opening
+
+    def test_eye_height_window_validation(self, clean_eye):
+        with pytest.raises(MeasurementError):
+            clean_eye.eye_height(window=0.7)
+
+    def test_amplitude(self, clean_eye):
+        assert clean_eye.metrics().amplitude == pytest.approx(0.4, rel=0.05)
+
+    def test_crossing_fraction_centred(self, clean_eye):
+        assert clean_eye.crossing_fraction() == pytest.approx(0.5, abs=0.02)
+
+    def test_dcd_shifts_crossings_apart(self):
+        wf = jittered_prbs(
+            7,
+            254,
+            2.4e9,
+            1e-12,
+            jitter=DutyCycleDistortion(8e-12),
+            rng=np.random.default_rng(1),
+        )
+        eye = EyeDiagram(wf, UI)
+        # DCD splits rising/falling populations: TJ pp ~ the DCD.
+        assert eye.total_jitter_pp() == pytest.approx(8e-12, rel=0.15)
+
+    def test_phases_in_unit_range(self, clean_eye):
+        phases = clean_eye.phases()
+        assert phases.min() >= 0.0
+        assert phases.max() < 1.0
+
+    def test_folded_shapes(self, clean_eye):
+        phases, values = clean_eye.folded()
+        assert phases.shape == values.shape
+
+    def test_metrics_n_edges(self, clean_eye):
+        assert clean_eye.metrics().n_edges == len(clean_eye.edges)

@@ -1,0 +1,75 @@
+"""Tests for histogram utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Histogram, build_histogram
+from repro.errors import MeasurementError
+
+
+class TestBuildHistogram:
+    def test_counts_sum(self, rng):
+        samples = rng.normal(0, 1, 1000)
+        hist = build_histogram(samples, n_bins=20)
+        assert hist.n_samples == 1000
+
+    def test_bin_count(self, rng):
+        hist = build_histogram(rng.normal(0, 1, 100), n_bins=13)
+        assert len(hist.counts) == 13
+        assert len(hist.bin_edges) == 14
+
+    def test_explicit_span(self, rng):
+        hist = build_histogram(
+            rng.uniform(-1, 1, 1000), n_bins=10, span=(-2.0, 2.0)
+        )
+        assert hist.bin_edges[0] == pytest.approx(-2.0)
+        assert hist.bin_edges[-1] == pytest.approx(2.0)
+
+    def test_identical_samples(self):
+        hist = build_histogram(np.full(10, 3.0), n_bins=5)
+        assert hist.n_samples == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            build_histogram(np.array([]))
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(MeasurementError):
+            build_histogram(np.array([1.0]), n_bins=0)
+
+
+class TestHistogramStats:
+    def test_mode_of_gaussian(self, rng):
+        hist = build_histogram(rng.normal(5.0, 1.0, 50000), n_bins=50)
+        assert hist.mode() == pytest.approx(5.0, abs=0.2)
+
+    def test_mean_of_gaussian(self, rng):
+        hist = build_histogram(rng.normal(5.0, 1.0, 50000), n_bins=50)
+        assert hist.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_density_integrates_to_one(self, rng):
+        hist = build_histogram(rng.normal(0, 1, 10000), n_bins=40)
+        integral = hist.density().sum() * hist.bin_width
+        assert integral == pytest.approx(1.0, rel=1e-9)
+
+    def test_percentile_median(self, rng):
+        hist = build_histogram(rng.normal(0, 1, 50000), n_bins=100)
+        assert hist.percentile(50) == pytest.approx(0.0, abs=0.1)
+
+    def test_percentile_bounds(self, rng):
+        hist = build_histogram(rng.uniform(0, 1, 1000), n_bins=20)
+        with pytest.raises(MeasurementError):
+            hist.percentile(101)
+
+    def test_bin_centers(self):
+        hist = Histogram(
+            bin_edges=np.array([0.0, 1.0, 2.0]),
+            counts=np.array([3, 5]),
+        )
+        np.testing.assert_allclose(hist.bin_centers, [0.5, 1.5])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(MeasurementError):
+            Histogram(
+                bin_edges=np.array([0.0, 1.0]), counts=np.array([1, 2])
+            )

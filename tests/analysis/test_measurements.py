@@ -1,0 +1,141 @@
+"""Tests for scope-style measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    coarse_delay_estimate,
+    measure_delay,
+    measure_amplitude,
+    peak_to_peak_jitter,
+    rise_time_20_80,
+    rms_jitter,
+)
+from repro.errors import InsufficientEdgesError, MeasurementError
+from repro.jitter import RandomJitter, jittered_prbs
+from repro.signals import Waveform, synthesize_nrz
+
+
+@pytest.fixture(scope="module")
+def prbs():
+    return synthesize_nrz(
+        [0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 1] * 4, 2.4e9, 1e-12
+    )
+
+
+class TestCoarseDelayEstimate:
+    def test_recovers_shift(self, prbs):
+        shifted = prbs.shifted(200e-12)
+        estimate = coarse_delay_estimate(prbs, shifted)
+        assert estimate == pytest.approx(200e-12, abs=2e-12)
+
+    def test_large_shift(self, prbs):
+        shifted = prbs.shifted(2e-9)
+        estimate = coarse_delay_estimate(prbs, shifted)
+        assert estimate == pytest.approx(2e-9, abs=2e-12)
+
+    def test_dt_mismatch_raises(self, prbs):
+        other = prbs.resampled(2e-12)
+        with pytest.raises(MeasurementError):
+            coarse_delay_estimate(prbs, other)
+
+
+class TestMeasureDelay:
+    def test_exact_shift(self, prbs):
+        result = measure_delay(prbs, prbs.shifted(77e-12))
+        assert result.delay == pytest.approx(77e-12, abs=1e-15)
+        assert result.std == pytest.approx(0.0, abs=1e-15)
+
+    def test_subsample_shift(self, prbs):
+        result = measure_delay(prbs, prbs.delayed(0.4e-12))
+        assert result.delay == pytest.approx(0.4e-12, abs=0.05e-12)
+
+    def test_edge_count(self, prbs):
+        result = measure_delay(prbs, prbs.shifted(10e-12))
+        # All pattern transitions should pair up.
+        assert result.n_edges >= 30
+
+    def test_delay_larger_than_ui(self, prbs):
+        # Correlation seeding disambiguates delays beyond one UI.
+        result = measure_delay(prbs, prbs.shifted(1.3e-9))
+        assert result.delay == pytest.approx(1.3e-9, abs=1e-15)
+
+    def test_attenuated_copy(self, prbs):
+        # Per-trace auto thresholds handle attenuation.
+        result = measure_delay(prbs, (prbs * 0.3).shifted(50e-12))
+        assert result.delay == pytest.approx(50e-12, abs=0.2e-12)
+
+    def test_explicit_coarse_estimate(self, prbs):
+        result = measure_delay(prbs, prbs.shifted(90e-12), coarse=90e-12)
+        assert result.delay == pytest.approx(90e-12, abs=1e-15)
+
+    def test_rising_only(self, prbs):
+        result = measure_delay(
+            prbs, prbs.shifted(10e-12), direction="rising"
+        )
+        assert result.delay == pytest.approx(10e-12, abs=1e-15)
+
+    def test_no_edges_raises(self):
+        flat = Waveform.constant(0.4, 1e-9, 1e-12)
+        with pytest.raises(InsufficientEdgesError):
+            measure_delay(flat, flat)
+
+    def test_std_reflects_jitter(self, prbs, rng):
+        # Jitter only the output edges: std grows.
+        noisy = jittered_prbs(
+            7, 64, 2.4e9, 1e-12, jitter=RandomJitter(2e-12), rng=rng
+        )
+        clean = jittered_prbs(7, 64, 2.4e9, 1e-12)
+        result = measure_delay(clean, noisy)
+        assert result.std == pytest.approx(2e-12, rel=0.4)
+
+    @given(st.floats(min_value=-400e-12, max_value=400e-12))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, delay):
+        wf = synthesize_nrz([0, 1, 1, 0, 1, 0, 0, 1] * 2, 2.4e9, 1e-12)
+        result = measure_delay(wf, wf.shifted(delay))
+        assert result.delay == pytest.approx(delay, abs=1e-15)
+
+
+class TestJitterMeasurements:
+    def test_clean_signal_near_zero(self, prbs):
+        tj = peak_to_peak_jitter(prbs, 1 / 2.4e9)
+        assert tj < 0.3e-12
+
+    def test_known_rj(self, rng):
+        wf = jittered_prbs(
+            7, 800, 2.4e9, 1e-12, jitter=RandomJitter(2e-12), rng=rng
+        )
+        sigma = rms_jitter(wf, 1 / 2.4e9)
+        assert sigma == pytest.approx(2e-12, rel=0.15)
+
+    def test_pp_exceeds_rms(self, rng):
+        wf = jittered_prbs(
+            7, 400, 2.4e9, 1e-12, jitter=RandomJitter(2e-12), rng=rng
+        )
+        pp = peak_to_peak_jitter(wf, 1 / 2.4e9)
+        sigma = rms_jitter(wf, 1 / 2.4e9)
+        assert pp > 4 * sigma
+
+    def test_too_few_edges(self):
+        wf = synthesize_nrz([0, 1], 1e9, 1e-12)
+        with pytest.raises(InsufficientEdgesError):
+            peak_to_peak_jitter(wf, 1e-9)
+
+
+class TestAmplitudeAndRise:
+    def test_amplitude(self, prbs):
+        assert measure_amplitude(prbs) == pytest.approx(0.4, rel=0.03)
+
+    def test_rise_time(self):
+        wf = synthesize_nrz(
+            [0, 1, 1, 0, 0, 1], 1e9, 0.5e-12, rise_time=40e-12
+        )
+        assert rise_time_20_80(wf) == pytest.approx(40e-12, rel=0.1)
+
+    def test_rise_time_no_edges(self):
+        flat = Waveform.constant(0.4, 1e-9, 1e-12)
+        with pytest.raises(MeasurementError):
+            rise_time_20_80(flat)

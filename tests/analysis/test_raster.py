@@ -1,0 +1,91 @@
+"""Tests for eye rasterisation and mask testing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EyeDiagram, ascii_eye, mask_hits, rasterize_eye
+from repro.errors import MeasurementError
+from repro.jitter import jittered_prbs
+
+
+UI = 1 / 2.4e9
+
+
+@pytest.fixture(scope="module")
+def eye():
+    wf = jittered_prbs(7, 254, 2.4e9, 1e-12)
+    return EyeDiagram(wf, UI)
+
+
+@pytest.fixture(scope="module")
+def raster(eye):
+    return rasterize_eye(eye, n_phase=32, n_voltage=16)
+
+
+class TestRasterize:
+    def test_shape(self, raster):
+        assert raster.shape == (16, 32)
+
+    def test_counts_total(self, eye, raster):
+        assert raster.counts.sum() == len(eye.waveform)
+
+    def test_rails_populated(self, raster):
+        # Top and bottom rows (the +-A rails) carry the most hits.
+        row_sums = raster.counts.sum(axis=1)
+        assert row_sums[0] > row_sums[len(row_sums) // 2]
+        assert row_sums[-1] > row_sums[len(row_sums) // 2]
+
+    def test_eye_centre_empty(self, raster):
+        # The open eye: centre bins (mid phase, mid voltage) are empty.
+        centre = raster.counts[6:10, 14:18]
+        assert centre.sum() == 0
+
+    def test_normalized_range(self, raster):
+        normalised = raster.normalized()
+        assert normalised.min() >= 0.0
+        assert normalised.max() == pytest.approx(1.0)
+
+    def test_rejects_tiny_bins(self, eye):
+        with pytest.raises(MeasurementError):
+            rasterize_eye(eye, n_phase=1)
+
+
+class TestAsciiEye:
+    def test_dimensions(self, raster):
+        art = ascii_eye(raster)
+        lines = art.split("\n")
+        assert len(lines) == 16
+        assert all(len(line) == 34 for line in lines)  # 32 + borders
+
+    def test_empty_bins_are_spaces(self, raster):
+        art = ascii_eye(raster)
+        centre_row = art.split("\n")[8]
+        assert " " in centre_row
+
+    def test_rejects_short_shades(self, raster):
+        with pytest.raises(MeasurementError):
+            ascii_eye(raster, shades="#")
+
+
+class TestMaskHits:
+    def test_open_eye_mask_clean(self, raster):
+        hits = mask_hits(
+            raster, phase_range=(0.4, 0.6), voltage_range=(-0.15, 0.15)
+        )
+        assert hits == 0
+
+    def test_full_mask_counts_everything(self, raster):
+        hits = mask_hits(
+            raster, phase_range=(0.0, 1.0), voltage_range=(-10.0, 10.0)
+        )
+        assert hits == raster.counts.sum()
+
+    def test_crossing_region_has_hits(self, raster):
+        hits = mask_hits(
+            raster, phase_range=(0.0, 0.1), voltage_range=(-0.1, 0.1)
+        )
+        assert hits > 0
+
+    def test_rejects_inverted_ranges(self, raster):
+        with pytest.raises(MeasurementError):
+            mask_hits(raster, (0.6, 0.4), (-0.1, 0.1))

@@ -1,0 +1,114 @@
+"""Tests for the bit-error-rate tester."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ate import BertResult, BitErrorRateTester, align_pattern
+from repro.errors import MeasurementError
+from repro.signals import prbs_sequence
+
+
+class TestAlignPattern:
+    def test_zero_offset(self):
+        pattern = prbs_sequence(7, 127)
+        received = np.resize(pattern, 300)
+        assert align_pattern(received, pattern) == 0
+
+    def test_finds_offset(self):
+        pattern = prbs_sequence(7, 127)
+        shifted = np.roll(pattern, -17)
+        received = np.resize(shifted, 300)
+        assert align_pattern(received, pattern) == 17
+
+    def test_tolerates_errors(self):
+        pattern = prbs_sequence(7, 127)
+        received = np.resize(np.roll(pattern, -5), 254)
+        received[10] ^= 1
+        received[90] ^= 1
+        assert align_pattern(received, pattern) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            align_pattern(np.array([]), np.array([1, 0]))
+        with pytest.raises(MeasurementError):
+            align_pattern(np.array([1, 0]), np.array([]))
+
+
+class TestBitErrorRateTester:
+    def test_error_free(self):
+        pattern = prbs_sequence(7, 127)
+        bert = BitErrorRateTester(pattern)
+        result = bert.measure(np.resize(pattern, 500))
+        assert result.n_errors == 0
+        assert result.ber == 0.0
+
+    def test_counts_injected_errors(self):
+        pattern = prbs_sequence(7, 127)
+        received = np.resize(pattern, 500)
+        received[[3, 100, 400]] ^= 1
+        result = BitErrorRateTester(pattern).measure(received)
+        assert result.n_errors == 3
+        assert result.ber == pytest.approx(3 / 500)
+
+    def test_auto_align_recovers_phase(self):
+        pattern = prbs_sequence(7, 127)
+        received = np.resize(np.roll(pattern, -40), 400)
+        result = BitErrorRateTester(pattern).measure(received)
+        assert result.alignment == 40
+        assert result.n_errors == 0
+
+    def test_no_align_mode(self):
+        pattern = prbs_sequence(7, 127)
+        received = np.resize(np.roll(pattern, -40), 400)
+        result = BitErrorRateTester(pattern, auto_align=False).measure(
+            received
+        )
+        assert result.n_errors > 50  # misaligned PRBS ~50 % errors
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(MeasurementError):
+            BitErrorRateTester([])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(MeasurementError):
+            BitErrorRateTester([0, 1, 2])
+
+    def test_rejects_empty_received(self):
+        bert = BitErrorRateTester([0, 1])
+        with pytest.raises(MeasurementError):
+            bert.measure([])
+
+
+class TestBerStatistics:
+    def test_zero_error_bound_is_3_over_n(self):
+        result = BertResult(n_bits=10**6, n_errors=0, alignment=0)
+        # -ln(0.05)/N ~ 3/N.
+        assert result.ber_upper_bound(0.95) == pytest.approx(
+            2.9957e-6, rel=1e-3
+        )
+
+    def test_bound_shrinks_with_more_bits(self):
+        small = BertResult(n_bits=1000, n_errors=0, alignment=0)
+        large = BertResult(n_bits=10**6, n_errors=0, alignment=0)
+        assert large.ber_upper_bound() < small.ber_upper_bound()
+
+    def test_bound_exceeds_point_estimate(self):
+        result = BertResult(n_bits=10**6, n_errors=10, alignment=0)
+        assert result.ber_upper_bound() > result.ber
+
+    def test_passes_target(self):
+        result = BertResult(n_bits=10**7, n_errors=0, alignment=0)
+        assert result.passes(1e-6)
+        assert not result.passes(1e-8)
+
+    def test_bad_confidence(self):
+        result = BertResult(n_bits=100, n_errors=0, alignment=0)
+        with pytest.raises(MeasurementError):
+            result.ber_upper_bound(1.5)
+
+    def test_zero_bits_raises(self):
+        result = BertResult(n_bits=0, n_errors=0, alignment=0)
+        with pytest.raises(MeasurementError):
+            _ = result.ber

@@ -1,0 +1,77 @@
+"""Tests for the parallel bus model."""
+
+import numpy as np
+import pytest
+
+from repro.ate import ParallelBus
+from repro.errors import CircuitError
+
+
+class TestConstruction:
+    def test_channel_count(self):
+        bus = ParallelBus(n_channels=4, seed=1)
+        assert len(bus.channels) == 4
+        assert len(bus.delay_lines) == 4
+
+    def test_without_delay_circuits(self):
+        bus = ParallelBus(n_channels=3, with_delay_circuits=False, seed=1)
+        assert bus.delay_lines is None
+
+    def test_skews_within_spread(self):
+        bus = ParallelBus(n_channels=8, skew_spread=150e-12, seed=1)
+        for channel in bus.channels:
+            assert abs(channel.static_skew) <= 150e-12
+
+    def test_skews_differ_between_channels(self):
+        bus = ParallelBus(n_channels=4, seed=1)
+        skews = {c.static_skew for c in bus.channels}
+        assert len(skews) == 4
+
+    def test_reproducible_given_seed(self):
+        a = ParallelBus(n_channels=4, seed=9)
+        b = ParallelBus(n_channels=4, seed=9)
+        assert [c.static_skew for c in a.channels] == [
+            c.static_skew for c in b.channels
+        ]
+
+    def test_rejects_single_channel(self):
+        with pytest.raises(CircuitError):
+            ParallelBus(n_channels=1)
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(CircuitError):
+            ParallelBus(skew_spread=-1e-12)
+
+
+class TestAcquire:
+    def test_one_record_per_channel(self, rng):
+        bus = ParallelBus(n_channels=3, seed=1)
+        records = bus.acquire(
+            bus.training_bits(40), rng=rng, through_delay_lines=False
+        )
+        assert len(records) == 3
+
+    def test_training_bits_default(self):
+        bus = ParallelBus(n_channels=2, seed=1)
+        bits = bus.training_bits()
+        assert bits.size == 127
+
+    def test_calibrate_requires_delay_lines(self):
+        bus = ParallelBus(n_channels=2, with_delay_circuits=False, seed=1)
+        with pytest.raises(CircuitError):
+            bus.calibrate_delay_lines()
+
+    def test_records_reflect_skew(self, rng, short_stimulus):
+        from repro.analysis import measure_delay
+
+        bus = ParallelBus(n_channels=2, skew_spread=100e-12, seed=3)
+        records = bus.acquire(
+            bus.training_bits(40),
+            rng=np.random.default_rng(1),
+            through_delay_lines=False,
+        )
+        measured = measure_delay(records[0], records[1]).delay
+        expected = (
+            bus.channels[1].static_skew - bus.channels[0].static_skew
+        )
+        assert measured == pytest.approx(expected, abs=2e-12)

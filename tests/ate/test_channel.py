@@ -1,0 +1,79 @@
+"""Tests for the ATE channel model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.ate import ATEChannel
+from repro.errors import CircuitError
+from repro.signals import crossing_times
+
+
+BITS = [0, 1, 1, 0, 1, 0, 0, 1] * 4
+
+
+class TestConstruction:
+    def test_defaults(self):
+        channel = ATEChannel(seed=1)
+        assert channel.bit_rate == pytest.approx(6.4e9)
+        assert channel.unit_interval == pytest.approx(156.25e-12)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(CircuitError):
+            ATEChannel(bit_rate=0.0)
+
+
+class TestDrive:
+    def test_static_skew_shifts_edges(self):
+        a = ATEChannel(static_skew=0.0, seed=1)
+        b = ATEChannel(static_skew=120e-12, seed=1)
+        wf_a = a.drive(BITS, 1e-12, np.random.default_rng(2))
+        wf_b = b.drive(BITS, 1e-12, np.random.default_rng(2))
+        assert measure_delay(wf_a, wf_b).delay == pytest.approx(
+            120e-12, abs=1e-15
+        )
+
+    def test_programmable_delay_adds(self):
+        channel = ATEChannel(static_skew=0.0, seed=1)
+        before = channel.drive(BITS, 1e-12, np.random.default_rng(2))
+        channel.programmable.set_delay(300e-12)
+        after = channel.drive(BITS, 1e-12, np.random.default_rng(2))
+        measured = measure_delay(before, after).delay
+        assert measured == pytest.approx(
+            channel.programmable.actual_delay(), abs=1e-15
+        )
+
+    def test_total_offset(self):
+        channel = ATEChannel(static_skew=50e-12, seed=1)
+        channel.programmable.set_delay(200e-12)
+        assert channel.total_offset() == pytest.approx(
+            50e-12 + channel.programmable.actual_delay()
+        )
+
+    def test_source_jitter_present(self):
+        channel = ATEChannel(seed=1)
+        wf = channel.drive(BITS, 1e-12)
+        edges = crossing_times(wf, 0.0)
+        ui = channel.unit_interval
+        fractional = (edges - channel.static_skew) / ui
+        deviation = np.abs(fractional - np.round(fractional)) * ui
+        assert deviation.max() > 0.2e-12  # jitter moved some edges
+
+
+class TestEdgeTimes:
+    def test_matches_waveform_edges(self):
+        channel = ATEChannel(static_skew=30e-12, seed=1)
+        fast = channel.edge_times(BITS, np.random.default_rng(7))
+        wf = channel.drive(BITS, 0.5e-12, np.random.default_rng(7))
+        slow = crossing_times(wf, 0.0)
+        assert fast.size == slow.size
+        np.testing.assert_allclose(fast, slow, atol=0.5e-12)
+
+    def test_includes_programmed_delay(self):
+        channel = ATEChannel(seed=1)
+        before = channel.edge_times(BITS, np.random.default_rng(7))
+        channel.programmable.set_delay(400e-12)
+        after = channel.edge_times(BITS, np.random.default_rng(7))
+        np.testing.assert_allclose(
+            after - before, channel.programmable.actual_delay()
+        )

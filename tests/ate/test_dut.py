@@ -1,0 +1,94 @@
+"""Tests for the DUT receiver models."""
+
+import numpy as np
+import pytest
+
+from repro.ate import ClockedReceiver, bus_eye_width
+from repro.errors import MeasurementError
+from repro.signals import Waveform, synthesize_clock, synthesize_nrz
+
+
+BITS = [0, 1, 1, 0, 1, 0, 0, 1]
+RATE = 2e9
+UI = 1 / RATE
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthesize_nrz(BITS, RATE, 1e-12)
+
+
+class TestClockedReceiver:
+    def test_samples_correct_bits_at_eye_centre(self, data):
+        receiver = ClockedReceiver()
+        centres = UI * (np.arange(len(BITS)) + 0.5)
+        result = receiver.sample(data, centres)
+        np.testing.assert_array_equal(result.bits, BITS)
+        assert result.violations == 0
+
+    def test_sampling_at_edges_flags_violations(self, data):
+        receiver = ClockedReceiver(setup=20e-12, hold=20e-12)
+        # Sample exactly at the bit boundaries (where edges live).
+        boundaries = UI * np.arange(1, len(BITS))
+        result = receiver.sample(data, boundaries)
+        assert result.violations > 0
+
+    def test_sample_with_clock(self, data):
+        receiver = ClockedReceiver()
+        # A clock aligned so rising edges hit the eye centres.
+        clock = synthesize_clock(RATE, len(BITS), 1e-12).shifted(0.5 * UI)
+        result = receiver.sample_with_clock(data, clock)
+        np.testing.assert_array_equal(
+            result.bits[: len(BITS)], BITS
+        )
+
+    def test_rejects_empty_sample_times(self, data):
+        with pytest.raises(MeasurementError):
+            ClockedReceiver().sample(data, np.array([]))
+
+    def test_rejects_negative_setup(self):
+        with pytest.raises(MeasurementError):
+            ClockedReceiver(setup=-1e-12)
+
+    def test_clock_without_edges_raises(self, data):
+        flat = Waveform.constant(0.0, 1e-9, 1e-12)
+        with pytest.raises(MeasurementError):
+            ClockedReceiver().sample_with_clock(data, flat)
+
+    def test_explicit_threshold(self, data):
+        receiver = ClockedReceiver(threshold=0.0)
+        centres = UI * (np.arange(len(BITS)) + 0.5)
+        result = receiver.sample(data, centres)
+        np.testing.assert_array_equal(result.bits, BITS)
+
+
+class TestBusEyeWidth:
+    def test_single_clean_channel_nearly_full(self, data):
+        width = bus_eye_width([data], UI)
+        assert width > 0.97 * UI
+
+    def test_skew_shrinks_bus_eye(self, data):
+        aligned = bus_eye_width([data, data.shifted(0.0)], UI)
+        skewed = bus_eye_width([data, data.shifted(60e-12)], UI)
+        assert skewed < aligned - 50e-12
+
+    def test_skew_reduces_width_one_for_one(self, data):
+        base = bus_eye_width([data], UI)
+        skewed = bus_eye_width([data, data.shifted(40e-12)], UI)
+        assert base - skewed == pytest.approx(40e-12, abs=2e-12)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(MeasurementError):
+            bus_eye_width([], UI)
+
+    def test_rejects_bad_ui(self, data):
+        with pytest.raises(MeasurementError):
+            bus_eye_width([data], 0.0)
+
+    def test_half_ui_skew_halves_the_eye(self, data):
+        # Half-UI skew between two clean channels leaves at most half
+        # the aperture (the two crossing populations sit half a bit
+        # apart; whichever way the second population folds, the pooled
+        # spread is at least UI/2).
+        width = bus_eye_width([data, data.shifted(0.5 * UI)], UI)
+        assert width <= 0.55 * UI

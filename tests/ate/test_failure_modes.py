@@ -1,0 +1,55 @@
+"""Failure-mode tests: the system must degrade loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.ate import DeskewController, ParallelBus
+from repro.errors import CircuitError, DeskewError
+from repro.signals import Waveform
+
+
+class TestDeskewFailureModes:
+    def test_huge_skew_reports_nonconvergence(self):
+        # Skew beyond the correctable range: the controller must finish
+        # and report converged=False rather than raise or loop forever.
+        bus = ParallelBus(
+            n_channels=2,
+            skew_spread=3e-9,  # beyond the ATE's 2 ns programmable range
+            with_delay_circuits=False,
+            seed=9,
+        )
+        controller = DeskewController(bus, n_bits=60, max_iterations=2)
+        report = controller.deskew_coarse_only(np.random.default_rng(1))
+        assert not report.converged
+
+    def test_event_acquisition_rejects_waveform_vctrl(self):
+        bus = ParallelBus(n_channels=2, seed=9)
+        # Jitter-injection mode: Vctrl is a waveform, which the
+        # closed-form event model cannot represent.
+        control = Waveform.constant(0.75, 1e-6, 1e-9)
+        bus.delay_lines[0].vctrl = control
+        with pytest.raises(CircuitError):
+            bus.acquire_edge_times(rng=np.random.default_rng(1))
+
+    def test_fine_targets_clamped_to_range(self):
+        # A channel whose residual exceeds the line range gets clamped,
+        # not crashed; convergence is then reported honestly.
+        bus = ParallelBus(n_channels=2, skew_spread=150e-12, seed=12)
+        bus.calibrate_delay_lines(n_points=5)
+        controller = DeskewController(
+            bus, n_bits=60, max_iterations=1, tolerance=0.01e-12
+        )
+        report = controller.deskew(np.random.default_rng(1))
+        for target, line in zip(report.fine_targets, bus.delay_lines):
+            assert 0.0 <= target <= line.total_range + 1e-15
+
+    def test_impossible_tolerance_not_converged(self):
+        bus = ParallelBus(n_channels=3, skew_spread=100e-12, seed=13)
+        bus.calibrate_delay_lines(n_points=5)
+        controller = DeskewController(
+            bus, n_bits=60, tolerance=1e-15, max_iterations=2
+        )
+        report = controller.deskew(np.random.default_rng(1))
+        assert not report.converged
+        # ... but it still improved matters substantially.
+        assert report.final_spread < report.initial_spread

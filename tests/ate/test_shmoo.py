@@ -1,0 +1,117 @@
+"""Tests for the timing shmoo."""
+
+import numpy as np
+import pytest
+
+from repro.ate.shmoo import ShmooResult, timing_shmoo
+from repro.errors import MeasurementError
+from repro.jitter import RandomJitter, jittered_nrz
+from repro.signals import prbs_sequence, synthesize_nrz
+
+
+RATE = 2.4e9
+UI = 1 / RATE
+
+
+@pytest.fixture(scope="module")
+def clean_data():
+    bits = prbs_sequence(7, 80)
+    return bits, synthesize_nrz(bits, RATE, 1e-12)
+
+
+class TestTimingShmoo:
+    def test_clean_signal_opens_wide(self, clean_data):
+        bits, wf = clean_data
+        shmoo = timing_shmoo(wf, bits, UI, n_positions=21)
+        # Errors only near the crossings (offset ~0); wide clean region.
+        assert shmoo.opening() > 0.7 * UI
+
+    def test_centre_is_clean(self, clean_data):
+        bits, wf = clean_data
+        shmoo = timing_shmoo(wf, bits, UI, n_positions=20)
+        centre_index = 10  # offset 0.5
+        assert shmoo.ber[centre_index] == 0.0
+
+    def test_crossing_region_errors(self, clean_data):
+        bits, wf = clean_data
+        # Shift sampling so offset 0 sits exactly on the transitions;
+        # the edge region is ambiguous and should show errors at some
+        # boundary offsets for a jittered copy.
+        jittered = jittered_nrz(
+            bits,
+            RATE,
+            1e-12,
+            jitter=RandomJitter(15e-12),
+            rng=np.random.default_rng(1),
+        )
+        shmoo = timing_shmoo(jittered, bits, UI, n_positions=21)
+        assert shmoo.ber[0] > 0.0  # sampling at the crossing fails
+
+    def test_jitter_shrinks_opening(self, clean_data):
+        bits, wf = clean_data
+        jittered = jittered_nrz(
+            bits,
+            RATE,
+            1e-12,
+            jitter=RandomJitter(20e-12),
+            rng=np.random.default_rng(2),
+        )
+        clean = timing_shmoo(wf, bits, UI, n_positions=41)
+        dirty = timing_shmoo(jittered, bits, UI, n_positions=41)
+        assert dirty.opening() < clean.opening()
+
+    def test_insertion_delay_honoured(self, clean_data):
+        bits, wf = clean_data
+        delayed = wf.shifted(0.4e-9)
+        shmoo = timing_shmoo(
+            delayed, bits, UI, n_positions=21, first_bit_time=0.4e-9
+        )
+        assert shmoo.opening() > 0.7 * UI
+
+    def test_best_offset_near_centre(self, clean_data):
+        bits, wf = clean_data
+        shmoo = timing_shmoo(wf, bits, UI, n_positions=21)
+        assert 0.2 <= shmoo.best_offset() <= 0.8
+
+    def test_rejects_empty_pattern(self, clean_data):
+        _, wf = clean_data
+        with pytest.raises(MeasurementError):
+            timing_shmoo(wf, [], UI)
+
+    def test_rejects_bad_ui(self, clean_data):
+        bits, wf = clean_data
+        with pytest.raises(MeasurementError):
+            timing_shmoo(wf, bits, -1.0)
+
+    def test_rejects_too_few_positions(self, clean_data):
+        bits, wf = clean_data
+        with pytest.raises(MeasurementError):
+            timing_shmoo(wf, bits, UI, n_positions=1)
+
+    def test_rejects_short_record(self):
+        bits = prbs_sequence(7, 4)
+        wf = synthesize_nrz(bits, RATE, 1e-12)
+        with pytest.raises(MeasurementError):
+            timing_shmoo(wf, bits, UI)
+
+
+class TestShmooResult:
+    def test_opening_zero_when_all_bad(self):
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 10, endpoint=False),
+            ber=np.full(10, 0.5),
+            n_bits=100,
+            unit_interval=UI,
+        )
+        assert shmoo.opening() == 0.0
+
+    def test_opening_counts_longest_run(self):
+        ber = np.array([0.1, 0.0, 0.0, 0.0, 0.1, 0.0, 0.1, 0.1])
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 8, endpoint=False),
+            ber=ber,
+            n_bits=100,
+            unit_interval=8e-12,
+        )
+        # Longest clean run is 3 positions of width 1 ps each.
+        assert shmoo.opening() == pytest.approx(3e-12)

@@ -1,0 +1,78 @@
+"""Tests for source-synchronous (forwarded-clock) alignment."""
+
+import numpy as np
+import pytest
+
+from repro.ate import SourceSynchronousLink, worst_edge_margin
+from repro.errors import DeskewError
+from repro.signals import Waveform, synthesize_clock, synthesize_nrz
+
+
+class TestWorstEdgeMargin:
+    def test_centred_clock_has_half_ui_margin(self):
+        rate = 2e9
+        ui = 1 / rate
+        # A DDR forwarded clock toggles once per bit: clock frequency
+        # is half the bit rate.
+        data = synthesize_nrz([0, 1, 0, 1, 1, 0, 1, 0], rate, 1e-12)
+        clock = synthesize_clock(rate / 2, 8, 1e-12).shifted(0.5 * ui)
+        margin = worst_edge_margin([data], clock)
+        assert margin == pytest.approx(0.5 * ui, rel=0.05)
+
+    def test_aligned_clock_has_zero_margin(self):
+        rate = 2e9
+        data = synthesize_nrz([0, 1, 0, 1, 1, 0, 1, 0], rate, 1e-12)
+        clock = synthesize_clock(rate / 2, 8, 1e-12)
+        margin = worst_edge_margin([data], clock)
+        assert margin < 0.05 / rate
+
+    def test_worst_lane_dominates(self):
+        rate = 2e9
+        ui = 1 / rate
+        data = synthesize_nrz([0, 1, 0, 1, 1, 0, 1, 0], rate, 1e-12)
+        clock = synthesize_clock(rate / 2, 8, 1e-12).shifted(0.5 * ui)
+        good = data
+        bad = data.shifted(0.4 * ui)  # edges land near the clock
+        margin = worst_edge_margin([good, bad], clock)
+        assert margin == pytest.approx(0.1 * ui, rel=0.2)
+
+    def test_clock_without_edges_raises(self):
+        data = synthesize_nrz([0, 1, 0, 1], 2e9, 1e-12)
+        flat = Waveform.constant(0.0, 1e-9, 1e-12)
+        with pytest.raises(DeskewError):
+            worst_edge_margin([data], flat)
+
+
+@pytest.fixture(scope="module")
+def aligned_link():
+    link = SourceSynchronousLink(n_data=3, skew_spread=100e-12, seed=5)
+    link.calibrate(n_points=7)
+    report = link.align(np.random.default_rng(2), n_bits=80)
+    return link, report
+
+
+class TestSourceSynchronousLink:
+    def test_unit_interval(self):
+        link = SourceSynchronousLink(bit_rate=6.4e9, seed=1)
+        assert link.unit_interval == pytest.approx(156.25e-12)
+
+    def test_data_lanes_deskewed(self, aligned_link):
+        _, report = aligned_link
+        assert report.data_skew_after <= 5e-12
+        assert report.data_skew_after < report.data_skew_before / 5
+
+    def test_clock_centred(self, aligned_link):
+        _, report = aligned_link
+        # After alignment the worst margin should be a large fraction
+        # of the ideal half-UI (jitter eats the rest).
+        assert report.clock_margin_after > 0.6 * report.ideal_margin
+
+    def test_alignment_improves_margin(self, aligned_link):
+        _, report = aligned_link
+        assert report.clock_margin_after > report.clock_margin_before
+
+    def test_programmed_delay_within_range(self, aligned_link):
+        link, report = aligned_link
+        assert 0.0 <= report.clock_delay_programmed <= (
+            link.clock_line.total_range + 1e-12
+        )

@@ -1,0 +1,136 @@
+"""Tests for the comparison systems."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay, peak_to_peak_jitter
+from repro.baselines import (
+    IdealVariableDelay,
+    QuantizedProgrammableDelay,
+    TwoStageFineDelayLine,
+)
+from repro.core import FineDelayLine, TWO_STAGE_BUFFER
+from repro.errors import DelayRangeError
+from repro.signals import synthesize_clock
+
+
+class TestTwoStageLine:
+    def test_two_stages(self):
+        assert TwoStageFineDelayLine(seed=1).n_stages == 2
+
+    def test_uses_early_buffer_params(self):
+        assert TwoStageFineDelayLine(seed=1).params is TWO_STAGE_BUFFER
+
+    def test_smaller_range_than_four_stage(self, short_stimulus):
+        def measured_range(line):
+            line.vctrl = 0.0
+            low = line.process(short_stimulus, np.random.default_rng(1))
+            line.vctrl = 1.5
+            high = line.process(short_stimulus, np.random.default_rng(1))
+            return measure_delay(low, high).delay
+
+        two = measured_range(TwoStageFineDelayLine(seed=1))
+        four = measured_range(FineDelayLine(seed=1))
+        assert two < 0.7 * four
+
+    def test_collapses_at_high_frequency(self):
+        # The early part is "ineffective beyond 6 GHz".
+        clock = synthesize_clock(6.4e9, 150, 0.5e-12)
+        line = TwoStageFineDelayLine(seed=1)
+        line.vctrl = 0.0
+        low = line.process(clock, np.random.default_rng(1))
+        line.vctrl = 1.5
+        high = line.process(clock, np.random.default_rng(1))
+        assert measure_delay(low, high).delay < 12e-12
+
+
+class TestQuantizedDelay:
+    def test_quantizes_to_grid(self):
+        delay = QuantizedProgrammableDelay(
+            resolution=100e-12, linearity_error=0.0, seed=1
+        )
+        achieved = delay.set_delay(230e-12)
+        assert achieved == pytest.approx(200e-12)
+
+    def test_rounds_to_nearest(self):
+        delay = QuantizedProgrammableDelay(
+            resolution=100e-12, linearity_error=0.0, seed=1
+        )
+        assert delay.set_delay(260e-12) == pytest.approx(300e-12)
+
+    def test_linearity_error_included(self):
+        delay = QuantizedProgrammableDelay(
+            resolution=100e-12, linearity_error=5e-12, seed=1
+        )
+        achieved = delay.set_delay(500e-12)
+        assert achieved != pytest.approx(500e-12, abs=1e-15)
+        assert achieved == pytest.approx(500e-12, abs=20e-12)
+
+    def test_code_zero_exact(self):
+        delay = QuantizedProgrammableDelay(linearity_error=5e-12, seed=1)
+        assert delay.set_delay(0.0) == pytest.approx(0.0)
+
+    def test_programming_error_bound(self):
+        delay = QuantizedProgrammableDelay(
+            resolution=100e-12, linearity_error=0.0, seed=1
+        )
+        for target in np.linspace(0, 1e-9, 23):
+            assert abs(delay.programming_error(target)) <= 50e-12 + 1e-15
+
+    def test_programming_error_preserves_state(self):
+        delay = QuantizedProgrammableDelay(seed=1)
+        delay.set_delay(300e-12)
+        delay.programming_error(700e-12)
+        assert delay.code == 3
+
+    def test_process_shifts(self, short_stimulus):
+        delay = QuantizedProgrammableDelay(linearity_error=0.0, seed=1)
+        delay.set_delay(400e-12)
+        out = delay.process(short_stimulus)
+        assert measure_delay(short_stimulus, out).delay == pytest.approx(
+            400e-12, abs=1e-15
+        )
+
+    def test_rejects_out_of_range(self):
+        delay = QuantizedProgrammableDelay(max_delay=1e-9)
+        with pytest.raises(DelayRangeError):
+            delay.set_delay(2e-9)
+        with pytest.raises(DelayRangeError):
+            delay.set_delay(-1e-12)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(DelayRangeError):
+            QuantizedProgrammableDelay(resolution=0.0)
+        with pytest.raises(DelayRangeError):
+            QuantizedProgrammableDelay(
+                resolution=100e-12, max_delay=50e-12
+            )
+        with pytest.raises(DelayRangeError):
+            QuantizedProgrammableDelay(linearity_error=-1e-12)
+
+
+class TestIdealDelay:
+    def test_exact_delay(self, short_stimulus):
+        ideal = IdealVariableDelay()
+        ideal.set_delay(77.3e-12)
+        out = ideal.process(short_stimulus)
+        assert measure_delay(short_stimulus, out).delay == pytest.approx(
+            77.3e-12, abs=1e-15
+        )
+
+    def test_adds_no_jitter(self, short_stimulus):
+        ideal = IdealVariableDelay()
+        ideal.set_delay(50e-12)
+        out = ideal.process(short_stimulus)
+        tj_in = peak_to_peak_jitter(short_stimulus, 1 / 2.4e9)
+        tj_out = peak_to_peak_jitter(out, 1 / 2.4e9)
+        assert tj_out == pytest.approx(tj_in, abs=1e-15)
+
+    def test_range_limit(self):
+        ideal = IdealVariableDelay(max_delay=140e-12)
+        with pytest.raises(DelayRangeError):
+            ideal.set_delay(150e-12)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(DelayRangeError):
+            IdealVariableDelay(max_delay=0.0)

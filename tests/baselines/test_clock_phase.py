@@ -1,0 +1,73 @@
+"""Tests for the PLL/DLL-style clock-phase baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.baselines import PhaseInterpolatorClockShifter, is_periodic_clock
+from repro.errors import CircuitError
+from repro.jitter import jittered_prbs
+from repro.signals import synthesize_clock, synthesize_nrz
+
+
+@pytest.fixture(scope="module")
+def clock():
+    return synthesize_clock(1e9, 20, 1e-12)
+
+
+class TestIsPeriodicClock:
+    def test_clock_is_periodic(self, clock):
+        assert is_periodic_clock(clock)
+
+    def test_prbs_is_not(self):
+        data = jittered_prbs(7, 60, 2e9, 1e-12)
+        assert not is_periodic_clock(data)
+
+    def test_too_few_edges(self):
+        wf = synthesize_nrz([0, 1], 1e9, 1e-12)
+        assert not is_periodic_clock(wf)
+
+
+class TestPhaseInterpolator:
+    def test_quarter_turn_delays_quarter_period(self, clock):
+        shifter = PhaseInterpolatorClockShifter(phase=np.pi / 2)
+        out = shifter.process(clock)
+        # Quarter of the 1 ns period = 250 ps.
+        assert measure_delay(clock, out).delay == pytest.approx(
+            250e-12, rel=0.02
+        )
+
+    def test_zero_phase_is_identity(self, clock):
+        out = PhaseInterpolatorClockShifter(phase=0.0).process(clock)
+        assert abs(measure_delay(clock, out).delay) < 1e-15
+
+    def test_phase_wraps(self):
+        shifter = PhaseInterpolatorClockShifter(phase=2.5 * np.pi)
+        assert shifter.phase == pytest.approx(np.pi / 2)
+
+    def test_phase_quantized_to_steps(self):
+        shifter = PhaseInterpolatorClockShifter(n_steps=4)
+        shifter.phase = 0.9  # nearest step on the pi/2 grid is pi/2
+        assert shifter.phase == pytest.approx(np.pi / 2)
+
+    def test_full_range(self, clock):
+        # Unlike the paper's circuit (140 ps), the PI covers the whole
+        # period — for clocks.
+        shifter = PhaseInterpolatorClockShifter(phase=1.9 * np.pi)
+        out = shifter.process(clock)
+        assert measure_delay(clock, out).delay == pytest.approx(
+            0.95e-9, rel=0.02
+        )
+
+    def test_refuses_data(self):
+        data = jittered_prbs(7, 60, 2e9, 1e-12)
+        with pytest.raises(CircuitError):
+            PhaseInterpolatorClockShifter(phase=1.0).process(data)
+
+    def test_rejects_too_few_steps(self):
+        with pytest.raises(CircuitError):
+            PhaseInterpolatorClockShifter(n_steps=2)
+
+    def test_lock_period(self, clock):
+        shifter = PhaseInterpolatorClockShifter()
+        assert shifter.lock_period(clock) == pytest.approx(1e-9, rel=0.01)

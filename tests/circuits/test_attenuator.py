@@ -1,0 +1,41 @@
+"""Tests for the series-resistor measurement pad."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import SeriesResistorPad
+from repro.errors import CircuitError
+from repro.signals import synthesize_nrz
+
+
+class TestSeriesResistorPad:
+    def test_equal_resistors_halve(self):
+        pad = SeriesResistorPad(series_ohms=50.0, load_ohms=50.0)
+        assert pad.gain == pytest.approx(0.5)
+        assert pad.loss_db == pytest.approx(6.02, abs=0.02)
+
+    def test_zero_series_is_transparent(self):
+        pad = SeriesResistorPad(series_ohms=0.0)
+        assert pad.gain == pytest.approx(1.0)
+        assert pad.loss_db == pytest.approx(0.0)
+
+    def test_processes_waveform(self):
+        wf = synthesize_nrz([0, 1, 0, 1], 1e9, 1e-12)
+        pad = SeriesResistorPad(series_ohms=50.0, load_ohms=50.0)
+        out = pad.process(wf)
+        np.testing.assert_allclose(out.values, 0.5 * wf.values)
+
+    def test_preserves_timing(self):
+        from repro.analysis import measure_delay
+
+        wf = synthesize_nrz([0, 1, 0, 1, 1, 0], 1e9, 1e-12)
+        out = SeriesResistorPad(series_ohms=100.0).process(wf)
+        assert abs(measure_delay(wf, out).delay) < 0.1e-12
+
+    def test_rejects_negative_series(self):
+        with pytest.raises(CircuitError):
+            SeriesResistorPad(series_ohms=-1.0)
+
+    def test_rejects_nonpositive_load(self):
+        with pytest.raises(CircuitError):
+            SeriesResistorPad(load_ohms=0.0)

@@ -1,0 +1,77 @@
+"""Tests for the fixed-amplitude output and fanout buffers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuits import FanoutBuffer, OutputBuffer, VariableGainBuffer
+from repro.errors import CircuitError
+from repro.signals import synthesize_nrz
+
+
+@pytest.fixture(scope="module")
+def nrz():
+    return synthesize_nrz([0, 1, 1, 0, 1, 0, 0, 1] * 4, 2.4e9, 1e-12)
+
+
+class TestOutputBuffer:
+    def test_restores_full_swing(self, nrz, rng):
+        # A minimum-amplitude intermediate signal is restored to 0.4 V.
+        small = VariableGainBuffer(vctrl=0.0, seed=1).process(nrz, rng)
+        assert small.amplitude() < 0.15
+        restored = OutputBuffer(amplitude=0.4, seed=2).process(small, rng)
+        assert restored.amplitude() == pytest.approx(0.4, rel=0.05)
+
+    def test_custom_amplitude(self, nrz, rng):
+        out = OutputBuffer(amplitude=0.25, seed=2).process(nrz, rng)
+        assert out.amplitude() == pytest.approx(0.25, rel=0.05)
+
+    def test_amplitude_independent_of_input_swing(self, nrz, rng):
+        big_in = OutputBuffer(seed=2).process(nrz, np.random.default_rng(1))
+        small_in = OutputBuffer(seed=2).process(
+            nrz * 0.3, np.random.default_rng(1)
+        )
+        assert big_in.amplitude() == pytest.approx(
+            small_in.amplitude(), rel=0.03
+        )
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(CircuitError):
+            OutputBuffer(amplitude=0.0)
+
+    def test_adds_propagation_delay(self, nrz, rng):
+        out = OutputBuffer(seed=2).process(nrz, rng)
+        delay = measure_delay(nrz, out).delay
+        assert delay > 50e-12  # includes the 70 ps t_pd
+
+
+class TestFanoutBuffer:
+    def test_copies_count(self, nrz, rng):
+        fanout = FanoutBuffer(n_outputs=4, seed=3)
+        copies = fanout.copies(nrz, rng)
+        assert len(copies) == 4
+
+    def test_copies_are_nominally_aligned(self, nrz, rng):
+        fanout = FanoutBuffer(n_outputs=4, seed=3)
+        copies = fanout.copies(nrz, rng)
+        for copy in copies[1:]:
+            delay = measure_delay(copies[0], copy).delay
+            assert abs(delay) < 2e-12
+
+    def test_copies_have_independent_noise(self, nrz, rng):
+        fanout = FanoutBuffer(n_outputs=2, seed=3)
+        a, b = fanout.copies(nrz, rng)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_process_returns_single_leg(self, nrz, rng):
+        fanout = FanoutBuffer(n_outputs=4, seed=3)
+        out = fanout.process(nrz, rng)
+        assert out.amplitude() == pytest.approx(0.4, rel=0.05)
+
+    def test_rejects_zero_outputs(self):
+        with pytest.raises(CircuitError):
+            FanoutBuffer(n_outputs=0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(CircuitError):
+            FanoutBuffer(amplitude=-0.4)

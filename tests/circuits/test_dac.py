@@ -1,0 +1,99 @@
+"""Tests for the Vctrl DAC model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import ControlDAC
+from repro.errors import CircuitError, ControlRangeError
+
+
+class TestIdealDac:
+    def test_endpoints(self):
+        dac = ControlDAC(n_bits=12, v_min=0.0, v_max=1.5)
+        assert dac.voltage(0) == pytest.approx(0.0)
+        assert dac.voltage(dac.n_codes - 1) == pytest.approx(1.5)
+
+    def test_lsb(self):
+        dac = ControlDAC(n_bits=12, v_min=0.0, v_max=1.5)
+        assert dac.lsb == pytest.approx(1.5 / 4095)
+
+    def test_linear_transfer(self):
+        dac = ControlDAC(n_bits=8, v_min=0.0, v_max=1.0)
+        assert dac.voltage(128) == pytest.approx(128 / 255)
+
+    def test_code_for_voltage_nearest(self):
+        dac = ControlDAC(n_bits=8, v_min=0.0, v_max=1.0)
+        assert dac.code_for_voltage(0.5) in (127, 128)
+        assert dac.code_for_voltage(dac.voltage(37)) == 37
+
+    def test_code_for_voltage_clamps(self):
+        dac = ControlDAC(n_bits=8)
+        assert dac.code_for_voltage(-5.0) == 0
+        assert dac.code_for_voltage(+5.0) == dac.n_codes - 1
+
+    def test_quantize_error_bounded_by_lsb(self):
+        dac = ControlDAC(n_bits=12, v_min=0.0, v_max=1.5)
+        for v in np.linspace(0.0, 1.5, 97):
+            assert abs(dac.quantize(v) - v) <= dac.lsb / 2 + 1e-12
+
+    def test_zero_inl_when_ideal(self):
+        dac = ControlDAC(n_bits=8)
+        np.testing.assert_allclose(dac.inl_lsb(), 0.0, atol=1e-9)
+
+    def test_code_out_of_range(self):
+        dac = ControlDAC(n_bits=8)
+        with pytest.raises(ControlRangeError):
+            dac.voltage(256)
+        with pytest.raises(ControlRangeError):
+            dac.voltage(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_bits": 0},
+            {"n_bits": 21},
+            {"v_min": 1.0, "v_max": 0.5},
+            {"dnl_lsb": -0.1},
+        ],
+    )
+    def test_construction_validation(self, kwargs):
+        with pytest.raises(CircuitError):
+            ControlDAC(**kwargs)
+
+
+class TestNonIdealDac:
+    def test_transfer_still_monotone(self):
+        dac = ControlDAC(n_bits=10, dnl_lsb=0.5, seed=3)
+        voltages = [dac.voltage(c) for c in range(dac.n_codes)]
+        assert all(b > a for a, b in zip(voltages, voltages[1:]))
+
+    def test_endpoints_corrected(self):
+        dac = ControlDAC(n_bits=10, v_min=0.0, v_max=1.5, dnl_lsb=0.5, seed=3)
+        assert dac.voltage(0) == pytest.approx(0.0)
+        assert dac.voltage(dac.n_codes - 1) == pytest.approx(1.5)
+
+    def test_inl_nonzero(self):
+        dac = ControlDAC(n_bits=10, dnl_lsb=0.5, seed=3)
+        assert np.abs(dac.inl_lsb()).max() > 0.1
+
+    def test_static_errors_fixed_per_instance(self):
+        dac = ControlDAC(n_bits=10, dnl_lsb=0.5, seed=3)
+        assert dac.voltage(123) == dac.voltage(123)
+
+    def test_same_seed_same_part(self):
+        a = ControlDAC(n_bits=10, dnl_lsb=0.5, seed=3)
+        b = ControlDAC(n_bits=10, dnl_lsb=0.5, seed=3)
+        assert a.voltage(511) == b.voltage(511)
+
+    def test_round_trip_code_recovery(self):
+        dac = ControlDAC(n_bits=10, dnl_lsb=0.3, seed=5)
+        for code in (0, 1, 100, 511, 1023):
+            assert dac.code_for_voltage(dac.voltage(code)) == code
+
+    @given(st.integers(0, 4095))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, code):
+        dac = ControlDAC(n_bits=12, dnl_lsb=0.4, seed=9)
+        assert dac.code_for_voltage(dac.voltage(code)) == code

@@ -1,0 +1,110 @@
+"""Tests for the circuit-element framework."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Chain, CircuitElement, Gain, IdealDelay, Inverter
+from repro.errors import CircuitError
+from repro.signals import Waveform, synthesize_nrz
+from repro.analysis import measure_delay
+
+
+@pytest.fixture
+def nrz():
+    return synthesize_nrz([0, 1, 0, 0, 1, 1, 0, 1], 2e9, 1e-12)
+
+
+class TestIdealDelay:
+    def test_shifts_time_axis(self, nrz):
+        out = IdealDelay(40e-12).process(nrz)
+        assert out.t0 == pytest.approx(nrz.t0 + 40e-12)
+        np.testing.assert_array_equal(out.values, nrz.values)
+
+    def test_measured_delay(self, nrz):
+        out = IdealDelay(40e-12).process(nrz)
+        assert measure_delay(nrz, out).delay == pytest.approx(
+            40e-12, abs=1e-15
+        )
+
+    def test_zero_and_negative_delay(self, nrz):
+        assert IdealDelay(0.0).process(nrz).t0 == nrz.t0
+        out = IdealDelay(-10e-12).process(nrz)
+        assert out.t0 == pytest.approx(nrz.t0 - 10e-12)
+
+
+class TestGainInverter:
+    def test_gain_scales(self, nrz):
+        out = Gain(2.0).process(nrz)
+        np.testing.assert_allclose(out.values, 2 * nrz.values)
+
+    def test_gain_rejects_zero(self):
+        with pytest.raises(CircuitError):
+            Gain(0.0)
+
+    def test_inverter(self, nrz):
+        out = Inverter().process(nrz)
+        np.testing.assert_allclose(out.values, -nrz.values)
+
+    def test_double_inversion_identity(self, nrz):
+        out = Inverter().process(Inverter().process(nrz))
+        np.testing.assert_allclose(out.values, nrz.values)
+
+
+class TestChain:
+    def test_applies_in_order(self, nrz):
+        chained = Chain(Gain(2.0), IdealDelay(10e-12))
+        out = chained.process(nrz)
+        assert out.t0 == pytest.approx(nrz.t0 + 10e-12)
+        np.testing.assert_allclose(out.values, 2 * nrz.values)
+
+    def test_flattens_nested_chains(self):
+        inner = Chain(Gain(2.0), Gain(3.0))
+        outer = Chain(inner, Gain(4.0))
+        assert len(outer) == 3
+
+    def test_empty_chain_is_identity(self, nrz):
+        out = Chain().process(nrz)
+        np.testing.assert_array_equal(out.values, nrz.values)
+
+    def test_rejects_non_elements(self):
+        with pytest.raises(CircuitError):
+            Chain(Gain(1.0), "not an element")
+
+    def test_elements_property(self):
+        g = Gain(2.0)
+        d = IdealDelay(1e-12)
+        assert Chain(g, d).elements == (g, d)
+
+    def test_callable_shorthand(self, nrz):
+        chain = Chain(Gain(2.0))
+        np.testing.assert_array_equal(
+            chain(nrz).values, chain.process(nrz).values
+        )
+
+
+class TestRngHandling:
+    def test_private_rng_reproducible_after_reseed(self, nrz):
+        from repro.circuits import VariableGainBuffer
+
+        buffer = VariableGainBuffer(seed=42)
+        first = buffer.process(nrz)
+        buffer.reseed(42)
+        second = buffer.process(nrz)
+        np.testing.assert_array_equal(first.values, second.values)
+
+    def test_explicit_rng_overrides_private(self, nrz):
+        from repro.circuits import VariableGainBuffer
+
+        a = VariableGainBuffer(seed=1)
+        b = VariableGainBuffer(seed=2)
+        out_a = a.process(nrz, np.random.default_rng(9))
+        out_b = b.process(nrz, np.random.default_rng(9))
+        np.testing.assert_array_equal(out_a.values, out_b.values)
+
+    def test_successive_calls_differ_without_rng(self, nrz):
+        from repro.circuits import VariableGainBuffer
+
+        buffer = VariableGainBuffer(seed=1)
+        first = buffer.process(nrz)
+        second = buffer.process(nrz)
+        assert not np.array_equal(first.values, second.values)

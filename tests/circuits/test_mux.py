@@ -1,0 +1,91 @@
+"""Tests for the N:1 multiplexer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuits import Multiplexer
+from repro.errors import CircuitError, ControlRangeError
+from repro.signals import synthesize_nrz
+
+
+@pytest.fixture(scope="module")
+def nrz():
+    return synthesize_nrz([0, 1, 1, 0, 1, 0, 0, 1] * 4, 2.4e9, 1e-12)
+
+
+class TestSelect:
+    def test_default_select_zero(self):
+        assert Multiplexer().select == 0
+
+    def test_select_setter(self):
+        mux = Multiplexer()
+        mux.select = 3
+        assert mux.select == 3
+
+    def test_select_out_of_range(self):
+        mux = Multiplexer(n_inputs=4)
+        with pytest.raises(ControlRangeError):
+            mux.select = 4
+        with pytest.raises(ControlRangeError):
+            mux.select = -1
+
+    def test_select_lines_lsb_first(self):
+        mux = Multiplexer(n_inputs=4)
+        mux.set_select_lines(1, 0)  # SEL0=1, SEL1=0 -> port 1
+        assert mux.select == 1
+        mux.set_select_lines(0, 1)  # port 2
+        assert mux.select == 2
+        mux.set_select_lines(1, 1)  # port 3
+        assert mux.select == 3
+
+    def test_select_lines_reject_non_bits(self):
+        with pytest.raises(ControlRangeError):
+            Multiplexer().set_select_lines(2, 0)
+
+
+class TestConstruction:
+    def test_rejects_single_input(self):
+        with pytest.raises(CircuitError):
+            Multiplexer(n_inputs=1)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(CircuitError):
+            Multiplexer(amplitude=0.0)
+
+    def test_rejects_skew_length_mismatch(self):
+        with pytest.raises(CircuitError):
+            Multiplexer(n_inputs=4, port_skews=[0.0, 1e-12])
+
+
+class TestSelection:
+    def test_passes_selected_input(self, nrz, rng):
+        # Selecting the 50 ps-shifted copy must move the output delay
+        # by exactly that much relative to selecting the original.
+        mux = Multiplexer(n_inputs=2, seed=5)
+        inputs = [nrz, nrz.shifted(50e-12)]
+        mux.select = 1
+        shifted = measure_delay(nrz, mux.select_input(inputs, rng)).delay
+        mux.select = 0
+        original = measure_delay(nrz, mux.select_input(inputs, rng)).delay
+        assert shifted - original == pytest.approx(50e-12, abs=2e-12)
+
+    def test_select_input_wrong_count(self, nrz, rng):
+        mux = Multiplexer(n_inputs=4, seed=5)
+        with pytest.raises(CircuitError):
+            mux.select_input([nrz, nrz], rng)
+
+    def test_port_skew_applied(self, nrz, rng):
+        mux_clean = Multiplexer(n_inputs=2, seed=5)
+        mux_skewed = Multiplexer(
+            n_inputs=2, port_skews=[5e-12, 0.0], seed=5
+        )
+        clean = mux_clean.process(nrz, np.random.default_rng(1))
+        skewed = mux_skewed.process(nrz, np.random.default_rng(1))
+        assert measure_delay(clean, skewed).delay == pytest.approx(
+            5e-12, abs=1e-12
+        )
+
+    def test_output_amplitude(self, nrz, rng):
+        out = Multiplexer(seed=5).process(nrz, rng)
+        assert out.amplitude() == pytest.approx(0.4, rel=0.05)

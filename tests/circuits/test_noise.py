@@ -1,0 +1,93 @@
+"""Tests for the bench noise source and AC coupler."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ACCoupler, GAUSSIAN_PP_SIGMA_RATIO, NoiseSource
+from repro.errors import CircuitError
+from repro.signals import Waveform
+
+
+class TestNoiseSource:
+    def test_gaussian_sigma_from_pp(self):
+        source = NoiseSource(kind="gaussian", peak_to_peak=0.9, seed=1)
+        record = source.record(2e-6, 1e-9)
+        expected_sigma = 0.9 / GAUSSIAN_PP_SIGMA_RATIO
+        assert record.rms() == pytest.approx(expected_sigma, rel=0.02)
+
+    def test_uniform_bounds(self):
+        source = NoiseSource(kind="uniform", peak_to_peak=0.6, seed=1)
+        record = source.record(1e-6, 1e-9)
+        assert record.values.max() <= 0.3
+        assert record.values.min() >= -0.3
+
+    def test_sine_amplitude_and_frequency(self):
+        source = NoiseSource(
+            kind="sine", peak_to_peak=0.4, bandwidth=10e6, seed=1
+        )
+        record = source.record(1e-6, 1e-9)
+        assert record.peak_to_peak() == pytest.approx(0.4, rel=0.01)
+        # 10 MHz over 1 us = 10 periods -> 20 zero crossings.
+        from repro.signals import crossing_times
+
+        crossings = crossing_times(record, 0.0)
+        assert 18 <= crossings.size <= 22
+
+    def test_zero_amplitude(self):
+        source = NoiseSource(peak_to_peak=0.0, seed=1)
+        record = source.record(1e-7, 1e-9)
+        assert np.all(record.values == 0.0)
+
+    def test_reproducible_with_seed(self):
+        a = NoiseSource(seed=7).record(1e-7, 1e-9)
+        b = NoiseSource(seed=7).record(1e-7, 1e-9)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_explicit_rng_wins(self):
+        source = NoiseSource(seed=7)
+        a = source.record(1e-7, 1e-9, rng=np.random.default_rng(3))
+        b = source.record(1e-7, 1e-9, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(CircuitError):
+            NoiseSource(kind="pink")
+
+    def test_rejects_negative_pp(self):
+        with pytest.raises(CircuitError):
+            NoiseSource(peak_to_peak=-0.1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(CircuitError):
+            NoiseSource(bandwidth=0.0)
+
+    def test_record_t0(self):
+        record = NoiseSource(seed=1).record(1e-7, 1e-9, t0=-5e-8)
+        assert record.t0 == pytest.approx(-5e-8)
+
+
+class TestACCoupler:
+    def test_adds_dc_level(self):
+        coupler = ACCoupler(cutoff=1e3)
+        flat = Waveform.constant(0.0, 1e-6, 1e-9)
+        out = coupler.couple(0.75, flat)
+        np.testing.assert_allclose(out.values, 0.75, atol=1e-9)
+
+    def test_blocks_disturbance_dc(self):
+        coupler = ACCoupler(cutoff=1e6)
+        biased = Waveform.constant(0.3, 1e-4, 1e-8)
+        out = coupler.couple(0.75, biased)
+        # The disturbance's DC is blocked; output settles to dc_level.
+        assert out.values[-1] == pytest.approx(0.75, abs=1e-3)
+
+    def test_passes_fast_noise(self):
+        coupler = ACCoupler(cutoff=1e4)
+        sine = Waveform.from_function(
+            lambda t: 0.2 * np.sin(2 * np.pi * 50e6 * t), 1e-6, 1e-9
+        )
+        out = coupler.couple(0.75, sine)
+        assert (out - 0.75).amplitude() == pytest.approx(0.2, rel=0.05)
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(CircuitError):
+            ACCoupler(cutoff=0.0)

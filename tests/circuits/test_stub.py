@@ -1,0 +1,85 @@
+"""Tests for the reflective-stub (echo) element."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import peak_to_peak_jitter
+from repro.circuits import ReflectiveStub
+from repro.errors import CircuitError
+from repro.jitter import jittered_prbs
+from repro.signals import Waveform, synthesize_step
+
+
+class TestConstruction:
+    def test_defaults(self):
+        stub = ReflectiveStub()
+        assert stub.reflection == pytest.approx(0.15)
+        assert stub.n_echoes == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reflection": -0.1},
+            {"reflection": 1.0},
+            {"stub_delay": 0.0},
+            {"n_echoes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(CircuitError):
+            ReflectiveStub(**kwargs)
+
+
+class TestEchoBehaviour:
+    def test_zero_reflection_is_identity(self):
+        wf = synthesize_step(1e-12)
+        out = ReflectiveStub(reflection=0.0).process(wf)
+        np.testing.assert_array_equal(out.values, wf.values)
+
+    def test_echo_arrives_at_round_trip(self):
+        wf = synthesize_step(1e-12, step_time=0.2e-9, t_after=2e-9)
+        stub = ReflectiveStub(reflection=0.2, stub_delay=100e-12)
+        out = stub.process(wf)
+        # The echo is a negative-gamma copy of the step: the residual
+        # flips from +gamma*A to -gamma*A at step + 200 ps.
+        residual = out - wf
+        echo_time = 0.2e-9 + 200e-12
+        before = residual.slice_time(echo_time - 80e-12, echo_time - 40e-12)
+        after = residual.slice_time(echo_time + 40e-12, echo_time + 80e-12)
+        assert before.mean() == pytest.approx(0.2 * 0.4, rel=0.1)
+        assert after.mean() == pytest.approx(-0.2 * 0.4, rel=0.1)
+
+    def test_echo_amplitude_scales_with_gamma(self):
+        wf = synthesize_step(1e-12, step_time=0.2e-9, t_after=2e-9)
+        small = ReflectiveStub(reflection=0.1, stub_delay=100e-12).process(wf)
+        large = ReflectiveStub(reflection=0.3, stub_delay=100e-12).process(wf)
+        assert (large - wf).peak_to_peak() > 2.5 * (small - wf).peak_to_peak()
+
+    def test_multiple_echoes_decay(self):
+        wf = synthesize_step(1e-12, step_time=0.2e-9, t_after=3e-9)
+        stub = ReflectiveStub(
+            reflection=0.3, stub_delay=100e-12, n_echoes=3
+        )
+        out = stub.process(wf)
+        residual = out - wf
+        first = residual.slice_time(0.35e-9, 0.45e-9).peak_to_peak()
+        second = residual.slice_time(0.55e-9, 0.65e-9).peak_to_peak()
+        assert second < first
+
+    def test_adds_deterministic_jitter_to_data(self):
+        # An echo longer than one UI converts pattern into DDJ.
+        wf = jittered_prbs(7, 400, 6.4e9, 1e-12)
+        out = ReflectiveStub(
+            reflection=0.25, stub_delay=130e-12
+        ).process(wf)
+        ui = 1 / 6.4e9
+        assert peak_to_peak_jitter(out, ui) > peak_to_peak_jitter(
+            wf, ui
+        ) + 1e-12
+
+    def test_deterministic_no_randomness(self):
+        wf = jittered_prbs(7, 60, 6.4e9, 1e-12)
+        stub = ReflectiveStub(reflection=0.2)
+        a = stub.process(wf)
+        b = stub.process(wf)
+        np.testing.assert_array_equal(a.values, b.values)

@@ -1,0 +1,88 @@
+"""Tests for the transmission-line model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuits import TransmissionLine
+from repro.errors import CircuitError
+from repro.signals import synthesize_nrz
+
+
+@pytest.fixture(scope="module")
+def nrz():
+    return synthesize_nrz([0, 1, 1, 0, 1, 0, 0, 1] * 4, 2.4e9, 1e-12)
+
+
+class TestTransmissionLine:
+    def test_delay_applied(self, nrz):
+        line = TransmissionLine(delay=33e-12, loss_db=0.0, dispersive=False)
+        out = line.process(nrz)
+        assert measure_delay(nrz, out).delay == pytest.approx(
+            33e-12, abs=0.1e-12
+        )
+
+    def test_length_error_adds(self, nrz):
+        line = TransmissionLine(
+            delay=33e-12, length_error=4e-12, loss_db=0.0, dispersive=False
+        )
+        assert line.total_delay == pytest.approx(37e-12)
+        out = line.process(nrz)
+        assert measure_delay(nrz, out).delay == pytest.approx(
+            37e-12, abs=0.1e-12
+        )
+
+    def test_loss_attenuates(self, nrz):
+        line = TransmissionLine(delay=10e-12, loss_db=6.0, dispersive=False)
+        out = line.process(nrz)
+        assert out.amplitude() == pytest.approx(
+            nrz.amplitude() * 10 ** (-6 / 20), rel=0.02
+        )
+
+    def test_gain_property(self):
+        line = TransmissionLine(delay=0.0, loss_db=20.0)
+        assert line.gain == pytest.approx(0.1)
+
+    def test_zero_delay_passthrough(self, nrz):
+        line = TransmissionLine(delay=0.0, loss_db=0.0)
+        out = line.process(nrz)
+        np.testing.assert_allclose(out.values, nrz.values)
+
+    def test_dispersion_scales_with_length(self):
+        short = TransmissionLine(delay=33e-12)
+        long = TransmissionLine(delay=99e-12)
+        assert long.bandwidth() < short.bandwidth()
+
+    def test_dispersion_slows_edges(self, nrz):
+        crisp = TransmissionLine(
+            delay=99e-12, loss_db=0.0, dispersive=False
+        ).process(nrz)
+        soft = TransmissionLine(delay=99e-12, loss_db=0.0).process(
+            nrz.resampled(0.25e-12)
+        )
+        max_slope_crisp = np.abs(np.diff(crisp.values)).max() / crisp.dt
+        max_slope_soft = np.abs(np.diff(soft.values)).max() / soft.dt
+        assert max_slope_soft < max_slope_crisp
+
+    def test_passive_line_adds_no_jitter(self, nrz):
+        # Identical runs produce identical outputs: no randomness.
+        line = TransmissionLine(delay=33e-12)
+        a = line.process(nrz)
+        b = line.process(nrz)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(CircuitError):
+            TransmissionLine(delay=-1e-12)
+
+    def test_rejects_error_making_delay_negative(self):
+        with pytest.raises(CircuitError):
+            TransmissionLine(delay=1e-12, length_error=-2e-12)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(CircuitError):
+            TransmissionLine(delay=1e-12, loss_db=-1.0)
+
+    def test_infinite_bandwidth_for_zero_length(self):
+        line = TransmissionLine(delay=0.0)
+        assert np.isinf(line.bandwidth())

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (calibrated delay lines, standard stimuli) are
+session-scoped: the objects are deterministic given their seeds, so
+sharing them across tests changes nothing about what is verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CombinedDelayLine,
+    FineDelayLine,
+    calibrate_fine_delay,
+    calibration_stimulus,
+)
+from repro.signals import prbs_sequence, synthesize_nrz
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def short_stimulus():
+    """A short 2.4 Gbps PRBS7 record for fast circuit tests."""
+    return calibration_stimulus(n_bits=60, dt=1e-12)
+
+
+@pytest.fixture(scope="session")
+def standard_stimulus():
+    """A full-period 2.4 Gbps PRBS7 record."""
+    return calibration_stimulus(n_bits=127, dt=1e-12)
+
+
+@pytest.fixture(scope="session")
+def fine_line():
+    """A default 4-stage fine delay line (do not mutate vctrl state
+    without restoring it)."""
+    return FineDelayLine(seed=777)
+
+
+@pytest.fixture(scope="session")
+def fine_table(short_stimulus):
+    """A calibration table for a default 4-stage line."""
+    line = FineDelayLine(seed=778)
+    return calibrate_fine_delay(
+        line,
+        stimulus=short_stimulus,
+        n_points=9,
+        rng=np.random.default_rng(5),
+    )
+
+
+@pytest.fixture(scope="session")
+def calibrated_combined(short_stimulus):
+    """A calibrated combined delay line (shared, read-mostly)."""
+    line = CombinedDelayLine(seed=779)
+    line.calibrate(stimulus=short_stimulus, n_points=9)
+    return line

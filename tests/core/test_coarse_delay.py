@@ -1,0 +1,100 @@
+"""Tests for the coarse delay selector (the paper's Sec. 3 circuit)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.core import CoarseDelayLine
+from repro.errors import CircuitError, ControlRangeError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        line = CoarseDelayLine()
+        assert line.n_taps == 4
+        assert line.step == pytest.approx(33e-12)
+
+    def test_nominal_tap_delays(self):
+        line = CoarseDelayLine()
+        np.testing.assert_allclose(
+            line.nominal_tap_delays(), [0.0, 33e-12, 66e-12, 99e-12]
+        )
+
+    def test_actual_includes_errors(self):
+        line = CoarseDelayLine(tap_errors=(0.0, 1e-12, 0.0, 0.0))
+        actual = line.actual_tap_delays()
+        assert actual[1] == pytest.approx(34e-12)
+
+    def test_default_errors_only_for_four_taps(self):
+        line = CoarseDelayLine(n_taps=3, step=20e-12)
+        assert line.tap_errors == (0.0, 0.0, 0.0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(CircuitError):
+            CoarseDelayLine(step=0.0)
+
+    def test_rejects_single_tap(self):
+        with pytest.raises(CircuitError):
+            CoarseDelayLine(n_taps=1)
+
+    def test_rejects_error_length_mismatch(self):
+        with pytest.raises(CircuitError):
+            CoarseDelayLine(tap_errors=(0.0, 1e-12))
+
+
+class TestSelection:
+    def test_select_round_trip(self):
+        line = CoarseDelayLine()
+        line.select = 2
+        assert line.select == 2
+
+    def test_select_lines(self):
+        line = CoarseDelayLine()
+        line.set_select_lines(1, 1)
+        assert line.select == 3
+
+    def test_select_out_of_range(self):
+        line = CoarseDelayLine()
+        with pytest.raises(ControlRangeError):
+            line.select = 4
+
+
+class TestBehaviour:
+    def test_tap_delta_near_step(self, short_stimulus, rng):
+        line = CoarseDelayLine(seed=2)
+        outputs = line.process_all_taps(short_stimulus, rng)
+        d0 = measure_delay(short_stimulus, outputs[0]).delay
+        d1 = measure_delay(short_stimulus, outputs[1]).delay
+        assert d1 - d0 == pytest.approx(33e-12, abs=4e-12)
+
+    def test_paper_calibrated_taps(self, short_stimulus):
+        # Default tap errors reproduce the paper's 0/33/70/95 ps.
+        line = CoarseDelayLine(seed=2)
+        outputs = line.process_all_taps(
+            short_stimulus, np.random.default_rng(0)
+        )
+        delays = [measure_delay(short_stimulus, o).delay for o in outputs]
+        relative = np.array(delays) - delays[0]
+        np.testing.assert_allclose(
+            relative, [0.0, 33e-12, 70e-12, 95e-12], atol=3e-12
+        )
+
+    def test_process_uses_selected_tap(self, short_stimulus):
+        line = CoarseDelayLine(seed=2)
+        line.select = 0
+        out0 = line.process(short_stimulus, np.random.default_rng(1))
+        line.select = 3
+        out3 = line.process(short_stimulus, np.random.default_rng(1))
+        delta = measure_delay(out0, out3).delay
+        assert delta == pytest.approx(95e-12, abs=4e-12)
+
+    def test_process_all_taps_restores_select(self, short_stimulus, rng):
+        line = CoarseDelayLine(seed=2)
+        line.select = 1
+        line.process_all_taps(short_stimulus, rng)
+        assert line.select == 1
+
+    def test_output_full_swing(self, short_stimulus, rng):
+        line = CoarseDelayLine(seed=2)
+        out = line.process(short_stimulus, rng)
+        assert out.amplitude() == pytest.approx(0.4, rel=0.08)

@@ -1,0 +1,129 @@
+"""Tests for the combined coarse+fine delay circuit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuits import ControlDAC
+from repro.core import CombinedDelayLine
+from repro.errors import CalibrationError, DelayRangeError
+
+
+class TestControlSurface:
+    def test_select_delegates(self):
+        line = CombinedDelayLine(seed=1)
+        line.select = 2
+        assert line.coarse.select == 2
+
+    def test_vctrl_delegates(self):
+        line = CombinedDelayLine(seed=1)
+        line.vctrl = 1.1
+        assert all(v == 1.1 for v in line.fine.stage_vctrls())
+
+    def test_params_exposes_fine_params(self):
+        line = CombinedDelayLine(seed=1)
+        assert line.params is line.fine.params
+
+    def test_uncalibrated_set_delay_raises(self):
+        line = CombinedDelayLine(seed=1)
+        with pytest.raises(CalibrationError):
+            line.set_delay(50e-12)
+
+    def test_uncalibrated_total_range_raises(self):
+        line = CombinedDelayLine(seed=1)
+        with pytest.raises(CalibrationError):
+            _ = line.total_range
+
+
+class TestCalibratedBehaviour:
+    def test_total_range_exceeds_requirement(self, calibrated_combined):
+        assert calibrated_combined.total_range >= 120e-12
+
+    def test_set_delay_applies_controls(self, calibrated_combined):
+        setting = calibrated_combined.set_delay(77e-12)
+        assert calibrated_combined.select == setting.tap
+        assert calibrated_combined.vctrl == setting.vctrl
+
+    def test_set_delay_out_of_range(self, calibrated_combined):
+        with pytest.raises(DelayRangeError):
+            calibrated_combined.set_delay(1e-9)
+
+    def test_programmed_delay_achieved(
+        self, calibrated_combined, short_stimulus
+    ):
+        rng = np.random.default_rng(4)
+        calibrated_combined.set_delay(0.0)
+        base = measure_delay(
+            short_stimulus,
+            calibrated_combined.process(short_stimulus, rng),
+        ).delay
+        calibrated_combined.set_delay(88e-12)
+        achieved = (
+            measure_delay(
+                short_stimulus,
+                calibrated_combined.process(short_stimulus, rng),
+            ).delay
+            - base
+        )
+        assert achieved == pytest.approx(88e-12, abs=6e-12)
+
+    def test_insertion_delay_scale(self, calibrated_combined, short_stimulus):
+        # 7 active stages: ~390 ps of fixed propagation plus dynamics.
+        calibrated_combined.set_delay(0.0)
+        out = calibrated_combined.process(
+            short_stimulus, np.random.default_rng(4)
+        )
+        insertion = measure_delay(short_stimulus, out).delay
+        assert 0.4e-9 < insertion < 0.8e-9
+
+    def test_dac_settings_round_trip(self, short_stimulus):
+        line = CombinedDelayLine(dac=ControlDAC(seed=1), seed=5)
+        line.calibrate(stimulus=short_stimulus, n_points=7)
+        setting = line.set_delay(60e-12)
+        assert setting.dac_code is not None
+        assert setting.predicted_delay == pytest.approx(60e-12, abs=1e-12)
+
+    def test_calibrate_restores_controls(self, short_stimulus):
+        line = CombinedDelayLine(seed=6)
+        line.select = 2
+        line.vctrl = 0.9
+        line.calibrate(stimulus=short_stimulus, n_points=5)
+        assert line.select == 2
+        assert line.vctrl == 0.9
+
+
+class TestVerifyCalibration:
+    def test_errors_small_after_calibration(
+        self, calibrated_combined, short_stimulus
+    ):
+        errors = calibrated_combined.verify_calibration(
+            stimulus=short_stimulus, rng=np.random.default_rng(8)
+        )
+        assert len(errors) == 3
+        assert max(abs(e) for e in errors) < 5e-12
+
+    def test_custom_targets(self, calibrated_combined, short_stimulus):
+        errors = calibrated_combined.verify_calibration(
+            targets=[20e-12, 100e-12],
+            stimulus=short_stimulus,
+            rng=np.random.default_rng(8),
+        )
+        assert len(errors) == 2
+
+    def test_restores_controls(self, calibrated_combined, short_stimulus):
+        calibrated_combined.select = 2
+        calibrated_combined.vctrl = 0.9
+        calibrated_combined.verify_calibration(
+            targets=[30e-12],
+            stimulus=short_stimulus,
+            rng=np.random.default_rng(8),
+        )
+        assert calibrated_combined.select == 2
+        assert calibrated_combined.vctrl == 0.9
+
+    def test_requires_calibration(self):
+        from repro.core import CombinedDelayLine
+
+        line = CombinedDelayLine(seed=1)
+        with pytest.raises(CalibrationError):
+            line.verify_calibration()

@@ -1,0 +1,128 @@
+"""Tests for the fast analytic event model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.core import EventDelayModel, FineDelayLine
+from repro.errors import CircuitError
+
+
+class TestStageFormulas:
+    def test_stage_delay_monotone_in_vctrl(self):
+        model = EventDelayModel()
+        assert model.stage_delay(1.5) > model.stage_delay(0.0)
+
+    def test_stage_delay_compresses_at_speed(self):
+        model = EventDelayModel()
+        assert model.stage_delay(1.5, half_period=78e-12) < model.stage_delay(
+            1.5, half_period=math.inf
+        )
+
+    def test_low_amplitude_barely_compresses(self):
+        model = EventDelayModel()
+        slow = model.stage_delay(0.0, half_period=math.inf)
+        fast = model.stage_delay(0.0, half_period=78e-12)
+        assert fast == pytest.approx(slow, abs=1e-12)
+
+    def test_total_delay_includes_all_stages(self):
+        model = EventDelayModel(n_stages=4)
+        total = model.total_delay(0.75)
+        per_stage = model.stage_delay(0.75)
+        output = model.output_stage_delay()
+        assert total == pytest.approx(4 * per_stage + output)
+
+    def test_tap_delays_added(self):
+        model = EventDelayModel(tap_delays=[0.0, 33e-12])
+        assert model.total_delay(0.75, tap=1) - model.total_delay(
+            0.75, tap=0
+        ) == pytest.approx(33e-12)
+
+    def test_bad_tap_raises(self):
+        model = EventDelayModel()
+        with pytest.raises(CircuitError):
+            model.total_delay(0.75, tap=1)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(CircuitError):
+            EventDelayModel(n_stages=0)
+
+    def test_delay_range_positive(self):
+        model = EventDelayModel()
+        assert 30e-12 < model.delay_range() < 90e-12
+
+    def test_rj_sigma_scale(self):
+        # Predicted added jitter should be around a picosecond RMS.
+        model = EventDelayModel()
+        assert 0.2e-12 < model.rj_sigma() < 5e-12
+
+
+class TestAgreementWithWaveformModel:
+    def test_delay_agreement(self, short_stimulus):
+        line = FineDelayLine(seed=11)
+        model = EventDelayModel()
+        for vctrl in (0.0, 0.75, 1.5):
+            line.vctrl = vctrl
+            out = line.process(short_stimulus, np.random.default_rng(2))
+            measured = measure_delay(short_stimulus, out).delay
+            predicted = model.total_delay(vctrl, half_period=1 / 2.4e9)
+            assert predicted == pytest.approx(measured, abs=25e-12)
+
+    def test_range_agreement(self, short_stimulus):
+        line = FineDelayLine(seed=11)
+        delays = {}
+        for vctrl in (0.0, 1.5):
+            line.vctrl = vctrl
+            out = line.process(short_stimulus, np.random.default_rng(2))
+            delays[vctrl] = measure_delay(short_stimulus, out).delay
+        measured_range = delays[1.5] - delays[0.0]
+        predicted_range = EventDelayModel().delay_range(
+            half_period=1 / 2.4e9
+        )
+        assert predicted_range == pytest.approx(measured_range, rel=0.5)
+
+
+class TestPropagateEdges:
+    def test_uniform_edges_uniform_delay(self):
+        model = EventDelayModel()
+        times = 200e-12 * np.arange(20)
+        out = model.propagate_edges(times, vctrl=0.75, add_jitter=False)
+        delays = out - times
+        np.testing.assert_allclose(delays[1:], delays[1], atol=1e-15)
+
+    def test_first_edge_uses_settled_compression(self):
+        model = EventDelayModel()
+        times = 50e-12 * np.arange(10)  # 10 GHz toggling: compressed
+        out = model.propagate_edges(times, vctrl=1.5, add_jitter=False)
+        delays = out - times
+        # The first edge (infinite preceding interval) is the slowest.
+        assert delays[0] > delays[1]
+
+    def test_jitter_reproducible(self):
+        model = EventDelayModel()
+        times = 200e-12 * np.arange(50)
+        a = model.propagate_edges(
+            times, 0.75, rng=np.random.default_rng(3)
+        )
+        b = model.propagate_edges(
+            times, 0.75, rng=np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_output_monotone(self):
+        model = EventDelayModel()
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 10e-9, 200))
+        out = model.propagate_edges(times, 0.75, rng=rng)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_empty_input(self):
+        model = EventDelayModel()
+        assert model.propagate_edges(np.array([]), 0.75).size == 0
+
+    def test_rejects_descending(self):
+        model = EventDelayModel()
+        with pytest.raises(CircuitError):
+            model.propagate_edges(np.array([1e-9, 0.0]), 0.75)

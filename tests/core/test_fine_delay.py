@@ -1,0 +1,116 @@
+"""Tests for the fine delay line (the paper's Sec. 2 circuit)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_delay
+from repro.circuits import BufferParams
+from repro.core import FineDelayLine, FOUR_STAGE_BUFFER
+from repro.errors import CircuitError
+from repro.signals import Waveform
+
+
+class TestConstruction:
+    def test_default_four_stages(self):
+        line = FineDelayLine()
+        assert line.n_stages == 4
+        assert line.params is FOUR_STAGE_BUFFER
+
+    def test_custom_stage_count(self):
+        assert FineDelayLine(n_stages=2).n_stages == 2
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(CircuitError):
+            FineDelayLine(n_stages=0)
+
+    def test_stage_seeds_differ(self, short_stimulus):
+        # Different stages draw different noise: two stages of the same
+        # line produce different outputs for the same input.
+        line = FineDelayLine(n_stages=2, seed=5)
+        a = line.stages[0].process(short_stimulus)
+        b = line.stages[1].process(short_stimulus)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_reproducible_given_seed(self, short_stimulus):
+        a = FineDelayLine(seed=9).process(short_stimulus)
+        b = FineDelayLine(seed=9).process(short_stimulus)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestCommonControl:
+    def test_vctrl_fans_out_to_all_stages(self):
+        line = FineDelayLine()
+        line.vctrl = 1.2
+        assert all(v == 1.2 for v in line.stage_vctrls())
+
+    def test_per_stage_override(self):
+        line = FineDelayLine()
+        line.vctrl = 0.5
+        line.set_stage_vctrl(2, 1.0)
+        vctrls = line.stage_vctrls()
+        assert vctrls[2] == 1.0
+        assert vctrls[0] == 0.5
+
+    def test_vctrl_getter_returns_stage0(self):
+        line = FineDelayLine(vctrl=0.6)
+        assert line.vctrl == 0.6
+
+
+class TestBehaviour:
+    def test_output_full_swing_at_any_vctrl(self, short_stimulus, rng):
+        line = FineDelayLine(seed=3)
+        for vctrl in (0.0, 0.75, 1.5):
+            line.vctrl = vctrl
+            out = line.process(short_stimulus, rng)
+            assert out.amplitude() == pytest.approx(0.4, rel=0.08)
+
+    def test_delay_monotone_in_vctrl(self, short_stimulus):
+        line = FineDelayLine(seed=3)
+        delays = []
+        for vctrl in np.linspace(0.0, 1.5, 5):
+            line.vctrl = float(vctrl)
+            out = line.process(short_stimulus, np.random.default_rng(1))
+            delays.append(measure_delay(short_stimulus, out).delay)
+        assert all(b > a - 0.5e-12 for a, b in zip(delays, delays[1:]))
+
+    def test_range_matches_paper_scale(self, short_stimulus):
+        line = FineDelayLine(seed=3)
+        line.vctrl = 0.0
+        low = line.process(short_stimulus, np.random.default_rng(1))
+        line.vctrl = 1.5
+        high = line.process(short_stimulus, np.random.default_rng(1))
+        delay_range = measure_delay(low, high).delay
+        assert 40e-12 <= delay_range <= 70e-12
+
+    def test_two_stage_has_half_range(self, short_stimulus):
+        ranges = {}
+        for n in (2, 4):
+            line = FineDelayLine(n_stages=n, seed=3)
+            line.vctrl = 0.0
+            low = line.process(short_stimulus, np.random.default_rng(1))
+            line.vctrl = 1.5
+            high = line.process(short_stimulus, np.random.default_rng(1))
+            ranges[n] = measure_delay(low, high).delay
+        assert ranges[2] == pytest.approx(ranges[4] / 2, rel=0.25)
+
+
+class TestNominalEstimates:
+    def test_nominal_delay_monotone(self):
+        line = FineDelayLine()
+        assert line.nominal_delay(1.5) > line.nominal_delay(0.0)
+
+    def test_nominal_range_positive(self):
+        line = FineDelayLine()
+        assert line.nominal_range() > 30e-12
+
+    def test_nominal_range_compresses_at_speed(self):
+        line = FineDelayLine()
+        assert line.nominal_range(half_period=78e-12) < line.nominal_range()
+
+    def test_nominal_within_2x_of_measured(self, short_stimulus):
+        line = FineDelayLine(seed=3)
+        line.vctrl = 0.75
+        out = line.process(short_stimulus, np.random.default_rng(1))
+        measured = measure_delay(short_stimulus, out).delay
+        nominal = line.nominal_delay(0.75)
+        assert nominal == pytest.approx(measured, rel=0.5)

@@ -1,0 +1,106 @@
+"""Tests for the jitter injector (paper Sec. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import peak_to_peak_jitter, rms_jitter
+from repro.circuits import NoiseSource
+from repro.core import FineDelayLine, JitterInjector
+from repro.errors import CircuitError
+from repro.experiments.common import steady_state
+from repro.jitter import jittered_prbs
+
+
+BIT_RATE = 3.2e9
+
+
+@pytest.fixture(scope="module")
+def stimulus():
+    return jittered_prbs(7, 254, BIT_RATE, 1e-12)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        injector = JitterInjector(seed=1)
+        assert injector.dc_vctrl == 0.75
+        assert injector.noise.peak_to_peak == pytest.approx(0.9)
+
+    def test_rejects_dc_outside_range(self):
+        with pytest.raises(CircuitError):
+            JitterInjector(dc_vctrl=3.0, seed=1)
+
+
+class TestVctrlRecord:
+    def test_covers_signal_span_with_margin(self, stimulus, rng):
+        injector = JitterInjector(seed=1)
+        record = injector.vctrl_record(stimulus, rng, margin=2e-9)
+        assert record.t0 <= stimulus.t0 - 1.9e-9
+        assert record.t_end >= stimulus.t_end + 1.9e-9
+
+    def test_centred_on_dc(self, stimulus, rng):
+        injector = JitterInjector(dc_vctrl=0.6, seed=1)
+        # The record is short relative to the noise correlation time,
+        # so its mean wanders by a few tens of millivolts.
+        record = injector.vctrl_record(stimulus, rng)
+        assert record.mean() == pytest.approx(0.6, abs=0.06)
+
+    def test_zero_noise_is_flat(self, stimulus, rng):
+        injector = JitterInjector(
+            noise=NoiseSource(peak_to_peak=0.0), seed=1
+        )
+        record = injector.vctrl_record(stimulus, rng)
+        assert record.peak_to_peak() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestInjection:
+    def test_noise_increases_jitter(self, stimulus):
+        line = FineDelayLine(seed=3)
+        ui = 1 / BIT_RATE
+        quiet_line = FineDelayLine(seed=3)
+        quiet_line.vctrl = 0.75
+        quiet = quiet_line.process(stimulus, np.random.default_rng(1))
+        injector = JitterInjector(
+            delay_line=line,
+            noise=NoiseSource(peak_to_peak=0.9, seed=4),
+            seed=5,
+        )
+        noisy = injector.process(stimulus, np.random.default_rng(1))
+        tj_quiet = peak_to_peak_jitter(steady_state(quiet), ui)
+        tj_noisy = peak_to_peak_jitter(steady_state(noisy), ui)
+        assert tj_noisy > tj_quiet + 10e-12
+
+    def test_injection_scales_with_amplitude(self, stimulus):
+        ui = 1 / BIT_RATE
+        sigmas = []
+        for pp in (0.3, 0.9):
+            injector = JitterInjector(
+                delay_line=FineDelayLine(seed=3),
+                noise=NoiseSource(peak_to_peak=pp, seed=4),
+                seed=5,
+            )
+            out = injector.process(stimulus, np.random.default_rng(1))
+            sigmas.append(rms_jitter(steady_state(out), ui))
+        assert sigmas[1] > 2 * sigmas[0]
+
+    def test_restores_vctrl(self, stimulus, rng):
+        line = FineDelayLine(seed=3)
+        line.vctrl = 0.42
+        injector = JitterInjector(delay_line=line, seed=5)
+        injector.process(stimulus, rng)
+        assert line.vctrl == 0.42
+
+
+class TestPredictions:
+    def test_injection_gain_positive(self, fine_table):
+        injector = JitterInjector(seed=1)
+        assert injector.injection_gain(fine_table) > 0
+
+    def test_predicted_pp_scale(self, fine_table):
+        injector = JitterInjector(
+            noise=NoiseSource(peak_to_peak=0.9), seed=1
+        )
+        predicted = injector.predicted_injected_pp(fine_table)
+        # Paper: ~41 ps injected at 900 mV; the small-signal slope
+        # prediction overestimates somewhat (the real modulation is
+        # attenuated by amplitude settling), so allow a wide band.
+        assert 20e-12 < predicted < 130e-12

@@ -1,0 +1,61 @@
+"""Tests for the calibrated parameter sets."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    COARSE_STEP,
+    COARSE_TAP_ERRORS,
+    DEFAULT_FINE_STAGES,
+    FOUR_STAGE_BUFFER,
+    IDEAL_WIDEBAND_BUFFER,
+    TWO_STAGE_BUFFER,
+)
+
+
+class TestParameterSets:
+    def test_paper_amplitude_range(self):
+        # The paper's part: 100-750 mV amplitude over a 1.5 V control.
+        assert FOUR_STAGE_BUFFER.amplitude_min == pytest.approx(0.10)
+        assert FOUR_STAGE_BUFFER.amplitude_max == pytest.approx(0.75)
+        assert FOUR_STAGE_BUFFER.vctrl_max == pytest.approx(1.5)
+
+    def test_per_stage_range_near_paper(self):
+        # (A_max - A_min) / SR should be in the ~10-15 ps regime the
+        # paper reports per buffer.
+        per_stage = (
+            FOUR_STAGE_BUFFER.amplitude_max - FOUR_STAGE_BUFFER.amplitude_min
+        ) / FOUR_STAGE_BUFFER.slew_rate
+        assert 8e-12 <= per_stage <= 16e-12
+
+    def test_four_stages_default(self):
+        assert DEFAULT_FINE_STAGES == 4
+
+    def test_two_stage_part_is_slower_at_speed(self):
+        # Lower compression corner: more compression at 6 GHz toggling.
+        half_period = 1 / (2 * 6e9)
+        assert TWO_STAGE_BUFFER.compression_factor(
+            half_period
+        ) < FOUR_STAGE_BUFFER.compression_factor(half_period)
+
+    def test_ideal_part_never_compresses(self):
+        assert IDEAL_WIDEBAND_BUFFER.compression_factor(
+            1e-12
+        ) == pytest.approx(1.0)
+
+    def test_coarse_step_is_33ps(self):
+        assert COARSE_STEP == pytest.approx(33e-12)
+
+    def test_tap_errors_are_few_ps(self):
+        assert len(COARSE_TAP_ERRORS) == 4
+        assert all(abs(e) < 10e-12 for e in COARSE_TAP_ERRORS)
+
+    def test_parameter_sets_frozen(self):
+        with pytest.raises(Exception):
+            FOUR_STAGE_BUFFER.slew_rate = 1.0
+
+    def test_compression_factor_at_dc(self):
+        assert FOUR_STAGE_BUFFER.compression_factor(math.inf) == pytest.approx(
+            1.0
+        )

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_runs_selected_experiment(self, capsys):
+        exit_code = main(["--fast", "--only", "app_resolution"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "app_resolution" in captured.out
+        assert "[PASS]" in captured.out
+
+    def test_multiple_selection(self, capsys):
+        exit_code = main(["--fast", "--only", "fig09,app_resolution"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fig09" in captured.out
+        assert "app_resolution" in captured.out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only", "fig99"])
+        assert excinfo.value.code == 2  # argparse usage error
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestMarkdownFlag:
+    def test_markdown_output(self, capsys):
+        exit_code = main(["--fast", "--markdown", "--only", "app_resolution"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "## `app_resolution`" in captured.out
+        assert "- [x]" in captured.out

@@ -1,0 +1,112 @@
+"""Tests for the experiment scaffolding."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.experiments.common import (
+    ExperimentResult,
+    format_ps,
+    steady_state,
+)
+from repro.signals import Waveform
+
+
+class TestSteadyState:
+    def test_drops_warmup(self):
+        wf = Waveform.constant(0.4, 10e-9, 1e-12)
+        settled = steady_state(wf, warmup=3e-9)
+        assert settled.t0 == pytest.approx(3e-9)
+        assert settled.t_end == pytest.approx(wf.t_end)
+
+    def test_too_short_record_raises(self):
+        wf = Waveform.constant(0.4, 1e-9, 1e-12)
+        with pytest.raises(MeasurementError):
+            steady_state(wf, warmup=3e-9)
+
+
+class TestFormatPs:
+    def test_basic(self):
+        assert format_ps(33e-12) == "33.0 ps"
+
+    def test_digits(self):
+        assert format_ps(1.2345e-12, digits=2) == "1.23 ps"
+
+
+class TestExperimentResult:
+    def test_add_row_and_format(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(a=1, b="x")
+        result.add_row(a=2, b="y")
+        table = result.format_table()
+        assert "figX" in table
+        assert "demo" in table
+        assert "x" in table and "y" in table
+
+    def test_empty_table(self):
+        result = ExperimentResult("figX", "demo")
+        assert "(no rows)" in result.format_table()
+
+    def test_checks_recorded(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_check("good", True)
+        result.add_check("bad", False)
+        assert not result.all_checks_pass
+        assert result.failed_checks() == ["bad"]
+        table = result.format_table()
+        assert "[PASS] good" in table
+        assert "[FAIL] bad" in table
+
+    def test_all_pass(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_check("one", True)
+        assert result.all_checks_pass
+        assert result.failed_checks() == []
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("figX", "demo", notes="hello world")
+        result.add_row(a=1)
+        assert "hello world" in result.format_table()
+
+    def test_float_rendering(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(value=1.23456789)
+        assert "1.23" in result.format_table()
+
+
+class TestRegistry:
+    def test_all_runners_registered(self):
+        from repro.experiments import RUNNERS
+
+        expected = {
+            "fig04", "fig07", "fig09", "fig10", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "app_deskew",
+            "app_resolution", "ablation_stages",
+            "ablation_coarse_step", "ablation_model", "ablation_tj_depth",
+            "ext_sj", "ext_per_stage", "ext_drift",
+            "ext_clock_centering", "ext_clock_only",
+            "ext_fast_deskew",
+        }
+        assert expected == set(RUNNERS)
+
+    def test_runners_callable(self):
+        from repro.experiments import RUNNERS
+
+        for runner in RUNNERS.values():
+            assert callable(runner)
+
+
+class TestMarkdownRendering:
+    def test_markdown_table(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(a=1, b="x")
+        result.add_check("good", True)
+        result.add_check("bad", False)
+        markdown = result.format_markdown()
+        assert "## `figX` — demo" in markdown
+        assert "| a | b |" in markdown
+        assert "- [x] good" in markdown
+        assert "- [ ] bad" in markdown
+
+    def test_markdown_notes(self):
+        result = ExperimentResult("figX", "demo", notes="caveat emptor")
+        assert "> caveat emptor" in result.format_markdown()

@@ -1,0 +1,129 @@
+"""Integration tests: full flows through the public API.
+
+These exercise the same paths as the benchmark experiments but at
+reduced sizes, so a plain ``pytest tests/`` run still covers every
+figure's pipeline end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CombinedDelayLine,
+    EyeDiagram,
+    FineDelayLine,
+    JitterInjector,
+    measure_delay,
+    peak_to_peak_jitter,
+)
+from repro.circuits import NoiseSource
+from repro.core import calibration_stimulus
+from repro.experiments.common import steady_state
+from repro.jitter import RandomJitter, jittered_prbs
+from repro.signals import synthesize_clock
+
+
+class TestQuickstartFlow:
+    """The README quickstart must actually work."""
+
+    def test_program_and_measure(self, short_stimulus):
+        line = CombinedDelayLine(seed=42)
+        line.calibrate(stimulus=short_stimulus, n_points=7)
+        rng = np.random.default_rng(0)
+        line.set_delay(0.0)
+        base = measure_delay(
+            short_stimulus, line.process(short_stimulus, rng)
+        ).delay
+        setting = line.set_delay(77e-12)
+        assert setting.tap in range(4)
+        achieved = (
+            measure_delay(
+                short_stimulus, line.process(short_stimulus, rng)
+            ).delay
+            - base
+        )
+        assert achieved == pytest.approx(77e-12, abs=6e-12)
+
+
+class TestFig15Shape:
+    def test_range_declines_with_frequency(self):
+        line = FineDelayLine(seed=7)
+        ranges = []
+        for frequency in (1e9, 6.4e9):
+            clock = synthesize_clock(
+                frequency, max(60, int(25e-9 * frequency)), 0.5e-12
+            )
+            line.vctrl = 0.0
+            low = line.process(clock, np.random.default_rng(1))
+            line.vctrl = 1.5
+            high = line.process(clock, np.random.default_rng(1))
+            ranges.append(
+                measure_delay(steady_state(low), steady_state(high)).delay
+            )
+        assert ranges[1] < 0.6 * ranges[0]
+
+
+class TestJitterInjectionFlow:
+    def test_injection_end_to_end(self):
+        stimulus = jittered_prbs(7, 200, 3.2e9, 1e-12)
+        injector = JitterInjector(
+            delay_line=FineDelayLine(seed=3),
+            noise=NoiseSource(peak_to_peak=0.9, seed=4),
+            seed=5,
+        )
+        out = injector.process(stimulus, np.random.default_rng(1))
+        ui = 1 / 3.2e9
+        tj_in = peak_to_peak_jitter(steady_state(stimulus), ui)
+        tj_out = peak_to_peak_jitter(steady_state(out), ui)
+        assert tj_out > tj_in + 10e-12
+
+
+class TestEyeThroughCircuit:
+    def test_64gbps_eye_still_open(self):
+        rj = RandomJitter(2e-12)
+        stimulus = jittered_prbs(
+            7, 300, 6.4e9, 1e-12, jitter=rj, rng=np.random.default_rng(2)
+        )
+        line = CombinedDelayLine(seed=9)
+        line.vctrl = 0.75
+        out = line.process(stimulus, np.random.default_rng(3))
+        eye = EyeDiagram(steady_state(out), 1 / 6.4e9)
+        metrics = eye.metrics()
+        assert metrics.eye_width > 0.4 * (1 / 6.4e9)
+        assert metrics.eye_height > 0.2
+
+    def test_jitter_grows_through_circuit(self):
+        stimulus = jittered_prbs(
+            7,
+            300,
+            4.8e9,
+            1e-12,
+            jitter=RandomJitter(1.5e-12),
+            rng=np.random.default_rng(2),
+        )
+        line = FineDelayLine(seed=9)
+        line.vctrl = 0.75
+        out = line.process(stimulus, np.random.default_rng(3))
+        ui = 1 / 4.8e9
+        assert peak_to_peak_jitter(
+            steady_state(out), ui
+        ) > peak_to_peak_jitter(steady_state(stimulus), ui)
+
+
+class TestExperimentRunnersSmoke:
+    """Each runner executes and passes its own checks in fast mode.
+
+    The heavyweight ones (deskew, fig15) are covered by the benchmark
+    suite; here we smoke-test a representative cheap subset on every
+    plain pytest run.
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["fig04", "fig09", "app_resolution", "ablation_coarse_step"]
+    )
+    def test_runner_checks_pass(self, name):
+        from repro.experiments import RUNNERS
+
+        result = RUNNERS[name](fast=True)
+        assert result.all_checks_pass, result.failed_checks()
+        assert result.rows

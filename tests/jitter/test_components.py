@@ -1,0 +1,173 @@
+"""Tests for the jitter component models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.jitter import (
+    BoundedUniformJitter,
+    CompositeJitter,
+    DutyCycleDistortion,
+    NoJitter,
+    PeriodicJitter,
+    RandomJitter,
+)
+
+
+def edge_grid(n=1000, ui=156.25e-12):
+    times = ui * np.arange(n)
+    rising = (np.arange(n) % 2) == 0
+    return times, rising
+
+
+class TestRandomJitter:
+    def test_sigma_statistics(self, rng):
+        times, rising = edge_grid(20000)
+        offsets = RandomJitter(2e-12).offsets(times, rising, rng)
+        assert offsets.std() == pytest.approx(2e-12, rel=0.05)
+        assert abs(offsets.mean()) < 0.1e-12
+
+    def test_zero_sigma_is_exactly_zero(self, rng):
+        times, rising = edge_grid(100)
+        offsets = RandomJitter(0.0).offsets(times, rising, rng)
+        assert np.all(offsets == 0.0)
+
+    def test_unbounded(self):
+        assert RandomJitter(1e-12).peak_to_peak_bound() == math.inf
+
+    def test_zero_sigma_bounded(self):
+        assert RandomJitter(0.0).peak_to_peak_bound() == 0.0
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ReproError):
+            RandomJitter(-1e-12)
+
+
+class TestPeriodicJitter:
+    def test_amplitude_bound_respected(self, rng):
+        times, rising = edge_grid(5000)
+        pj = PeriodicJitter(amplitude=3e-12, frequency=10e6)
+        offsets = pj.offsets(times, rising, rng)
+        assert np.abs(offsets).max() <= 3e-12 + 1e-18
+
+    def test_deterministic(self, rng):
+        times, rising = edge_grid(100)
+        pj = PeriodicJitter(2e-12, 1e6, phase=0.3)
+        a = pj.offsets(times, rising, np.random.default_rng(0))
+        b = pj.offsets(times, rising, np.random.default_rng(99))
+        np.testing.assert_array_equal(a, b)
+
+    def test_phase_zero_starts_at_zero(self, rng):
+        times = np.array([0.0])
+        pj = PeriodicJitter(2e-12, 1e6)
+        assert pj.offsets(times, np.array([True]), rng)[0] == pytest.approx(
+            0.0
+        )
+
+    def test_peak_to_peak_bound(self):
+        assert PeriodicJitter(3e-12, 1e6).peak_to_peak_bound() == 6e-12
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ReproError):
+            PeriodicJitter(1e-12, 0.0)
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ReproError):
+            PeriodicJitter(-1e-12, 1e6)
+
+
+class TestDcd:
+    def test_splits_by_polarity(self, rng):
+        times, rising = edge_grid(10)
+        offsets = DutyCycleDistortion(4e-12).offsets(times, rising, rng)
+        assert np.all(offsets[rising] == 2e-12)
+        assert np.all(offsets[~rising] == -2e-12)
+
+    def test_peak_to_peak_is_magnitude(self):
+        assert DutyCycleDistortion(4e-12).peak_to_peak_bound() == 4e-12
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            DutyCycleDistortion(-1e-12)
+
+
+class TestBoundedUniform:
+    def test_bounds_respected(self, rng):
+        times, rising = edge_grid(10000)
+        offsets = BoundedUniformJitter(3e-12).offsets(times, rising, rng)
+        assert np.abs(offsets).max() <= 3e-12
+
+    def test_roughly_uniform(self, rng):
+        times, rising = edge_grid(20000)
+        offsets = BoundedUniformJitter(3e-12).offsets(times, rising, rng)
+        # Uniform on [-a, a] has std a/sqrt(3).
+        assert offsets.std() == pytest.approx(3e-12 / np.sqrt(3), rel=0.05)
+
+    def test_zero_range(self, rng):
+        times, rising = edge_grid(10)
+        offsets = BoundedUniformJitter(0.0).offsets(times, rising, rng)
+        assert np.all(offsets == 0.0)
+
+    def test_peak_to_peak_bound(self):
+        assert BoundedUniformJitter(3e-12).peak_to_peak_bound() == 6e-12
+
+
+class TestNoJitter:
+    def test_zero_offsets(self, rng):
+        times, rising = edge_grid(10)
+        assert np.all(NoJitter().offsets(times, rising, rng) == 0.0)
+
+    def test_zero_bound(self):
+        assert NoJitter().peak_to_peak_bound() == 0.0
+
+
+class TestComposite:
+    def test_sum_of_components(self, rng):
+        times, rising = edge_grid(100)
+        dcd = DutyCycleDistortion(4e-12)
+        pj = PeriodicJitter(2e-12, 1e6)
+        combined = CompositeJitter(dcd, pj)
+        total = combined.offsets(times, rising, np.random.default_rng(1))
+        expected = dcd.offsets(
+            times, rising, np.random.default_rng(1)
+        ) + pj.offsets(times, rising, np.random.default_rng(1))
+        np.testing.assert_allclose(total, expected)
+
+    def test_bound_sums(self):
+        combined = CompositeJitter(
+            DutyCycleDistortion(4e-12), PeriodicJitter(2e-12, 1e6)
+        )
+        assert combined.peak_to_peak_bound() == pytest.approx(8e-12)
+
+    def test_bound_infinite_with_rj(self):
+        combined = CompositeJitter(RandomJitter(1e-12), NoJitter())
+        assert combined.peak_to_peak_bound() == math.inf
+
+    def test_empty_composite_is_zero(self, rng):
+        times, rising = edge_grid(5)
+        assert np.all(
+            CompositeJitter().offsets(times, rising, rng) == 0.0
+        )
+
+    def test_rejects_non_component(self):
+        with pytest.raises(ReproError):
+            CompositeJitter("not a component")
+
+    @given(
+        st.floats(min_value=0, max_value=5e-12),
+        st.floats(min_value=0, max_value=5e-12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bound_additivity_property(self, dcd_mag, pj_amp):
+        components = []
+        if dcd_mag:
+            components.append(DutyCycleDistortion(dcd_mag))
+        if pj_amp:
+            components.append(PeriodicJitter(pj_amp, 1e6))
+        combined = CompositeJitter(*components)
+        expected = sum(c.peak_to_peak_bound() for c in components)
+        assert combined.peak_to_peak_bound() == pytest.approx(expected)

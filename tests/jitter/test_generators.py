@@ -1,0 +1,95 @@
+"""Tests for jittered stimulus generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.jitter import (
+    PeriodicJitter,
+    RandomJitter,
+    jittered_clock,
+    jittered_nrz,
+    jittered_prbs,
+    rj_sigma_for_peak_to_peak,
+    tie_from_edges,
+)
+from repro.signals import crossing_times
+
+
+class TestRjSigmaForPp:
+    def test_1000_edges(self):
+        sigma = rj_sigma_for_peak_to_peak(10e-12, 1000)
+        # pp / sigma ~ 2 sqrt(2 ln 1000) ~ 7.43
+        assert sigma == pytest.approx(10e-12 / 7.43, rel=0.01)
+
+    def test_more_edges_needs_smaller_sigma(self):
+        assert rj_sigma_for_peak_to_peak(10e-12, 10000) < rj_sigma_for_peak_to_peak(
+            10e-12, 100
+        )
+
+    def test_rejects_negative_pp(self):
+        with pytest.raises(PatternError):
+            rj_sigma_for_peak_to_peak(-1e-12)
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(PatternError):
+            rj_sigma_for_peak_to_peak(1e-12, n_edges=1)
+
+
+class TestJitteredNrz:
+    def test_no_jitter_matches_grid(self):
+        wf = jittered_nrz([0, 1, 0, 1], 1e9, 1e-12)
+        edges = crossing_times(wf, 0.0)
+        ui = 1e-9
+        fractional = np.abs(edges / ui - np.round(edges / ui))
+        assert np.all(fractional < 0.005)
+
+    def test_rj_produces_measurable_tie(self):
+        bits = [0, 1] * 200
+        wf = jittered_nrz(
+            bits,
+            2e9,
+            1e-12,
+            jitter=RandomJitter(3e-12),
+            rng=np.random.default_rng(4),
+        )
+        edges = crossing_times(wf, 0.0)
+        tie = tie_from_edges(edges, 0.5e-9)
+        assert tie.std() == pytest.approx(3e-12, rel=0.15)
+
+    def test_reproducible_with_seeded_rng(self):
+        bits = [0, 1, 1, 0, 1]
+        a = jittered_nrz(
+            bits, 1e9, 1e-12, jitter=RandomJitter(2e-12),
+            rng=np.random.default_rng(7),
+        )
+        b = jittered_nrz(
+            bits, 1e9, 1e-12, jitter=RandomJitter(2e-12),
+            rng=np.random.default_rng(7),
+        )
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestJitteredClockAndPrbs:
+    def test_clock_periodic_jitter_visible(self):
+        pj = PeriodicJitter(amplitude=5e-12, frequency=20e6)
+        wf = jittered_clock(
+            1e9, 400, 1e-12, jitter=pj, rng=np.random.default_rng(0)
+        )
+        edges = crossing_times(wf, 0.0)
+        tie = tie_from_edges(edges, 0.5e-9)
+        # Sinusoidal TIE peak ~ amplitude.
+        assert np.abs(tie).max() == pytest.approx(5e-12, rel=0.15)
+
+    def test_prbs_pattern_length(self):
+        wf = jittered_prbs(7, 127, 2.4e9, 1e-12)
+        edges = crossing_times(wf, 0.0)
+        # PRBS7 has 64 transitions per 127-bit period (number of 01/10
+        # adjacencies in the cyclic sequence is 64; the linear sequence
+        # differs by at most 1).
+        assert 60 <= edges.size <= 66
+
+    def test_prbs_seed_changes_pattern(self):
+        a = jittered_prbs(7, 50, 2.4e9, 1e-12, seed=1)
+        b = jittered_prbs(7, 50, 2.4e9, 1e-12, seed=3)
+        assert not np.array_equal(a.values, b.values)

@@ -1,0 +1,106 @@
+"""Tests for jitter spectrum estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientEdgesError, MeasurementError
+from repro.jitter import (
+    PeriodicJitter,
+    RandomJitter,
+    dominant_tone,
+    jitter_spectrum,
+    jittered_clock,
+    tie_from_edges,
+)
+from repro.signals import crossing_times
+
+
+def synthetic_edges(n=800, ui=100e-12):
+    return ui * np.arange(n)
+
+
+class TestJitterSpectrum:
+    def test_pure_tone_recovered(self):
+        edges = synthetic_edges()
+        frequency = 25e6
+        amplitude = 3e-12
+        tie = amplitude * np.sin(2 * np.pi * frequency * edges)
+        spectrum = jitter_spectrum(edges, tie)
+        freq, amp = dominant_tone(spectrum, edges, tie)
+        assert freq == pytest.approx(frequency, rel=0.05)
+        assert amp == pytest.approx(amplitude, rel=0.1)
+
+    def test_tone_on_irregular_edges(self, rng):
+        # Drop random edges (data-like sampling); fit still works.
+        edges = synthetic_edges(1600)
+        keep = rng.random(edges.size) > 0.5
+        edges = edges[keep]
+        tie = 2e-12 * np.sin(2 * np.pi * 40e6 * edges)
+        spectrum = jitter_spectrum(edges, tie)
+        assert spectrum.amplitude_at(40e6) == pytest.approx(
+            2e-12, rel=0.15
+        )
+
+    def test_white_jitter_has_no_dominant_tone(self, rng):
+        edges = synthetic_edges()
+        tie = rng.normal(0, 1e-12, edges.size)
+        spectrum = jitter_spectrum(edges, tie)
+        # No single bin should hold anything near a coherent tone of
+        # the full RMS.
+        assert spectrum.amplitudes.max() < 1e-12
+
+    def test_explicit_frequency_grid(self):
+        edges = synthetic_edges()
+        tie = 1e-12 * np.sin(2 * np.pi * 10e6 * edges)
+        grid = np.array([5e6, 10e6, 20e6])
+        spectrum = jitter_spectrum(edges, tie, frequencies=grid)
+        np.testing.assert_array_equal(spectrum.frequencies, grid)
+        assert spectrum.amplitude_at(10e6) == pytest.approx(
+            1e-12, rel=0.1
+        )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MeasurementError):
+            jitter_spectrum(np.zeros(10), np.zeros(9))
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(InsufficientEdgesError):
+            jitter_spectrum(np.arange(4.0), np.zeros(4))
+
+    def test_rejects_nonpositive_frequencies(self):
+        edges = synthetic_edges(20)
+        with pytest.raises(MeasurementError):
+            jitter_spectrum(
+                edges, np.zeros(20), frequencies=np.array([0.0])
+            )
+
+
+class TestEndToEnd:
+    def test_injected_pj_shows_up(self):
+        pj = PeriodicJitter(amplitude=4e-12, frequency=50e6)
+        wf = jittered_clock(
+            1e9, 600, 1e-12, jitter=pj, rng=np.random.default_rng(1)
+        )
+        edges = crossing_times(wf, 0.0)
+        tie = tie_from_edges(edges, 0.5e-9)
+        spectrum = jitter_spectrum(edges, tie, n_frequencies=128)
+        freq, amp = dominant_tone(spectrum, edges, tie)
+        assert freq == pytest.approx(50e6, rel=0.05)
+        assert amp == pytest.approx(4e-12, rel=0.2)
+
+    def test_rj_floor_below_pj_tone(self):
+        from repro.jitter import CompositeJitter
+
+        mixed = CompositeJitter(
+            PeriodicJitter(amplitude=5e-12, frequency=50e6),
+            RandomJitter(0.5e-12),
+        )
+        wf = jittered_clock(
+            1e9, 600, 1e-12, jitter=mixed, rng=np.random.default_rng(2)
+        )
+        edges = crossing_times(wf, 0.0)
+        tie = tie_from_edges(edges, 0.5e-9)
+        spectrum = jitter_spectrum(edges, tie, n_frequencies=128)
+        _, amp = dominant_tone(spectrum)
+        median_floor = float(np.median(spectrum.amplitudes))
+        assert amp > 5 * median_floor

@@ -1,0 +1,161 @@
+"""Tests for the linear filter blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WaveformError
+from repro.signals import (
+    Waveform,
+    bandwidth_to_rise_time,
+    bandwidth_to_time_constant,
+    gaussian_lowpass,
+    moving_average,
+    multi_pole_lowpass,
+    rise_time_to_bandwidth,
+    single_pole_highpass,
+    single_pole_lowpass,
+    synthesize_step,
+)
+from repro.signals.edges import crossing_times
+
+
+def sine(frequency, dt=1e-12, cycles=50, amplitude=1.0):
+    duration = cycles / frequency
+    return Waveform.from_function(
+        lambda t: amplitude * np.sin(2 * np.pi * frequency * t),
+        duration,
+        dt,
+    )
+
+
+class TestConversions:
+    def test_bandwidth_to_tau(self):
+        tau = bandwidth_to_time_constant(1e9)
+        assert tau == pytest.approx(1 / (2 * np.pi * 1e9))
+
+    def test_rise_bandwidth_round_trip(self):
+        bw = rise_time_to_bandwidth(35e-12)
+        assert bandwidth_to_rise_time(bw) == pytest.approx(35e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(WaveformError):
+            bandwidth_to_time_constant(0.0)
+        with pytest.raises(WaveformError):
+            rise_time_to_bandwidth(-1.0)
+        with pytest.raises(WaveformError):
+            bandwidth_to_rise_time(0.0)
+
+
+class TestSinglePoleLowpass:
+    def test_minus_3db_at_corner(self):
+        wf = sine(1e9, dt=1e-12)
+        out = single_pole_lowpass(wf, 1e9)
+        # Discard the settling region, compare steady-state amplitude.
+        steady = out.slice_time(20e-9, out.t_end)
+        gain = steady.amplitude() / 1.0
+        assert gain == pytest.approx(1 / np.sqrt(2), rel=0.02)
+
+    def test_passband_flat(self):
+        wf = sine(0.1e9, dt=2e-12, cycles=20)
+        out = single_pole_lowpass(wf, 10e9)
+        steady = out.slice_time(50e-9, out.t_end)
+        assert steady.amplitude() == pytest.approx(1.0, rel=0.01)
+
+    def test_dc_preserved(self):
+        wf = Waveform.constant(0.7, 5e-9, 1e-12)
+        out = single_pole_lowpass(wf, 1e9)
+        np.testing.assert_allclose(out.values, 0.7, rtol=1e-6)
+
+    def test_no_startup_transient_from_settled_level(self):
+        wf = Waveform.constant(-0.4, 1e-9, 1e-12)
+        out = single_pole_lowpass(wf, 5e9)
+        assert abs(out.values[0] + 0.4) < 1e-9
+
+    def test_step_response_rise_time(self):
+        step = synthesize_step(0.5e-12, rise_time=1e-12, t_after=2e-9)
+        out = single_pole_lowpass(step, 3.5e9)
+        # 10-90 rise of a single pole is 2.2 tau = 0.35/BW.
+        v = out.values
+        swing = v[-1] - v[0]
+        t10 = crossing_times(out, v[0] + 0.1 * swing, "rising")[0]
+        t90 = crossing_times(out, v[0] + 0.9 * swing, "rising")[0]
+        assert (t90 - t10) == pytest.approx(0.35 / 3.5e9, rel=0.05)
+
+
+class TestMultiPole:
+    def test_combined_bandwidth(self):
+        wf = sine(1e9, dt=1e-12)
+        out = multi_pole_lowpass(wf, 1e9, n_poles=3)
+        steady = out.slice_time(20e-9, out.t_end)
+        assert steady.amplitude() == pytest.approx(1 / np.sqrt(2), rel=0.03)
+
+    def test_one_pole_equals_single(self):
+        wf = sine(2e9, dt=1e-12, cycles=10)
+        a = multi_pole_lowpass(wf, 3e9, n_poles=1)
+        b = single_pole_lowpass(wf, 3e9)
+        np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+    def test_rejects_zero_poles(self):
+        with pytest.raises(WaveformError):
+            multi_pole_lowpass(sine(1e9), 1e9, n_poles=0)
+
+
+class TestHighpass:
+    def test_blocks_dc(self):
+        wf = Waveform.constant(0.7, 20e-9, 2e-12)
+        out = single_pole_highpass(wf, 1e6)
+        np.testing.assert_allclose(out.values, 0.0, atol=1e-6)
+
+    def test_passes_high_frequency(self):
+        wf = sine(1e9, dt=1e-12, cycles=20)
+        out = single_pole_highpass(wf, 1e6)
+        steady = out.slice_time(5e-9, out.t_end)
+        assert steady.amplitude() == pytest.approx(1.0, rel=0.01)
+
+    def test_minus_3db_at_corner(self):
+        wf = sine(1e6, dt=50e-12, cycles=30)
+        out = single_pole_highpass(wf, 1e6)
+        steady = out.slice_time(10e-6, out.t_end)
+        assert steady.amplitude() == pytest.approx(1 / np.sqrt(2), rel=0.03)
+
+
+class TestGaussianAndBoxcar:
+    def test_gaussian_preserves_crossing_position(self):
+        step = synthesize_step(0.5e-12, rise_time=5e-12, step_time=0.3e-9)
+        smoothed = gaussian_lowpass(step, 10e-12)
+        before = crossing_times(step, 0.0, "rising")[0]
+        after = crossing_times(smoothed, 0.0, "rising")[0]
+        assert after == pytest.approx(before, abs=0.05e-12)
+
+    def test_gaussian_zero_sigma_is_copy(self):
+        wf = sine(1e9)
+        out = gaussian_lowpass(wf, 0.0)
+        np.testing.assert_array_equal(out.values, wf.values)
+
+    def test_gaussian_rejects_negative(self):
+        with pytest.raises(WaveformError):
+            gaussian_lowpass(sine(1e9), -1e-12)
+
+    def test_gaussian_reduces_slope(self):
+        step = synthesize_step(0.5e-12, rise_time=5e-12)
+        smoothed = gaussian_lowpass(step, 20e-12)
+        raw_slope = np.abs(np.diff(step.values)).max()
+        smooth_slope = np.abs(np.diff(smoothed.values)).max()
+        assert smooth_slope < raw_slope / 2
+
+    def test_moving_average_dc(self):
+        wf = Waveform.constant(0.3, 1e-9, 1e-12)
+        out = moving_average(wf, 50e-12)
+        np.testing.assert_allclose(out.values, 0.3, atol=1e-12)
+
+    def test_moving_average_single_sample_window(self):
+        wf = sine(1e9)
+        out = moving_average(wf, 0.1e-12)
+        np.testing.assert_array_equal(out.values, wf.values)
+
+    def test_moving_average_attenuates_matched_period(self):
+        # Averaging over exactly one period nulls a sine.
+        wf = sine(1e9, dt=1e-12)
+        out = moving_average(wf, 1e-9)
+        steady = out.slice_time(5e-9, out.t_end)
+        assert steady.amplitude() < 0.02

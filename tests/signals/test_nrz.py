@@ -1,0 +1,240 @@
+"""Tests for analog waveform synthesis (NRZ, clocks, steps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError, WaveformError
+from repro.signals import (
+    crossing_times,
+    render_transitions,
+    synthesize_clock,
+    synthesize_nrz,
+    synthesize_rz_clock,
+    synthesize_step,
+    transition_times_from_bits,
+)
+
+
+class TestTransitionTimes:
+    def test_simple_pattern(self):
+        times, targets = transition_times_from_bits([1, 1, 0, 1], 100e-12)
+        np.testing.assert_allclose(times, [0.0, 200e-12, 300e-12])
+        np.testing.assert_array_equal(targets, [1, 0, 1])
+
+    def test_initial_bit_suppresses_first_edge(self):
+        times, targets = transition_times_from_bits(
+            [1, 0], 100e-12, initial_bit=1
+        )
+        np.testing.assert_allclose(times, [100e-12])
+        np.testing.assert_array_equal(targets, [0])
+
+    def test_constant_pattern_has_no_edges(self):
+        times, _ = transition_times_from_bits([0, 0, 0], 100e-12)
+        assert times.size == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            transition_times_from_bits([], 100e-12)
+
+    def test_rejects_bad_ui(self):
+        with pytest.raises(PatternError):
+            transition_times_from_bits([1, 0], 0.0)
+
+    def test_t_start_offsets_times(self):
+        times, _ = transition_times_from_bits([1], 100e-12, t_start=1e-9)
+        assert times[0] == pytest.approx(1e-9)
+
+
+class TestRenderTransitions:
+    def test_crossing_lands_at_requested_time(self):
+        # Sub-sample edge placement: request an edge at a non-grid time
+        # and verify the interpolated 50 % crossing recovers it.
+        for instant in (500.0e-12, 500.3e-12, 500.7e-12):
+            wf = render_transitions(
+                np.array([instant]),
+                np.array([1]),
+                duration=1e-9,
+                dt=1e-12,
+                amplitude=0.4,
+                rise_time=30e-12,
+            )
+            crossings = crossing_times(wf, 0.0, "rising")
+            assert crossings.size == 1
+            assert crossings[0] == pytest.approx(instant, abs=0.05e-12)
+
+    def test_zero_rise_time_renders_ideal_steps(self):
+        wf = render_transitions(
+            np.array([500e-12]),
+            np.array([1]),
+            duration=1e-9,
+            dt=1e-12,
+            amplitude=0.4,
+            rise_time=0.0,
+        )
+        assert wf.values[0] == pytest.approx(-0.4)
+        assert wf.values[-1] == pytest.approx(0.4)
+
+    def test_initial_level_defaults_to_complement(self):
+        wf = render_transitions(
+            np.array([500e-12]),
+            np.array([0]),
+            duration=1e-9,
+            dt=1e-12,
+            amplitude=0.4,
+            rise_time=0.0,
+        )
+        assert wf.values[0] == pytest.approx(0.4)
+
+    def test_no_transitions_is_flat(self):
+        wf = render_transitions(
+            np.array([]),
+            np.array([], dtype=np.int64),
+            duration=1e-9,
+            dt=1e-12,
+            amplitude=0.4,
+            rise_time=0.0,
+        )
+        assert wf.peak_to_peak() == pytest.approx(0.0)
+
+    def test_pre_record_transition_sets_level(self):
+        wf = render_transitions(
+            np.array([-1e-9]),
+            np.array([1]),
+            duration=1e-9,
+            dt=1e-12,
+            amplitude=0.4,
+            rise_time=0.0,
+        )
+        assert np.all(wf.values == pytest.approx(0.4))
+
+    def test_rejects_descending_times(self):
+        with pytest.raises(WaveformError):
+            render_transitions(
+                np.array([2e-10, 1e-10]),
+                np.array([1, 0]),
+                duration=1e-9,
+                dt=1e-12,
+                amplitude=0.4,
+                rise_time=0.0,
+            )
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(WaveformError):
+            render_transitions(
+                np.array([1e-10]),
+                np.array([1, 0]),
+                duration=1e-9,
+                dt=1e-12,
+                amplitude=0.4,
+                rise_time=0.0,
+            )
+
+
+class TestSynthesizeNrz:
+    def test_edge_count_matches_pattern(self):
+        bits = [0, 1, 0, 1, 1, 0]
+        # Transitions relative to an initial 0: at bits 1, 2, 3, and 5.
+        wf = synthesize_nrz(bits, 2.4e9, 1e-12)
+        edges = crossing_times(wf, 0.0)
+        assert edges.size == 4
+
+    def test_levels_are_plus_minus_amplitude(self):
+        wf = synthesize_nrz([0, 0, 1, 1, 1], 1e9, 1e-12, amplitude=0.3)
+        assert wf.values.max() == pytest.approx(0.3, rel=0.02)
+        assert wf.values.min() == pytest.approx(-0.3, rel=0.02)
+
+    def test_lead_in_starts_settled(self):
+        wf = synthesize_nrz([1, 0], 2.4e9, 1e-12, lead_ui=2.0)
+        assert wf.t0 == pytest.approx(-2.0 / 2.4e9)
+        assert wf.values[0] == pytest.approx(-0.4, rel=0.05)
+
+    def test_edge_jitter_moves_crossings(self):
+        bits = [0, 1, 0, 1, 0, 1]
+        jitter = np.array([0.0, 5e-12, 0.0, -5e-12, 0.0])
+        clean = synthesize_nrz(bits, 1e9, 1e-12)
+        dirty = synthesize_nrz(bits, 1e9, 1e-12, edge_jitter=jitter)
+        clean_edges = crossing_times(clean, 0.0)
+        dirty_edges = crossing_times(dirty, 0.0)
+        deltas = dirty_edges - clean_edges
+        np.testing.assert_allclose(deltas, jitter, atol=0.2e-12)
+
+    def test_edge_jitter_length_mismatch(self):
+        with pytest.raises(WaveformError):
+            synthesize_nrz(
+                [0, 1, 0], 1e9, 1e-12, edge_jitter=np.zeros(5)
+            )
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(PatternError):
+            synthesize_nrz([0, 1], 0.0, 1e-12)
+
+    def test_rejects_negative_lead(self):
+        with pytest.raises(PatternError):
+            synthesize_nrz([0, 1], 1e9, 1e-12, lead_ui=-1.0)
+
+    @given(st.integers(2, 40), st.sampled_from([1e9, 2.4e9, 6.4e9]))
+    @settings(max_examples=20, deadline=None)
+    def test_crossings_on_ui_grid(self, n_bits, rate):
+        # Without jitter every crossing sits on an integer multiple of
+        # the unit interval.
+        rng = np.random.default_rng(n_bits)
+        bits = rng.integers(0, 2, n_bits)
+        bits[0] = 1  # guarantee at least one edge at t=0
+        wf = synthesize_nrz(bits, rate, 0.5e-12)
+        edges = crossing_times(wf, 0.0)
+        ui = 1.0 / rate
+        fractional = np.abs(edges / ui - np.round(edges / ui))
+        assert np.all(fractional < 0.005)
+
+
+class TestClocks:
+    def test_clock_frequency(self):
+        wf = synthesize_clock(1e9, 10, 1e-12)
+        rising = crossing_times(wf, 0.0, "rising")
+        periods = np.diff(rising)
+        np.testing.assert_allclose(periods, 1e-9, rtol=1e-3)
+
+    def test_clock_edge_count(self):
+        wf = synthesize_clock(1e9, 10, 1e-12)
+        edges = crossing_times(wf, 0.0)
+        assert edges.size == 20
+
+    def test_rz_clock_duty_cycle(self):
+        wf = synthesize_rz_clock(1e9, 10, 1e-12, duty_cycle=0.25)
+        rising = crossing_times(wf, 0.0, "rising")
+        falling = crossing_times(wf, 0.0, "falling")
+        widths = falling[: len(rising)] - rising[: len(falling)]
+        np.testing.assert_allclose(widths.mean(), 0.25e-9, rtol=0.02)
+
+    def test_rz_clock_half_duty_matches_square(self):
+        rz = synthesize_rz_clock(1e9, 10, 1e-12, duty_cycle=0.5)
+        edges = crossing_times(rz, 0.0)
+        spacing = np.diff(edges)
+        np.testing.assert_allclose(spacing, 0.5e-9, rtol=1e-3)
+
+    def test_rz_rejects_bad_duty(self):
+        with pytest.raises(PatternError):
+            synthesize_rz_clock(1e9, 10, 1e-12, duty_cycle=1.5)
+
+    def test_clock_rejects_bad_frequency(self):
+        with pytest.raises(PatternError):
+            synthesize_clock(-1e9, 10, 1e-12)
+
+
+class TestStep:
+    def test_rising_step(self):
+        wf = synthesize_step(1e-12, rising=True)
+        assert wf.values[0] == pytest.approx(-0.4, rel=0.05)
+        assert wf.values[-1] == pytest.approx(0.4, rel=0.05)
+
+    def test_falling_step(self):
+        wf = synthesize_step(1e-12, rising=False)
+        assert wf.values[0] == pytest.approx(0.4, rel=0.05)
+        assert wf.values[-1] == pytest.approx(-0.4, rel=0.05)
+
+    def test_step_time_is_crossing(self):
+        wf = synthesize_step(1e-12, step_time=0.2e-9)
+        edges = crossing_times(wf, 0.0, "rising")
+        assert edges[0] == pytest.approx(0.2e-9, abs=0.1e-12)

@@ -1,0 +1,211 @@
+"""Tests for bit-pattern generation, including PRBS LFSR properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.signals import (
+    PRBS_TAPS,
+    alternating_bits,
+    bits_from_string,
+    clock_bits,
+    k28_5_bits,
+    prbs_period,
+    prbs_sequence,
+    random_bits,
+    repeat_to_length,
+    run_lengths,
+)
+
+
+class TestPrbsSequence:
+    @pytest.mark.parametrize("order", sorted(PRBS_TAPS))
+    def test_values_are_bits(self, order):
+        bits = prbs_sequence(order, 200)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_period_length(self):
+        assert prbs_period(7) == 127
+        assert prbs_period(15) == 32767
+
+    def test_prbs7_repeats_with_period_127(self):
+        bits = prbs_sequence(7, 3 * 127)
+        np.testing.assert_array_equal(bits[:127], bits[127:254])
+        np.testing.assert_array_equal(bits[:127], bits[254:])
+
+    def test_prbs7_is_balanced(self):
+        # A maximal-length sequence has 2^(n-1) ones and 2^(n-1)-1 zeros.
+        bits = prbs_sequence(7, 127)
+        assert bits.sum() == 64
+
+    def test_prbs9_is_balanced(self):
+        bits = prbs_sequence(9, 511)
+        assert bits.sum() == 256
+
+    def test_prbs7_max_run_length(self):
+        # A PRBS-n contains a single run of n identical bits and none
+        # longer (within one period considered cyclically).
+        bits = prbs_sequence(7, 2 * 127)
+        assert run_lengths(bits).max() == 7
+
+    def test_prbs7_visits_all_states(self):
+        # All 127 non-zero 7-bit windows appear in one period (cyclic).
+        bits = prbs_sequence(7, 127 + 6)
+        windows = set()
+        for i in range(127):
+            window = tuple(bits[i : i + 7])
+            windows.add(window)
+        assert len(windows) == 127
+        assert (0,) * 7 not in windows
+
+    def test_different_seeds_are_shifts(self):
+        # Different seeds produce cyclic shifts of the same sequence.
+        a = prbs_sequence(7, 127, seed=1)
+        b = prbs_sequence(7, 127, seed=47)
+        doubled = np.concatenate([a, a])
+        found = any(
+            np.array_equal(doubled[k : k + 127], b) for k in range(127)
+        )
+        assert found
+
+    def test_zero_bits(self):
+        assert prbs_sequence(7, 0).size == 0
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(PatternError):
+            prbs_sequence(8, 10)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(PatternError):
+            prbs_sequence(7, 10, seed=0)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(PatternError):
+            prbs_sequence(7, -1)
+
+    def test_prbs_period_rejects_unknown_order(self):
+        with pytest.raises(PatternError):
+            prbs_period(10)
+
+    @given(st.sampled_from(sorted(PRBS_TAPS)), st.integers(1, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, order, n_bits):
+        a = prbs_sequence(order, n_bits)
+        b = prbs_sequence(order, n_bits)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestClockAndAlternating:
+    def test_clock_bits(self):
+        np.testing.assert_array_equal(clock_bits(2), [1, 0, 1, 0])
+
+    def test_clock_rejects_zero_cycles(self):
+        with pytest.raises(PatternError):
+            clock_bits(0)
+
+    def test_alternating_starts_with_one(self):
+        np.testing.assert_array_equal(alternating_bits(5), [1, 0, 1, 0, 1])
+
+    def test_alternating_starts_with_zero(self):
+        np.testing.assert_array_equal(
+            alternating_bits(4, first=0), [0, 1, 0, 1]
+        )
+
+    def test_alternating_rejects_bad_first(self):
+        with pytest.raises(PatternError):
+            alternating_bits(4, first=2)
+
+    def test_alternating_rejects_empty(self):
+        with pytest.raises(PatternError):
+            alternating_bits(0)
+
+
+class TestK285:
+    def test_length(self):
+        assert k28_5_bits(3).size == 30
+
+    def test_rd_minus_pattern(self):
+        np.testing.assert_array_equal(
+            k28_5_bits(1), [0, 0, 1, 1, 1, 1, 1, 0, 1, 0]
+        )
+
+    def test_rd_plus_is_complement(self):
+        minus = k28_5_bits(1, disparity_negative=True)
+        plus = k28_5_bits(1, disparity_negative=False)
+        np.testing.assert_array_equal(plus, 1 - minus)
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(PatternError):
+            k28_5_bits(0)
+
+
+class TestBitsFromString:
+    def test_basic(self):
+        np.testing.assert_array_equal(bits_from_string("1011"), [1, 0, 1, 1])
+
+    def test_spaces_and_underscores_ignored(self):
+        np.testing.assert_array_equal(
+            bits_from_string("10 11_00"), [1, 0, 1, 1, 0, 0]
+        )
+
+    def test_rejects_other_chars(self):
+        with pytest.raises(PatternError):
+            bits_from_string("10121")
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            bits_from_string("  ")
+
+
+class TestRandomBits:
+    def test_reproducible_with_same_rng_seed(self):
+        a = random_bits(100, np.random.default_rng(1))
+        b = random_bits(100, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_roughly_balanced(self):
+        bits = random_bits(10000, np.random.default_rng(2))
+        assert 4500 < bits.sum() < 5500
+
+    def test_rejects_negative(self):
+        with pytest.raises(PatternError):
+            random_bits(-1, np.random.default_rng(0))
+
+
+class TestRepeatToLength:
+    def test_exact_multiple(self):
+        np.testing.assert_array_equal(
+            repeat_to_length([1, 0], 4), [1, 0, 1, 0]
+        )
+
+    def test_truncates(self):
+        np.testing.assert_array_equal(
+            repeat_to_length([1, 1, 0], 5), [1, 1, 0, 1, 1]
+        )
+
+    def test_zero_length(self):
+        assert repeat_to_length([1], 0).size == 0
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(PatternError):
+            repeat_to_length([], 5)
+
+
+class TestRunLengths:
+    def test_simple(self):
+        np.testing.assert_array_equal(
+            run_lengths([1, 1, 0, 1, 1, 1]), [2, 1, 3]
+        )
+
+    def test_single_run(self):
+        np.testing.assert_array_equal(run_lengths([0, 0, 0]), [3])
+
+    def test_empty(self):
+        assert run_lengths([]).size == 0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_run_lengths_sum_to_total(self, bits):
+        assert run_lengths(bits).sum() == len(bits)

@@ -1,0 +1,303 @@
+"""Tests for the Waveform and DifferentialPair types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SampleRateMismatchError, WaveformError
+from repro.signals import Waveform, DifferentialPair
+
+
+def ramp(n=101, dt=1e-12, t0=0.0):
+    return Waveform(np.linspace(-1.0, 1.0, n), dt, t0)
+
+
+class TestConstruction:
+    def test_basic(self):
+        wf = Waveform([0.0, 1.0, 2.0], dt=1e-12)
+        assert len(wf) == 3
+        assert wf.dt == 1e-12
+        assert wf.t0 == 0.0
+
+    def test_values_converted_to_float64(self):
+        wf = Waveform([0, 1, 2], dt=1e-12)
+        assert wf.values.dtype == np.float64
+
+    def test_rejects_2d(self):
+        with pytest.raises(WaveformError):
+            Waveform(np.zeros((2, 2)), dt=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(WaveformError):
+            Waveform([], dt=1e-12)
+
+    def test_rejects_nan(self):
+        with pytest.raises(WaveformError):
+            Waveform([0.0, np.nan], dt=1e-12)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(WaveformError):
+            Waveform([0.0, 1.0], dt=0.0)
+
+    def test_from_function(self):
+        wf = Waveform.from_function(np.sin, duration=1.0, dt=0.25)
+        assert len(wf) == 5
+        assert wf.values[0] == pytest.approx(0.0)
+
+    def test_constant(self):
+        wf = Waveform.constant(0.4, duration=1e-9, dt=1e-12)
+        assert np.all(wf.values == 0.4)
+        assert len(wf) == 1001
+
+
+class TestAccessors:
+    def test_times_axis(self):
+        wf = Waveform([1.0, 2.0, 3.0], dt=2e-12, t0=1e-12)
+        np.testing.assert_allclose(wf.times(), [1e-12, 3e-12, 5e-12])
+
+    def test_duration(self):
+        wf = Waveform(np.zeros(11), dt=1e-12)
+        assert wf.duration == pytest.approx(10e-12)
+
+    def test_t_end(self):
+        wf = Waveform(np.zeros(11), dt=1e-12, t0=5e-12)
+        assert wf.t_end == pytest.approx(15e-12)
+
+    def test_sample_rate(self):
+        wf = Waveform(np.zeros(3), dt=1e-12)
+        assert wf.sample_rate == pytest.approx(1e12)
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        wf = ramp() + 0.5
+        assert wf.values[0] == pytest.approx(-0.5)
+
+    def test_radd_scalar(self):
+        wf = 0.5 + ramp()
+        assert wf.values[-1] == pytest.approx(1.5)
+
+    def test_add_waveform(self):
+        total = ramp() + ramp()
+        np.testing.assert_allclose(total.values, 2 * ramp().values)
+
+    def test_sub_waveform_is_zero(self):
+        diff = ramp() - ramp()
+        assert diff.peak_to_peak() == pytest.approx(0.0)
+
+    def test_mul(self):
+        wf = ramp() * 3.0
+        assert wf.values[-1] == pytest.approx(3.0)
+
+    def test_neg(self):
+        wf = -ramp()
+        assert wf.values[0] == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(WaveformError):
+            ramp(101) + ramp(100)
+
+    def test_dt_mismatch_raises(self):
+        with pytest.raises(SampleRateMismatchError):
+            ramp(dt=1e-12) + ramp(dt=2e-12)
+
+    def test_clip(self):
+        wf = ramp().clip(-0.5, 0.5)
+        assert wf.values.max() == pytest.approx(0.5)
+        assert wf.values.min() == pytest.approx(-0.5)
+
+    def test_clip_inverted_bounds(self):
+        with pytest.raises(WaveformError):
+            ramp().clip(1.0, -1.0)
+
+    def test_map(self):
+        wf = ramp().map(np.abs)
+        assert wf.values.min() >= 0.0
+
+
+class TestTimeOperations:
+    def test_value_at_exact_sample(self):
+        wf = Waveform([0.0, 1.0, 2.0], dt=1e-12)
+        assert wf.value_at(1e-12) == pytest.approx(1.0)
+
+    def test_value_at_interpolates(self):
+        wf = Waveform([0.0, 1.0], dt=1e-12)
+        assert wf.value_at(0.5e-12) == pytest.approx(0.5)
+
+    def test_value_at_clamps(self):
+        wf = Waveform([1.0, 2.0], dt=1e-12)
+        assert wf.value_at(-1e-9) == pytest.approx(1.0)
+        assert wf.value_at(1e-9) == pytest.approx(2.0)
+
+    def test_value_at_array(self):
+        wf = Waveform([0.0, 1.0, 2.0], dt=1e-12)
+        out = wf.value_at(np.array([0.0, 2e-12]))
+        np.testing.assert_allclose(out, [0.0, 2.0])
+
+    def test_shifted_moves_t0_only(self):
+        wf = ramp().shifted(5e-12)
+        assert wf.t0 == pytest.approx(5e-12)
+        np.testing.assert_array_equal(wf.values, ramp().values)
+
+    def test_delayed_keeps_grid(self):
+        wf = ramp().delayed(3e-12)
+        assert wf.t0 == ramp().t0
+        assert len(wf) == len(ramp())
+
+    def test_delayed_zero_is_copy(self):
+        original = ramp()
+        delayed = original.delayed(0.0)
+        np.testing.assert_array_equal(delayed.values, original.values)
+
+    def test_delayed_subsample_accuracy(self):
+        # Delay a linear ramp by 0.3 samples; interpolation is exact
+        # for linear signals.
+        wf = ramp(n=1001)
+        delayed = wf.delayed(0.3e-12)
+        inner = slice(10, -10)
+        expected = wf.values[inner] - 0.3e-12 * (2.0 / (1000 * 1e-12))
+        np.testing.assert_allclose(delayed.values[inner], expected, rtol=1e-9)
+
+    def test_slice_time(self):
+        wf = Waveform(np.arange(10.0), dt=1e-12)
+        cut = wf.slice_time(2e-12, 5e-12)
+        np.testing.assert_array_equal(cut.values, [2.0, 3.0, 4.0, 5.0])
+        assert cut.t0 == pytest.approx(2e-12)
+
+    def test_slice_time_empty_raises(self):
+        with pytest.raises(WaveformError):
+            Waveform(np.arange(10.0), dt=1e-12).slice_time(5e-12, 2e-12)
+
+    def test_resampled_halves_interval(self):
+        wf = ramp(n=11)
+        fine = wf.resampled(0.5e-12)
+        assert fine.dt == pytest.approx(0.5e-12)
+        assert fine.value_at(5e-12) == pytest.approx(wf.value_at(5e-12))
+
+    def test_resampled_rejects_nonpositive(self):
+        with pytest.raises(WaveformError):
+            ramp().resampled(-1e-12)
+
+    def test_concatenate(self):
+        joined = ramp(n=5).concatenate(ramp(n=5))
+        assert len(joined) == 10
+
+    def test_concatenate_dt_mismatch(self):
+        with pytest.raises(SampleRateMismatchError):
+            ramp(dt=1e-12).concatenate(ramp(dt=2e-12))
+
+
+class TestStatistics:
+    def test_peak_to_peak(self):
+        assert ramp().peak_to_peak() == pytest.approx(2.0)
+
+    def test_mean(self):
+        assert ramp().mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_rms_of_constant(self):
+        wf = Waveform.constant(0.5, 1e-9, 1e-12)
+        assert wf.rms() == pytest.approx(0.5)
+
+    def test_amplitude_robust_to_spikes(self):
+        values = np.concatenate([np.full(500, -0.4), np.full(500, 0.4)])
+        values[0] = 10.0  # a glitch
+        wf = Waveform(values, dt=1e-12)
+        assert wf.amplitude() == pytest.approx(0.4, rel=0.05)
+
+
+class TestHypothesisProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10),
+            min_size=2,
+            max_size=50,
+        ),
+        st.floats(min_value=1e-13, max_value=1e-9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shift_roundtrip(self, values, delay):
+        wf = Waveform(values, dt=1e-12)
+        back = wf.shifted(delay).shifted(-delay)
+        assert back.t0 == pytest.approx(wf.t0, abs=1e-18)
+        np.testing.assert_array_equal(back.values, wf.values)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_neg_neg_identity(self, values):
+        wf = Waveform(values, dt=1e-12)
+        np.testing.assert_array_equal((-(-wf)).values, wf.values)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5), min_size=2, max_size=50
+        ),
+        st.floats(min_value=-3, max_value=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_add_then_subtract_scalar(self, values, offset):
+        wf = Waveform(values, dt=1e-12)
+        round_trip = (wf + offset) - offset
+        np.testing.assert_allclose(round_trip.values, wf.values, atol=1e-12)
+
+
+class TestDifferentialPair:
+    def test_from_differential_and_back(self):
+        diff = ramp()
+        pair = DifferentialPair.from_differential(diff, common_mode=1.2)
+        np.testing.assert_allclose(pair.differential().values, diff.values)
+
+    def test_common_mode(self):
+        pair = DifferentialPair.from_differential(ramp(), common_mode=1.2)
+        np.testing.assert_allclose(pair.common_mode().values, 1.2)
+
+    def test_swapped_inverts(self):
+        pair = DifferentialPair.from_differential(ramp())
+        np.testing.assert_allclose(
+            pair.swapped().differential().values, -ramp().values
+        )
+
+    def test_map_each(self):
+        pair = DifferentialPair.from_differential(ramp(), common_mode=1.0)
+        scaled = pair.map_each(lambda leg: leg * 2.0)
+        np.testing.assert_allclose(
+            scaled.common_mode().values, 2.0, atol=1e-12
+        )
+
+    def test_mismatched_legs_raise(self):
+        with pytest.raises(WaveformError):
+            DifferentialPair(ramp(n=10), ramp(n=11))
+
+    def test_mismatched_t0_raise(self):
+        with pytest.raises(WaveformError):
+            DifferentialPair(ramp(), ramp(t0=1e-12))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        wf = ramp(n=50, dt=2e-12, t0=5e-12)
+        path = tmp_path / "trace.npz"
+        wf.save(path)
+        loaded = Waveform.load(path)
+        np.testing.assert_array_equal(loaded.values, wf.values)
+        assert loaded.dt == wf.dt
+        assert loaded.t0 == wf.t0
+
+    def test_load_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(WaveformError):
+            Waveform.load(path)
+
+    def test_saved_file_is_plain_npz(self, tmp_path):
+        wf = ramp(n=10)
+        path = tmp_path / "trace.npz"
+        wf.save(path)
+        with np.load(path) as archive:
+            assert set(archive.files) == {"values", "dt", "t0"}

@@ -1,0 +1,143 @@
+"""API-surface tests: public exports, cross-module behaviours, and
+corner cases not owned by any single module's test file."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits import (
+    BufferParams,
+    Chain,
+    FanoutBuffer,
+    NoiseSource,
+    OutputBuffer,
+    VariableGainBuffer,
+)
+from repro.core import CoarseDelayLine, FineDelayLine
+from repro.errors import ReproError, WaveformError
+from repro.signals import Waveform, synthesize_nrz
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        for module in (
+            repro.signals,
+            repro.jitter,
+            repro.circuits,
+            repro.core,
+            repro.analysis,
+            repro.ate,
+            repro.baselines,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        for info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a docstring"
+
+    def test_all_library_errors_catchable_as_reproerror(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, ReproError)
+
+
+class TestCrossModuleCorners:
+    def test_output_buffer_custom_params(self, short_stimulus, rng):
+        slow = BufferParams(slew_rate=20e9, compression_corner=25e9)
+        buffer = OutputBuffer(amplitude=0.3, params=slow, seed=1)
+        out = buffer.process(short_stimulus, rng)
+        assert out.amplitude() == pytest.approx(0.3, rel=0.1)
+
+    def test_fanout_many_outputs(self, short_stimulus, rng):
+        fanout = FanoutBuffer(n_outputs=8, seed=2)
+        assert len(fanout.copies(short_stimulus, rng)) == 8
+
+    def test_coarse_line_custom_step(self, short_stimulus):
+        from repro.analysis import measure_delay
+
+        line = CoarseDelayLine(step=20e-12, n_taps=3, seed=3)
+        outs = line.process_all_taps(
+            short_stimulus, np.random.default_rng(0)
+        )
+        d0 = measure_delay(short_stimulus, outs[0]).delay
+        d2 = measure_delay(short_stimulus, outs[2]).delay
+        assert d2 - d0 == pytest.approx(40e-12, abs=4e-12)
+
+    def test_chain_rng_threading_deterministic(self, short_stimulus):
+        chain = Chain(
+            VariableGainBuffer(seed=1), OutputBuffer(seed=2)
+        )
+        a = chain.process(short_stimulus, np.random.default_rng(7))
+        b = chain.process(short_stimulus, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_sine_injector_produces_periodic_jitter(self):
+        from repro.core import FineDelayLine, JitterInjector
+        from repro.experiments.common import steady_state
+        from repro.jitter import (
+            dominant_tone,
+            jitter_spectrum,
+            jittered_prbs,
+            tie_from_edges,
+        )
+        from repro.signals.edges import auto_threshold, crossing_times
+
+        stimulus = jittered_prbs(7, 400, 3.2e9, 1e-12)
+        injector = JitterInjector(
+            delay_line=FineDelayLine(seed=4),
+            noise=NoiseSource(
+                kind="sine", peak_to_peak=0.3, bandwidth=50e6, seed=5
+            ),
+            seed=6,
+        )
+        out = steady_state(
+            injector.process(stimulus, np.random.default_rng(1))
+        )
+        edges = crossing_times(out, auto_threshold(out))
+        tie = tie_from_edges(edges, 1 / 3.2e9)
+        spectrum = jitter_spectrum(edges, tie, n_frequencies=96)
+        frequency, _ = dominant_tone(spectrum, edges, tie)
+        assert frequency == pytest.approx(50e6, rel=0.1)
+
+    def test_eye_with_explicit_threshold(self):
+        from repro.analysis import EyeDiagram
+        from repro.jitter import jittered_prbs
+
+        wf = jittered_prbs(7, 127, 2.4e9, 1e-12) + 1.0  # offset data
+        eye = EyeDiagram(wf, 1 / 2.4e9, threshold=1.0)
+        assert eye.metrics().eye_width > 0.9 / 2.4e9
+
+    def test_noise_record_duration(self):
+        record = NoiseSource(seed=1).record(1e-6, 1e-9)
+        assert record.duration == pytest.approx(1e-6, rel=1e-6)
+
+    def test_from_function_rejects_zero_duration(self):
+        with pytest.raises(WaveformError):
+            Waveform.from_function(np.sin, duration=-1.0, dt=0.5)
+
+    def test_nrz_through_full_system_is_still_nrz(self, rng):
+        # End to end: source -> coarse -> fine -> output recovers a
+        # clean two-level signal (no mid-rail dwelling).
+        from repro.core import CombinedDelayLine
+
+        wf = synthesize_nrz([0, 1, 1, 0, 1, 0, 0, 1] * 4, 2.4e9, 1e-12)
+        out = CombinedDelayLine(seed=5).process(wf, rng)
+        values = out.values
+        mid_rail = np.abs(values) < 0.1
+        assert mid_rail.mean() < 0.15  # only transitions pass mid-rail

@@ -1,0 +1,17 @@
+"""Run the doctests embedded in module documentation.
+
+Docstring examples are user-facing promises; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.units
+
+
+@pytest.mark.parametrize("module", [repro.units])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0  # the module actually has examples

@@ -1,0 +1,128 @@
+"""Tests for repro.units: constants, parsing, formatting."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestConstants:
+    def test_time_constants_ratio(self):
+        assert units.PS == pytest.approx(1000 * units.FS)
+        assert units.NS == pytest.approx(1000 * units.PS)
+        assert units.US == pytest.approx(1000 * units.NS)
+        assert units.MS == pytest.approx(1000 * units.US)
+        assert units.S == pytest.approx(1000 * units.MS)
+
+    def test_voltage_constants(self):
+        assert units.MV == 1e-3
+        assert units.UV == 1e-6
+        assert units.V == 1.0
+
+    def test_frequency_constants(self):
+        assert units.GHZ == 1e9
+        assert units.MHZ == 1e6
+        assert units.KHZ == 1e3
+
+    def test_rate_constants(self):
+        assert units.GBPS == 1e9
+        assert units.MBPS == 1e6
+
+    def test_example_paper_quantities(self):
+        # The paper's bit period at 6.4 Gbps is ~156 ps.
+        assert 1.0 / (6.4 * units.GBPS) == pytest.approx(156.25 * units.PS)
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("33ps", 33e-12),
+            ("33 ps", 33e-12),
+            ("6.4 Gbps", 6.4e9),
+            ("750 mV", 0.75),
+            ("1.5V", 1.5),
+            ("100fs", 1e-13),
+            ("2.6GHz", 2.6e9),
+            ("50 Ohm", 50.0),
+            ("-5 ps", -5e-12),
+            ("1e2 ps", 1e-10),
+            ("12 ns", 12e-9),
+            ("3 us", 3e-6),
+            ("7 µV", 7e-6),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert units.parse_quantity(text) == pytest.approx(expected)
+
+    def test_dimension_check_passes(self):
+        assert units.parse_quantity("33ps", expect="time") == pytest.approx(
+            33e-12
+        )
+
+    def test_dimension_check_fails(self):
+        with pytest.raises(UnitError):
+            units.parse_quantity("33ps", expect="voltage")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "ps", "33", "33 parsecs", "fast", "3..3 ps"]
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitError):
+            units.parse_quantity(bad)
+
+
+class TestFormatting:
+    def test_format_time_picoseconds(self):
+        assert units.format_time(33e-12) == "33.0 ps"
+
+    def test_format_time_nanoseconds(self):
+        assert units.format_time(1.5e-9) == "1.5 ns"
+
+    def test_format_time_femtoseconds(self):
+        assert units.format_time(2.87e-13, digits=0) == "287 fs"
+
+    def test_format_time_zero(self):
+        assert units.format_time(0.0) == "0 s"
+
+    def test_format_time_negative(self):
+        assert units.format_time(-33e-12) == "-33.0 ps"
+
+    def test_format_time_nonfinite(self):
+        assert "inf" in units.format_time(math.inf)
+
+    def test_format_voltage(self):
+        assert units.format_voltage(0.75) == "750.0 mV"
+
+    def test_format_frequency(self):
+        assert units.format_frequency(6.4e9) == "6.40 GHz"
+
+    def test_format_rate(self):
+        assert units.format_rate(6.4e9) == "6.40 Gbps"
+
+    def test_round_trip_parse_format(self):
+        value = units.parse_quantity("95 ps")
+        assert units.format_time(value) == "95.0 ps"
+
+
+class TestUiConversions:
+    def test_ui_from_rate(self):
+        assert units.ui_from_rate(6.4e9) == pytest.approx(156.25e-12)
+
+    def test_rate_from_ui(self):
+        assert units.rate_from_ui(156.25e-12) == pytest.approx(6.4e9)
+
+    def test_round_trip(self):
+        assert units.rate_from_ui(units.ui_from_rate(4.8e9)) == pytest.approx(
+            4.8e9
+        )
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(UnitError):
+            units.ui_from_rate(0.0)
+
+    def test_rejects_nonpositive_ui(self):
+        with pytest.raises(UnitError):
+            units.rate_from_ui(-1e-12)
