@@ -16,6 +16,7 @@ from scipy import signal as _scipy_signal
 
 from ..errors import InsufficientEdgesError, MeasurementError
 from ..jitter.tie import tie_from_edges
+from ..kernels import match_edges
 from ..signals.edges import auto_threshold, crossing_times
 from ..signals.waveform import Waveform
 
@@ -81,9 +82,13 @@ def measure_delay(
     """Measure the delay from *reference* to *delayed* at the threshold.
 
     The measurement matches each reference crossing to the output
-    crossing of the same polarity nearest to ``crossing + coarse`` and
-    averages the differences — exactly what moving two scope cursors to
+    crossing nearest to ``crossing + coarse`` and averages the
+    differences — exactly what moving two scope cursors to
     corresponding 50 % points does, but over every edge in the record.
+    Matching is one-to-one: each output crossing is granted to at most
+    one reference crossing (smallest deviation from the coarse estimate
+    wins), so a dropped or extra edge in the output trace costs a match
+    instead of counting one output edge twice and biasing the mean.
 
     Parameters
     ----------
@@ -115,26 +120,13 @@ def measure_delay(
         else:
             max_edge_offset = float("inf")
 
-    predicted = ref_edges + coarse
-    indices = np.searchsorted(out_edges, predicted)
-    deltas = []
-    for ref_time, index in zip(ref_edges, indices):
-        candidates = []
-        if index > 0:
-            candidates.append(out_edges[index - 1])
-        if index < out_edges.size:
-            candidates.append(out_edges[index])
-        if not candidates:
-            continue
-        nearest = min(candidates, key=lambda t: abs(t - ref_time - coarse))
-        offset = nearest - ref_time
-        if abs(offset - coarse) <= max_edge_offset:
-            deltas.append(offset)
-    if not deltas:
+    delta_array = match_edges(
+        ref_edges, out_edges, float(coarse), float(max_edge_offset)
+    )
+    if delta_array.size == 0:
         raise InsufficientEdgesError(
             "no edge pairs matched within the offset window"
         )
-    delta_array = np.asarray(deltas)
     std = float(delta_array.std(ddof=1)) if delta_array.size > 1 else 0.0
     return DelayMeasurement(
         delay=float(delta_array.mean()),

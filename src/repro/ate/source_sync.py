@@ -29,6 +29,7 @@ import numpy as np
 from ..core.combined import CombinedDelayLine
 from ..errors import DeskewError
 from ..jitter.tie import recover_clock
+from ..kernels import nearest_edge_margin
 from ..signals.edges import auto_threshold, crossing_times
 from ..signals.patterns import alternating_bits
 from ..signals.waveform import Waveform
@@ -73,17 +74,7 @@ def worst_edge_margin(
     margin = float("inf")
     for record in data_records:
         data_edges = crossing_times(record, auto_threshold(record))
-        if data_edges.size == 0:
-            continue
-        indices = np.searchsorted(data_edges, clock_edges)
-        for edge, index in zip(clock_edges, indices):
-            candidates = []
-            if index > 0:
-                candidates.append(abs(edge - data_edges[index - 1]))
-            if index < data_edges.size:
-                candidates.append(abs(data_edges[index] - edge))
-            if candidates:
-                margin = min(margin, min(candidates))
+        margin = min(margin, nearest_edge_margin(clock_edges, data_edges))
     if not np.isfinite(margin):
         raise DeskewError("no data edges found for margin measurement")
     return margin

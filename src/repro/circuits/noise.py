@@ -118,6 +118,14 @@ class ACCoupler:
         self.cutoff = float(cutoff)
 
     def couple(self, dc_level: float, disturbance: Waveform) -> Waveform:
-        """Return ``dc_level + highpass(disturbance)`` as a waveform."""
-        coupled = single_pole_highpass(disturbance, self.cutoff)
+        """Return ``dc_level + highpass(disturbance)`` as a waveform.
+
+        The disturbance is a snapshot of a generator that has been
+        running since long before the record, so the coupling capacitor
+        has charged to the disturbance's *average*, not to the record's
+        first sample.
+        """
+        coupled = single_pole_highpass(
+            disturbance, self.cutoff, settled_value=float(disturbance.mean())
+        )
         return coupled + float(dc_level)

@@ -39,6 +39,8 @@ import numpy as np
 from scipy import signal as _scipy_signal
 
 from ..errors import CircuitError, ControlRangeError
+from ..kernels import compressive_slew_limit as _kernel_compressive_slew
+from ..kernels import slew_limit as _kernel_slew_limit
 from ..signals.filters import bandwidth_to_time_constant
 from ..signals.waveform import Waveform
 from .element import CircuitElement
@@ -223,25 +225,12 @@ def slew_limit(
     """Track *values* with a per-sample step bounded by *max_step*.
 
     This is the discrete-time slew-rate limiter: the output moves toward
-    the target by at most ``max_step`` volts per sample.
+    the target by at most ``max_step`` volts per sample.  The inner loop
+    runs on the active :mod:`repro.kernels` backend (the pure-Python
+    reference loop costs ~50 ns/sample; the numpy and numba backends
+    are far faster).
     """
-    if max_step <= 0:
-        raise CircuitError(f"max_step must be positive: {max_step}")
-    out = np.empty(len(values))
-    y = float(values[0]) if initial is None else float(initial)
-    # Plain-float loop: ~50 ns/sample, far cheaper than numpy scalar ops.
-    targets = values.tolist()
-    up = max_step
-    down = -max_step
-    for i, target in enumerate(targets):
-        dv = target - y
-        if dv > up:
-            dv = up
-        elif dv < down:
-            dv = down
-        y += dv
-        out[i] = y
-    return out
+    return _kernel_slew_limit(values, max_step, initial)
 
 
 def compressive_slew_limit(
@@ -270,45 +259,23 @@ def compressive_slew_limit(
 
     This is the mechanism that makes the usable delay range collapse at
     high frequency (paper Fig. 15) — smaller reached excursions mean
-    smaller amplitude-dependent delay differences.
+    smaller amplitude-dependent delay differences.  The record is
+    treated as a snapshot of a long-running signal: the compression
+    state starts as if the signal had been toggling at
+    *initial_interval* forever, so the first edges are not artificially
+    "fresh".  The loop runs on the active :mod:`repro.kernels` backend.
     """
-    if max_step <= 0:
-        raise CircuitError(f"max_step must be positive: {max_step}")
-    n = len(target_extra)
-    out = np.empty(n)
-    v_list = v_in.tolist()
-    floor_list = target_floor.tolist()
-    extra_list = target_extra.tolist()
-    inv_2corner = 1.0 / (2.0 * corner)
-    state = 1 if v_list[0] > 0.0 else -1
-    # The record is a snapshot of a long-running signal: start the
-    # compression state as if the signal had been toggling at its own
-    # rate forever, so the first edges are not artificially "fresh".
-    elapsed = initial_interval
-    scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
-    y = float(floor_list[0]) + scale * float(extra_list[0])
-    up = max_step
-    down = -max_step
-    for i in range(n):
-        v = v_list[i]
-        if state > 0:
-            if v < -hysteresis:
-                state = -1
-                scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
-                elapsed = 0.0
-        elif v > hysteresis:
-            state = 1
-            scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
-            elapsed = 0.0
-        elapsed += dt
-        dv = floor_list[i] + scale * extra_list[i] - y
-        if dv > up:
-            dv = up
-        elif dv < down:
-            dv = down
-        y += dv
-        out[i] = y
-    return out
+    return _kernel_compressive_slew(
+        v_in,
+        target_floor,
+        target_extra,
+        max_step,
+        dt,
+        hysteresis,
+        corner,
+        order,
+        initial_interval,
+    )
 
 
 def _typical_crossing_interval(v_in: np.ndarray, dt: float) -> float:
@@ -337,18 +304,25 @@ def band_limited_noise(
 
     The filtered sequence is rescaled to the requested sigma so the
     effective noise power does not depend on the simulation sample
-    interval.
+    interval.  The low-pass filter is warmed up on a discarded noise
+    prefix so the record is a stationary snapshot: without the warmup,
+    the filter's zero-state startup transient depresses the RMS
+    estimate and the rescaling systematically *inflates* the noise
+    power of short records (and with it every per-stage jitter figure).
     """
     if sigma == 0.0 or n_samples == 0:
         return np.zeros(n_samples)
-    white = rng.normal(0.0, 1.0, size=n_samples)
     nyquist = 0.5 / dt
     if bandwidth < nyquist:
         tau = bandwidth_to_time_constant(bandwidth)
+        n_warmup = int(min(8192, math.ceil(10.0 * tau / dt)))
+        white = rng.normal(0.0, 1.0, size=n_samples + n_warmup)
         k = 2.0 * tau / dt
         b = np.array([1.0, 1.0]) / (1.0 + k)
         a = np.array([1.0, (1.0 - k) / (1.0 + k)])
-        white = _scipy_signal.lfilter(b, a, white)
+        white = _scipy_signal.lfilter(b, a, white)[n_warmup:]
+    else:
+        white = rng.normal(0.0, 1.0, size=n_samples)
     rms = float(np.sqrt(np.mean(white**2)))
     if rms == 0.0:
         return np.zeros(n_samples)

@@ -15,6 +15,7 @@ __all__ = [
     "PatternError",
     "CircuitError",
     "ControlRangeError",
+    "KernelError",
     "CalibrationError",
     "DelayRangeError",
     "MeasurementError",
@@ -49,6 +50,10 @@ class CircuitError(ReproError):
 
 class ControlRangeError(CircuitError, ValueError):
     """A control input (Vctrl, select code, ...) is outside its legal range."""
+
+
+class KernelError(ReproError):
+    """A compute-kernel backend is unknown or unavailable."""
 
 
 class CalibrationError(CircuitError):

@@ -1,0 +1,269 @@
+"""NumPy-vectorised kernels.
+
+Same algebra as the reference loops in
+:mod:`repro.kernels.python_backend`, evaluated with array operations.
+Because the evaluation order differs (e.g. ramp levels are computed as
+``y0 + k * step`` instead of ``k`` repeated additions), results agree
+with the reference to floating-point rounding, not bit-exactly; the
+property tests bound the disagreement far below a femtosecond of
+delay-measurement impact.
+
+The slew limiters have a per-sample recurrence, so they cannot be
+vectorised sample-by-sample.  They *can* be vectorised event-by-event:
+a slew limiter is always in one of two regimes — **tracking** (output
+equals the target, until a step larger than ``max_step`` occurs) or
+**ramping** (output moves at exactly ``±max_step`` per sample until it
+catches the target).  Both regimes cover long runs of samples that can
+be emitted with one array operation each, so the Python-level loop
+runs once per edge instead of once per sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "slew_limit",
+    "compressive_slew_limit",
+    "match_edges",
+    "hysteresis_crossings",
+    "nearest_edge_margin",
+]
+
+
+def _first_at_most(arr: np.ndarray, start: int, bound: float) -> int:
+    """First index ``>= start`` with ``arr[i] <= bound`` (galloping scan)."""
+    n = arr.size
+    window = 32
+    lo = start
+    while lo < n:
+        hi = min(n, lo + window)
+        hits = arr[lo:hi] <= bound
+        j = int(np.argmax(hits))
+        if hits[j]:
+            return lo + j
+        lo = hi
+        window *= 2
+    return n
+
+
+def _first_at_least(arr: np.ndarray, start: int, bound: float) -> int:
+    """First index ``>= start`` with ``arr[i] >= bound`` (galloping scan)."""
+    n = arr.size
+    window = 32
+    lo = start
+    while lo < n:
+        hi = min(n, lo + window)
+        hits = arr[lo:hi] >= bound
+        j = int(np.argmax(hits))
+        if hits[j]:
+            return lo + j
+        lo = hi
+        window *= 2
+    return n
+
+
+def slew_limit(
+    values: np.ndarray, max_step: float, initial: float
+) -> np.ndarray:
+    """Event-vectorised slew limiter (exact regime decomposition).
+
+    While ramping up from level ``y0`` at sample ``i0``, the output is
+    ``y0 + (m - i0 + 1) * max_step`` and the ramp continues at sample
+    ``m`` as long as ``v[m] - y[m-1] > max_step``, i.e. as long as
+    ``v[m] - m * max_step > y0 - (i0 - 1) * max_step`` — a constant
+    bound on a precomputed array, found by a galloping scan.  Tracking
+    runs end at the next target step exceeding ``max_step``
+    (precomputed once).  Both regime transitions advance the cursor by
+    at least one sample, so the walk terminates in O(events).
+    """
+    n = len(values)
+    out = np.empty(n)
+    if n == 0:
+        return out
+    v = values
+    y = initial
+    index = np.arange(n)
+    ramp_up_key = v - index * max_step
+    ramp_dn_key = v + index * max_step
+    # Sample pairs across which tracking cannot continue.
+    break_after = np.flatnonzero(np.abs(np.diff(v)) > max_step)
+    i = 0
+    while i < n:
+        dv = v[i] - y
+        if dv > max_step:
+            bound = y + (1 - i) * max_step
+            # max() guards the FP boundary case dv ~ max_step, where the
+            # scan can resolve the first sample differently than the
+            # sequential reference; one clamped step is then identical.
+            end = max(_first_at_most(ramp_up_key, i, bound), i + 1)
+            steps = np.arange(1, end - i + 1, dtype=np.float64)
+            out[i:end] = y + steps * max_step
+            y = out[end - 1]
+            i = end
+        elif dv < -max_step:
+            bound = y + (i - 1) * max_step
+            end = max(_first_at_least(ramp_dn_key, i, bound), i + 1)
+            steps = np.arange(1, end - i + 1, dtype=np.float64)
+            out[i:end] = y - steps * max_step
+            y = out[end - 1]
+            i = end
+        else:
+            position = np.searchsorted(break_after, i)
+            if position == len(break_after):
+                end = n
+            else:
+                end = int(break_after[position]) + 1
+            out[i:end] = v[i:end]
+            y = out[end - 1]
+            i = end
+    return out
+
+
+def compressive_slew_limit(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+) -> np.ndarray:
+    """Vectorised compression comparator feeding the slew limiter.
+
+    The comparator flips are pure functions of *v_in* and the
+    hysteresis band, so the per-half-cycle excursion scales can be
+    computed for all flips at once and expanded to a per-sample target
+    with :func:`numpy.repeat`; the result then runs through the
+    event-vectorised :func:`slew_limit`.
+    """
+    n = len(target_extra)
+    inv_2corner = 1.0 / (2.0 * corner)
+    tri = np.zeros(n, dtype=np.int8)
+    tri[v_in > hysteresis] = 1
+    tri[v_in < -hysteresis] = -1
+    first_state = 1 if v_in[0] > 0.0 else -1
+    # Forward-fill undecided samples with the last decided state,
+    # seeding the fill with the initial comparator state.
+    prefixed = np.empty(n + 1, dtype=np.int8)
+    prefixed[0] = first_state
+    prefixed[1:] = tri
+    fill_index = np.zeros(n + 1, dtype=np.int64)
+    decided = np.flatnonzero(prefixed)
+    fill_index[decided] = decided
+    fill_index = np.maximum.accumulate(fill_index)
+    filled = prefixed[fill_index]
+    flips = np.flatnonzero(filled[1:] != filled[:-1])  # sample indices
+    scale0 = 1.0 / (1.0 + (inv_2corner / initial_interval) ** order)
+    if flips.size == 0:
+        scale = np.full(n, scale0)
+    else:
+        # Interval preceding each flip: from the previous flip (or from
+        # ``initial_interval`` before the record began, for the first).
+        elapsed = np.empty(flips.size)
+        elapsed[0] = initial_interval + flips[0] * dt
+        elapsed[1:] = np.diff(flips) * dt
+        flip_scales = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        lengths = np.empty(flips.size + 1, dtype=np.int64)
+        lengths[0] = flips[0]
+        lengths[1:-1] = np.diff(flips)
+        lengths[-1] = n - flips[-1]
+        scale = np.repeat(np.concatenate([[scale0], flip_scales]), lengths)
+    target = target_floor + scale * target_extra
+    y0 = float(target_floor[0]) + scale0 * float(target_extra[0])
+    return slew_limit(target, max_step, y0)
+
+
+def match_edges(
+    ref_edges: np.ndarray,
+    out_edges: np.ndarray,
+    coarse: float,
+    max_edge_offset: float,
+) -> np.ndarray:
+    """Vectorised one-to-one greedy edge matching (see reference)."""
+    n_ref = len(ref_edges)
+    n_out = len(out_edges)
+    if n_ref == 0 or n_out == 0:
+        return np.empty(0)
+    indices = np.searchsorted(out_edges, ref_edges + coarse)
+    left = np.clip(indices - 1, 0, n_out - 1)
+    right = np.clip(indices, 0, n_out - 1)
+    dev_left = np.abs(out_edges[left] - ref_edges - coarse)
+    dev_right = np.abs(out_edges[right] - ref_edges - coarse)
+    dev_left[indices - 1 < 0] = np.inf
+    dev_right[indices >= n_out] = np.inf
+    use_right = dev_right < dev_left  # ties go to the earlier edge
+    best = np.where(use_right, right, left)
+    best_dev = np.where(use_right, dev_right, dev_left)
+    valid = best_dev <= max_edge_offset
+    if not valid.any():
+        return np.empty(0)
+    ref_index = np.flatnonzero(valid)
+    best = best[valid]
+    best_dev = best_dev[valid]
+    # Greedy unique assignment: grant in order of increasing deviation;
+    # np.unique keeps the first occurrence in that order.
+    order = np.argsort(best_dev, kind="stable")
+    _, first = np.unique(best[order], return_index=True)
+    keep = np.sort(order[first])  # back to reference-edge order
+    return out_edges[best[keep]] - ref_edges[ref_index[keep]]
+
+
+def hysteresis_crossings(
+    v: np.ndarray, hysteresis: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised comparator-with-hysteresis switch location."""
+    n = v.size
+    empty = (np.empty(0), np.empty(0, dtype=np.bool_))
+    tri = np.zeros(n, dtype=np.int8)
+    tri[v > hysteresis] = 1
+    tri[v < -hysteresis] = -1
+    decided = np.flatnonzero(tri)
+    if decided.size < 2:
+        return empty
+    fill_index = np.zeros(n, dtype=np.int64)
+    fill_index[decided] = decided
+    fill_index = np.maximum.accumulate(fill_index)
+    filled = tri[fill_index]
+    filled[: decided[0]] = tri[decided[0]]
+    switches = np.flatnonzero(filled[1:] != filled[:-1]) + 1
+    if switches.size == 0:
+        return empty
+    index = np.arange(n)
+    last_nonpos = np.maximum.accumulate(np.where(v <= 0.0, index, -1))
+    last_nonneg = np.maximum.accumulate(np.where(v >= 0.0, index, -1))
+    new_states = filled[switches]
+    k = np.where(
+        new_states > 0,
+        last_nonpos[switches - 1],
+        last_nonneg[switches - 1],
+    )
+    found = k >= 0
+    k = k[found]
+    rising = new_states[found] > 0
+    v0 = v[k]
+    v1 = v[k + 1]
+    denominator = v0 - v1
+    safe = np.where(denominator == 0.0, 1.0, denominator)
+    fraction = np.where(denominator == 0.0, 0.5, v0 / safe)
+    fraction = np.clip(fraction, 0.0, 1.0)
+    return k + fraction, rising
+
+
+def nearest_edge_margin(
+    probe_edges: np.ndarray, data_edges: np.ndarray
+) -> float:
+    """Vectorised nearest-edge distance minimum."""
+    if probe_edges.size == 0 or data_edges.size == 0:
+        return float("inf")
+    n_data = len(data_edges)
+    indices = np.searchsorted(data_edges, probe_edges)
+    left = np.clip(indices - 1, 0, n_data - 1)
+    right = np.clip(indices, 0, n_data - 1)
+    dist_left = np.abs(probe_edges - data_edges[left])
+    dist_right = np.abs(data_edges[right] - probe_edges)
+    dist_left[indices - 1 < 0] = np.inf
+    dist_right[indices >= n_data] = np.inf
+    return float(np.minimum(dist_left, dist_right).min())

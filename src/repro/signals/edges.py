@@ -24,6 +24,7 @@ from typing import Literal
 import numpy as np
 
 from ..errors import InsufficientEdgesError, MeasurementError
+from ..kernels import hysteresis_crossings as _kernel_hysteresis_crossings
 from .waveform import Waveform
 
 __all__ = [
@@ -142,6 +143,13 @@ def crossing_times_hysteresis(
     interpolating the *threshold* crossing inside the excursion that
     caused it.  This reports one edge per real transition even when
     noise re-crosses the bare threshold several times.
+
+    The comparator walk — forward state tracking plus the backward
+    search for each switch's bracketing bare-threshold crossing — runs
+    on the active :mod:`repro.kernels` backend.  Every return path goes
+    through :meth:`EdgeList.select`, so *direction* is validated and
+    the result is a properly shaped (possibly empty) float array even
+    when the record has fewer than two decided samples.
     """
     if hysteresis < 0:
         raise MeasurementError(f"hysteresis must be >= 0, got {hysteresis}")
@@ -149,53 +157,9 @@ def crossing_times_hysteresis(
         return crossing_times(waveform, threshold, direction)
 
     v = waveform.values - threshold
-    # Tri-state: +1 above the high band, -1 below the low band, 0 inside.
-    state = np.zeros(len(v), dtype=np.int8)
-    state[v > hysteresis] = 1
-    state[v < -hysteresis] = -1
-    # Forward-fill zeros with the last decided state.
-    decided = np.flatnonzero(state)
-    if decided.size < 2:
-        return np.empty(0)
-    filled = np.zeros(len(v), dtype=np.int8)
-    fill_index = np.zeros(len(v), dtype=np.int64)
-    fill_index[decided] = decided
-    fill_index = np.maximum.accumulate(fill_index)
-    filled = state[fill_index]
-    # Before the first decided sample the comparator holds its initial
-    # state; adopt the first decided value there (no edge reported).
-    filled[: decided[0]] = state[decided[0]]
-
-    switches = np.flatnonzero(filled[1:] != filled[:-1]) + 1
-    times = []
-    polarities = []
-    for switch_index in switches:
-        new_state = filled[switch_index]
-        # Walk back to the last sample on the opposite side of the bare
-        # threshold; the crossing lies between it and the next sample.
-        back = switch_index
-        if new_state > 0:
-            # Find the bracketing pair (v[k] <= 0 < v[k+1]) at/before switch.
-            while back > 0 and v[back - 1] > 0.0:
-                back -= 1
-            k = back - 1
-        else:
-            while back > 0 and v[back - 1] < 0.0:
-                back -= 1
-            k = back - 1
-        if k < 0:
-            continue
-        v0, v1 = v[k], v[k + 1]
-        if v0 == v1:
-            fraction = 0.5
-        else:
-            fraction = v0 / (v0 - v1)
-        fraction = min(max(fraction, 0.0), 1.0)
-        times.append(waveform.t0 + (k + fraction) * waveform.dt)
-        polarities.append(new_state > 0)
-    times_array = np.asarray(times)
-    rising_array = np.asarray(polarities, dtype=bool)
-    edge_list = EdgeList(times_array, rising_array, threshold)
+    positions, rising = _kernel_hysteresis_crossings(v, float(hysteresis))
+    times = waveform.t0 + positions * waveform.dt
+    edge_list = EdgeList(times, rising, threshold)
     return edge_list.select(direction)
 
 

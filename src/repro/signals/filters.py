@@ -16,6 +16,8 @@ first edges of a record too).
 from __future__ import annotations
 
 import math
+from typing import Optional
+
 import numpy as np
 from scipy import signal as _scipy_signal
 
@@ -97,19 +99,29 @@ def multi_pole_lowpass(
     return result
 
 
-def single_pole_highpass(waveform: Waveform, cutoff_3db: float) -> Waveform:
+def single_pole_highpass(
+    waveform: Waveform,
+    cutoff_3db: float,
+    settled_value: Optional[float] = None,
+) -> Waveform:
     """First-order high-pass: models AC coupling.
 
-    ``H(s) = s tau / (1 + s tau)``.  The state is initialised so a
-    record that begins at a DC level starts with zero output (the
-    coupling capacitor has charged), which is the physical steady state
-    of an AC-coupled node.
+    ``H(s) = s tau / (1 + s tau)``.  The state is initialised so the
+    coupling capacitor has charged to *settled_value* — the record's
+    first sample by default, which is the physical steady state when
+    the record begins at a settled DC level.  For a record that is a
+    snapshot of a stationary process (e.g. band-limited noise), pass
+    the process mean instead: the capacitor of a long-running node
+    charges to the input's average, not to whatever excursion the
+    snapshot happens to start on.
     """
     tau = bandwidth_to_time_constant(cutoff_3db)
     k = 2.0 * tau / waveform.dt
     b = np.array([k, -k]) / (1.0 + k)
     a = np.array([1.0, (1.0 - k) / (1.0 + k)])
-    zi = _scipy_signal.lfilter_zi(b, a) * waveform.values[0]
+    if settled_value is None:
+        settled_value = waveform.values[0]
+    zi = _scipy_signal.lfilter_zi(b, a) * settled_value
     filtered, _ = _scipy_signal.lfilter(b, a, waveform.values, zi=zi)
     return Waveform(filtered, waveform.dt, waveform.t0)
 
@@ -142,8 +154,17 @@ def gaussian_lowpass(waveform: Waveform, sigma_time: float) -> Waveform:
 
 
 def moving_average(waveform: Waveform, window_time: float) -> Waveform:
-    """Boxcar average over *window_time* seconds (zero-phase)."""
+    """Boxcar average over *window_time* seconds (zero-phase).
+
+    The window is rounded to an odd number of samples so the boxcar is
+    symmetric about each output sample: an even window has no centre
+    sample, which silently shifts every edge by ``dt / 2`` — a fatal
+    timing bias in a library whose headline quantities are single
+    picoseconds.
+    """
     window = max(1, int(round(window_time / waveform.dt)))
+    if window % 2 == 0:
+        window += 1
     if window == 1:
         return waveform.copy()
     kernel = np.full(window, 1.0 / window)
@@ -152,7 +173,7 @@ def moving_average(waveform: Waveform, window_time: float) -> Waveform:
         [
             np.full(half, waveform.values[0]),
             waveform.values,
-            np.full(window - half - 1, waveform.values[-1]),
+            np.full(half, waveform.values[-1]),
         ]
     )
     averaged = np.convolve(padded, kernel, mode="valid")

@@ -99,6 +99,93 @@ class TestMeasureDelay:
         assert result.delay == pytest.approx(delay, abs=1e-15)
 
 
+def _toggle_waveform(edge_times, dt=1e-12, ramp=None):
+    """Square wave toggling at *edge_times* with linear 0-crossings.
+
+    Each transition is a linear ramp of half-width *ramp* centred on
+    the edge time, so linear-interpolation crossing extraction recovers
+    the edge positions exactly.
+    """
+    edge_times = np.asarray(edge_times, dtype=np.float64)
+    if ramp is None:
+        ramp = dt
+    xs = [0.0]
+    ys = [-1.0]
+    level = -1.0
+    for te in edge_times:
+        xs.extend([te - ramp, te + ramp])
+        ys.extend([level, -level])
+        level = -level
+    t_end = edge_times[-1] + 10 * dt
+    xs.append(t_end)
+    ys.append(level)
+    t = dt * np.arange(int(round(t_end / dt)) + 1)
+    return Waveform(np.interp(t, xs, ys), dt, 0.0)
+
+
+class TestDroppedEdgeMatching:
+    """Regression: matching must be one-to-one.
+
+    The pre-fix matcher assigned each reference edge to the nearest
+    output edge independently.  When the output trace dropped an edge,
+    the orphaned reference edge was matched to a *neighbour's* output
+    edge (which was also granted to its true owner), adding a spurious
+    ~±T delta and biasing the mean delay by T / n_edges — 10 ps here.
+    """
+
+    PERIOD = 100e-12
+    DELAY = 40.3e-12
+
+    def _traces(self):
+        ref_edges = 50e-12 + self.PERIOD * np.arange(10)
+        out_edges = np.delete(ref_edges + self.DELAY, 5)
+        return _toggle_waveform(ref_edges), _toggle_waveform(out_edges)
+
+    def test_dropped_output_edge_does_not_bias_mean(self):
+        reference, delayed = self._traces()
+        result = measure_delay(
+            reference,
+            delayed,
+            threshold=0.0,
+            coarse=self.DELAY,
+            max_edge_offset=1.5 * self.PERIOD,
+        )
+        # Pre-fix: n_edges == 10 with one delta off by a full period,
+        # mean biased by ~10 ps.  Post-fix: the orphan loses the greedy
+        # tie for its neighbour's edge and is simply dropped.
+        assert result.n_edges == 9
+        assert result.delay == pytest.approx(self.DELAY, abs=1e-13)
+        assert result.std == pytest.approx(0.0, abs=1e-13)
+
+    def test_dropped_reference_edge_symmetric(self):
+        reference, delayed = self._traces()
+        # Swap roles: extra edge in the "output" relative to reference.
+        result = measure_delay(
+            delayed,
+            reference,
+            threshold=0.0,
+            coarse=-self.DELAY,
+            max_edge_offset=1.5 * self.PERIOD,
+        )
+        assert result.n_edges == 9
+        assert result.delay == pytest.approx(-self.DELAY, abs=1e-13)
+
+    def test_each_output_edge_granted_once(self):
+        # Two reference edges compete for a single output edge: only
+        # the closer one may win.
+        reference = _toggle_waveform([100e-12, 200e-12])
+        delayed = _toggle_waveform([205e-12])
+        result = measure_delay(
+            reference,
+            delayed,
+            threshold=0.0,
+            coarse=0.0,
+            max_edge_offset=150e-12,
+        )
+        assert result.n_edges == 1
+        assert result.delay == pytest.approx(5e-12, abs=1e-13)
+
+
 class TestJitterMeasurements:
     def test_clean_signal_near_zero(self, prbs):
         tj = peak_to_peak_jitter(prbs, 1 / 2.4e9)

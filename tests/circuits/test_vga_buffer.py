@@ -200,6 +200,45 @@ class TestBandLimitedNoise:
         assert lag1(narrow) > 0.9
         assert lag1(wide) < 0.5
 
+    def test_record_starts_stationary(self):
+        # Regression: the pre-fix filter started from zero state, so
+        # every record opened with a depressed startup transient (the
+        # first sample was essentially 0 for narrow-band noise).  The
+        # record must be a snapshot of a long-running process: the
+        # first sample carries full noise power.
+        sigma = 0.1
+        first = np.array(
+            [
+                band_limited_noise(
+                    64, sigma, 5e9, 1e-12, np.random.default_rng(seed)
+                )[0]
+                for seed in range(400)
+            ]
+        )
+        # Per-record exact-RMS rescaling widens the spread slightly;
+        # pre-fix the first-sample std was ~0.02 * sigma.
+        assert np.std(first) == pytest.approx(sigma, rel=0.25)
+
+    def test_steady_state_power_record_length_invariant(self):
+        # Regression: rescaling to exact RMS over a record whose head
+        # was a zero-state startup transient *inflated* the tail power
+        # of short records (~30 % at 32 samples with a 5 GHz corner)
+        # while leaving long records nearly unbiased.  The delivered
+        # noise power must not depend on how long a record the caller
+        # asked for.
+        sigma, bandwidth, dt = 0.1, 5e9, 1e-12
+
+        def tail_power(n, seed):
+            noise = band_limited_noise(
+                n, sigma, bandwidth, dt, np.random.default_rng(seed)
+            )
+            return np.mean(noise[n // 2 :] ** 2)
+
+        short = np.mean([tail_power(32, s) for s in range(300)])
+        long = np.mean([tail_power(4096, s) for s in range(30)])
+        assert math.sqrt(short) == pytest.approx(sigma, rel=0.08)
+        assert math.sqrt(short) == pytest.approx(math.sqrt(long), rel=0.08)
+
 
 class TestVariableGainBuffer:
     def test_output_amplitude_tracks_vctrl(self, nrz, rng):

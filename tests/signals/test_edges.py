@@ -155,6 +155,28 @@ class TestHysteresis:
         wf = Waveform.constant(0.0, 1e-9, 1e-12)
         assert crossing_times_hysteresis(wf, 0.0, hysteresis=0.5).size == 0
 
+    def test_empty_result_is_shaped_float_array(self):
+        # Regression: the no-crossings path returned a bare
+        # ``np.empty(0)`` instead of going through the EdgeList, so the
+        # dtype/shape contract differed from the non-empty path.
+        wf = Waveform.constant(0.0, 1e-9, 1e-12)
+        for direction in ("rising", "falling", "both"):
+            result = crossing_times_hysteresis(
+                wf, 0.0, hysteresis=0.5, direction=direction
+            )
+            assert isinstance(result, np.ndarray)
+            assert result.dtype == np.float64
+            assert result.shape == (0,)
+
+    def test_empty_result_still_validates_direction(self):
+        # Regression: pre-fix, an invalid direction was silently
+        # accepted whenever the record produced no crossings.
+        wf = Waveform.constant(0.0, 1e-9, 1e-12)
+        with pytest.raises(MeasurementError):
+            crossing_times_hysteresis(
+                wf, 0.0, hysteresis=0.5, direction="sideways"
+            )
+
 
 class TestSlewRate:
     def test_sine_slew_at_zero(self):

@@ -153,6 +153,25 @@ class TestGaussianAndBoxcar:
         out = moving_average(wf, 0.1e-12)
         np.testing.assert_array_equal(out.values, wf.values)
 
+    def test_moving_average_even_window_preserves_crossing(self):
+        # Regression: an even sample count has no centre sample, so the
+        # boxcar was effectively asymmetric and every edge shifted by
+        # dt/2 (0.5 ps here) — fatal for a library measuring single
+        # picoseconds.  The window must be rounded to odd so a linear
+        # ramp's zero crossing stays exactly put.
+        dt = 1e-12
+        t_cross = 500.4e-12
+        wf = Waveform.from_function(
+            lambda t: 1e9 * (t - t_cross), 1000e-12, dt
+        )
+        from repro.signals import crossing_times
+
+        for window_time in (4 * dt, 5 * dt, 8 * dt, 9 * dt):
+            averaged = moving_average(wf, window_time)
+            crossings = crossing_times(averaged, 0.0, "rising")
+            assert crossings.size == 1
+            assert crossings[0] == pytest.approx(t_cross, abs=1e-15)
+
     def test_moving_average_attenuates_matched_period(self):
         # Averaging over exactly one period nulls a sine.
         wf = sine(1e9, dt=1e-12)
