@@ -9,9 +9,54 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
+import platform
+
 import pytest
 
 from repro.experiments import RUNNERS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write per-test wall-clock call durations (seconds, keyed "
+            "by node id) as JSON to PATH"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config._bench_durations = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        item.config._bench_durations[report.nodeid] = {
+            "duration_s": report.duration,
+            "outcome": report.outcome,
+        }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "tests": session.config._bench_durations,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture

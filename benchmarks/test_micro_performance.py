@@ -17,6 +17,8 @@ The end-to-end benchmark runs the paper's headline application — an
 8-channel bus deskewed to < 5 ps — under the fastest available backend.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -25,7 +27,7 @@ from repro.analysis import measure_delay
 from repro.ate import DeskewController, ParallelBus
 from repro.circuits import VariableGainBuffer
 from repro.circuits.vga_buffer import slew_limit
-from repro.core import calibration_stimulus
+from repro.core import FineDelayLine, calibrate_fine_delay, calibration_stimulus
 from repro.signals import prbs_sequence, synthesize_nrz
 
 BACKENDS = kernels.available_backends()
@@ -101,3 +103,100 @@ def test_perf_deskew_8_channels(benchmark):
 
         report = benchmark.pedantic(run, rounds=3, iterations=1)
     assert report.final_spread < 200e-12
+
+
+def _best_of(fn, repeats: int = 7) -> float:
+    """Smallest wall-clock time of *repeats* calls, in seconds.
+
+    Minimum (not mean) so that scheduler noise on a shared CI box
+    cannot inflate either side of a speedup ratio.
+    """
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_perf_batched_bus_acquire_speedup():
+    """Rendering all 8 bus channels as one batch beats the channel loop.
+
+    The sequential loop pays the Python-level call and kernel-dispatch
+    overhead of every circuit stage once per channel; the batched path
+    pays it once per stage, sharing each array pass across the lanes.
+    The PR 2 acceptance bar is a >= 3x speedup on the numpy backend at
+    scope-grade sampling.
+    """
+    with kernels.use_backend("numpy"):
+        bus = ParallelBus(n_channels=8, skew_spread=150e-12, seed=7)
+        pattern = bus.training_bits(63)
+
+        def batched():
+            bus.acquire(
+                pattern, rng=np.random.default_rng(3), dt=1e-11, batch=True
+            )
+
+        def looped():
+            bus.acquire(
+                pattern, rng=np.random.default_rng(3), dt=1e-11, batch=False
+            )
+
+        batched()
+        looped()
+        batch_time = _best_of(batched)
+        loop_time = _best_of(looped)
+    speedup = loop_time / batch_time
+    print(
+        f"\nacquire 8ch: loop {loop_time * 1e3:.1f} ms, "
+        f"batch {batch_time * 1e3:.1f} ms, {speedup:.2f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batched acquire only {speedup:.2f}x faster than the loop "
+        f"({batch_time * 1e3:.1f} ms vs {loop_time * 1e3:.1f} ms)"
+    )
+
+
+def test_perf_batched_calibration_sweep_speedup():
+    """One batched 13-point Vctrl sweep beats the point-by-point loop.
+
+    Same acceptance bar as the bus acquisition: >= 3x on the numpy
+    backend.  The batch renders the whole control-voltage grid as one
+    WaveformBatch pass and measures every lane against the stimulus
+    from a single batched record.
+    """
+    with kernels.use_backend("numpy"):
+        stimulus = calibration_stimulus(n_bits=24, dt=1e-11)
+        line = FineDelayLine(seed=3)
+
+        def batched():
+            calibrate_fine_delay(
+                line,
+                stimulus=stimulus,
+                n_points=13,
+                rng=np.random.default_rng(2),
+                batch=True,
+            )
+
+        def looped():
+            calibrate_fine_delay(
+                line,
+                stimulus=stimulus,
+                n_points=13,
+                rng=np.random.default_rng(2),
+                batch=False,
+            )
+
+        batched()
+        looped()
+        batch_time = _best_of(batched)
+        loop_time = _best_of(looped)
+    speedup = loop_time / batch_time
+    print(
+        f"\ncalibrate 13pt: loop {loop_time * 1e3:.1f} ms, "
+        f"batch {batch_time * 1e3:.1f} ms, {speedup:.2f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batched calibration only {speedup:.2f}x faster than the loop "
+        f"({batch_time * 1e3:.1f} ms vs {loop_time * 1e3:.1f} ms)"
+    )

@@ -8,6 +8,7 @@ from .measurements import (
     DelayMeasurement,
     coarse_delay_estimate,
     measure_delay,
+    measure_delays_batch,
     peak_to_peak_jitter,
     rms_jitter,
     measure_amplitude,
@@ -22,6 +23,7 @@ __all__ = [
     "DelayMeasurement",
     "coarse_delay_estimate",
     "measure_delay",
+    "measure_delays_batch",
     "peak_to_peak_jitter",
     "rms_jitter",
     "measure_amplitude",

@@ -9,21 +9,23 @@ and rise time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import List, Literal, Optional, Sequence, Union
 
 import numpy as np
+from scipy import fft as _scipy_fft
 from scipy import signal as _scipy_signal
 
 from ..errors import InsufficientEdgesError, MeasurementError
 from ..jitter.tie import tie_from_edges
-from ..kernels import match_edges
+from ..kernels import match_edges, match_edges_batch
 from ..signals.edges import auto_threshold, crossing_times
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 
 __all__ = [
     "DelayMeasurement",
     "coarse_delay_estimate",
     "measure_delay",
+    "measure_delays_batch",
     "peak_to_peak_jitter",
     "rms_jitter",
     "measure_amplitude",
@@ -133,6 +135,124 @@ def measure_delay(
         std=std,
         n_edges=int(delta_array.size),
     )
+
+
+def _coarse_delay_estimates_fft(
+    reference: Waveform,
+    lanes: Sequence[Waveform],
+    stacked: np.ndarray,
+) -> np.ndarray:
+    """All-lane :func:`coarse_delay_estimate` via one batched FFT.
+
+    Evaluates the same full cross-correlation against the shared
+    reference for every lane in a single frequency-domain pass.  The
+    estimate is ``argmax`` of the correlation — an integer sample lag —
+    so the result matches the per-lane scipy correlation exactly except
+    on (measure-zero) ties between correlation bins.
+    """
+    for lane in lanes:
+        if abs(reference.dt - lane.dt) > 1e-12 * reference.dt:
+            raise MeasurementError("waveforms must share a sample interval")
+    a = reference.values - reference.values.mean()
+    n = min(a.shape[0], stacked.shape[1])
+    a = a[:n]
+    b = (stacked - stacked.mean(axis=1, keepdims=True))[:, :n]
+    n_fft = _scipy_fft.next_fast_len(2 * n - 1)
+    spectrum = np.fft.rfft(b, n_fft, axis=1) * np.fft.rfft(a[::-1], n_fft)
+    correlation = np.fft.irfft(spectrum, n_fft, axis=1)[:, : 2 * n - 1]
+    lags = np.argmax(correlation, axis=1) - (n - 1)
+    t0s = np.array([lane.t0 for lane in lanes])
+    return lags * reference.dt + (t0s - reference.t0)
+
+
+def measure_delays_batch(
+    reference: Waveform,
+    delayed: Union[WaveformBatch, Sequence[Waveform]],
+    threshold: Optional[float] = None,
+    direction: Direction = "both",
+    max_edge_offset: Optional[float] = None,
+) -> List[DelayMeasurement]:
+    """Measure every lane of *delayed* against one shared *reference*.
+
+    Equivalent to calling :func:`measure_delay` per lane, but the
+    reference's threshold, crossings, and matching window are computed
+    once, the lanes' thresholds and coarse cross-correlations are
+    evaluated as single batched array operations when the lanes share a
+    record length, and the edge matching for all lanes goes through the
+    kernel layer's single batched call.  Each lane's result matches its
+    individual :func:`measure_delay`: the thresholds and the integer
+    coarse correlation lag are the same quantities computed along a
+    batch axis, and the matcher is shared.
+    """
+    if isinstance(delayed, WaveformBatch):
+        delayed = delayed.waveforms()
+    else:
+        delayed = list(delayed)
+    ref_threshold = (
+        auto_threshold(reference) if threshold is None else threshold
+    )
+    ref_edges = crossing_times(reference, ref_threshold, direction)
+    if ref_edges.size == 0:
+        raise InsufficientEdgesError(
+            "need at least one edge in the reference to measure delay"
+        )
+    if max_edge_offset is None:
+        if ref_edges.size > 1:
+            max_edge_offset = float(np.median(np.diff(ref_edges))) / 2.0
+        else:
+            max_edge_offset = float("inf")
+
+    uniform = len({lane.values.shape[0] for lane in delayed}) == 1
+    if uniform:
+        stacked = np.stack([lane.values for lane in delayed])
+        if threshold is None:
+            # auto_threshold for every lane at once: the same 2nd/98th
+            # percentile midpoint, computed along the batch axis.
+            highs = np.percentile(stacked, 98, axis=1)
+            lows = np.percentile(stacked, 2, axis=1)
+            lane_thresholds = (highs + lows) / 2.0
+        else:
+            lane_thresholds = np.full(len(delayed), float(threshold))
+        coarses = _coarse_delay_estimates_fft(reference, delayed, stacked)
+    else:
+        lane_thresholds = [
+            auto_threshold(lane) if threshold is None else threshold
+            for lane in delayed
+        ]
+        coarses = [
+            coarse_delay_estimate(reference, lane) for lane in delayed
+        ]
+
+    out_edge_sets = []
+    for lane, lane_threshold in zip(delayed, lane_thresholds):
+        out_edges = crossing_times(lane, float(lane_threshold), direction)
+        if out_edges.size == 0:
+            raise InsufficientEdgesError(
+                "need at least one edge in every lane to measure delay"
+            )
+        out_edge_sets.append(out_edges)
+
+    delta_arrays = match_edges_batch(
+        ref_edges,
+        out_edge_sets,
+        np.asarray(coarses, dtype=np.float64),
+        float(max_edge_offset),
+    )
+    results = []
+    for delta_array in delta_arrays:
+        if delta_array.size == 0:
+            raise InsufficientEdgesError(
+                "no edge pairs matched within the offset window"
+            )
+        std = float(delta_array.std(ddof=1)) if delta_array.size > 1 else 0.0
+        results.append(
+            DelayMeasurement(
+                delay=float(delta_array.mean()),
+                std=std,
+                n_edges=int(delta_array.size),
+            )
+        )
+    return results
 
 
 def peak_to_peak_jitter(

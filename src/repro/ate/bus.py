@@ -12,11 +12,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..core.combined import CombinedDelayLine
+from ..core.combined import CombinedDelayLine, process_lines_batch
 from ..circuits.dac import ControlDAC
+from ..circuits.element import spawn_rngs
 from ..errors import CircuitError
 from ..signals.patterns import prbs_sequence
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 from .channel import ATEChannel
 
 __all__ = ["ParallelBus"]
@@ -88,28 +89,61 @@ class ParallelBus:
         """The deskew training pattern (one PRBS7 period by default)."""
         return prbs_sequence(7, n_bits)
 
+    def _lane_rngs(self, rng: Optional[np.random.Generator]):
+        """Per-channel noise streams for one acquisition.
+
+        An explicit *rng* is split into ``2 * n_channels`` child
+        streams — one per channel driver, one per delay circuit — so a
+        batched render and a per-channel loop consume identical
+        streams.  ``None`` keeps each component on its own private
+        generator.
+        """
+        if rng is None:
+            return [None] * self.n_channels, None
+        children = spawn_rngs(rng, 2 * self.n_channels)
+        return children[: self.n_channels], children[self.n_channels :]
+
     def acquire(
         self,
         bits: Optional[Sequence[int]] = None,
         dt: float = 1e-12,
         rng: Optional[np.random.Generator] = None,
         through_delay_lines: bool = True,
+        batch: bool = True,
     ) -> List[Waveform]:
         """Capture one record per channel, as a multi-input scope would.
 
         All channels carry the same *bits* (a deskew training pattern);
         each record reflects that channel's skew, programmed delays,
         jitter, and — when ``through_delay_lines`` — its delay circuit.
+
+        With ``batch`` (the default) every channel's delay circuit is
+        rendered as one lane of a single
+        :class:`~repro.signals.waveform.WaveformBatch` pass through the
+        kernel layer; ``batch=False`` keeps the per-channel loop.  Both
+        modes consume identical per-channel noise streams (see
+        :meth:`_lane_rngs`), so they produce the same records.
         """
         if bits is None:
             bits = self.training_bits()
-        outputs = []
-        for index, channel in enumerate(self.channels):
-            record = channel.drive(bits, dt, rng)
-            if through_delay_lines and self.delay_lines is not None:
-                record = self.delay_lines[index].process(record, rng)
-            outputs.append(record)
-        return outputs
+        drive_rngs, line_rngs = self._lane_rngs(rng)
+        records = [
+            channel.drive(bits, dt, drive_rngs[index])
+            for index, channel in enumerate(self.channels)
+        ]
+        if not through_delay_lines or self.delay_lines is None:
+            return records
+        if batch:
+            stacked = WaveformBatch.from_waveforms(records)
+            return process_lines_batch(
+                self.delay_lines, stacked, line_rngs
+            ).waveforms()
+        return [
+            self.delay_lines[index].process(
+                record, None if line_rngs is None else line_rngs[index]
+            )
+            for index, record in enumerate(records)
+        ]
 
     def acquire_edge_times(
         self,

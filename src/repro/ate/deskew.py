@@ -9,12 +9,13 @@ the channel-to-channel spread meets the requirement (< 5 ps).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..analysis.measurements import measure_delay
+from ..analysis.measurements import measure_delays_batch
 from ..errors import DeskewError
 from .bus import ParallelBus
 
@@ -119,10 +120,8 @@ class DeskewController:
             bits, dt=self.dt, rng=rng, through_delay_lines=through_delay_lines
         )
         reference = records[0]
-        arrivals = [0.0]
-        for record in records[1:]:
-            arrivals.append(measure_delay(reference, record).delay)
-        return arrivals
+        measurements = measure_delays_batch(reference, records[1:])
+        return [0.0] + [m.delay for m in measurements]
 
     def measure_arrivals_event(
         self,
@@ -144,8 +143,23 @@ class DeskewController:
         )
         reference = edge_sets[0]
         arrivals = [0.0]
-        for edges in edge_sets[1:]:
+        for index, edges in enumerate(edge_sets[1:], start=1):
             count = min(len(reference), len(edges))
+            if count < 0.5 * len(reference):
+                raise DeskewError(
+                    f"channel {index} produced {len(edges)} edges for "
+                    f"{len(reference)} reference edges; fewer than half "
+                    "match, so the event-mode arrival would be meaningless"
+                )
+            if abs(len(reference) - len(edges)) > 2:
+                warnings.warn(
+                    f"channel {index} edge count ({len(edges)}) differs "
+                    f"from the reference ({len(reference)}) by more than "
+                    "2; the event-mode arrival averages the overlapping "
+                    f"{count} edges only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             arrivals.append(
                 float(np.mean(edges[:count] - reference[:count]))
             )

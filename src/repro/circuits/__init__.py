@@ -6,12 +6,21 @@ full-swing buffers, fanout, multiplexer, transmission-line taps, the
 Vctrl DAC, noise sources, and the measurement-path attenuator.
 """
 
-from .element import CircuitElement, Chain, IdealDelay, Gain, Inverter
+from .element import (
+    CircuitElement,
+    Chain,
+    IdealDelay,
+    Gain,
+    Inverter,
+    spawn_rngs,
+)
 from .vga_buffer import (
     BufferParams,
     VariableGainBuffer,
     slew_limit,
     band_limited_noise,
+    band_limited_noise_batch,
+    limiting_stage_batch,
 )
 from .buffers import OUTPUT_STAGE_PARAMS, OutputBuffer, FanoutBuffer
 from .mux import Multiplexer
@@ -26,10 +35,13 @@ __all__ = [
     "IdealDelay",
     "Gain",
     "Inverter",
+    "spawn_rngs",
     "BufferParams",
     "VariableGainBuffer",
     "slew_limit",
     "band_limited_noise",
+    "band_limited_noise_batch",
+    "limiting_stage_batch",
     "OUTPUT_STAGE_PARAMS",
     "OutputBuffer",
     "FanoutBuffer",

@@ -15,14 +15,14 @@ parts) faster slew and wider bandwidth.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import CircuitError
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 from .element import CircuitElement
-from .vga_buffer import BufferParams, limiting_stage
+from .vga_buffer import BufferParams, limiting_stage, limiting_stage_batch
 
 __all__ = ["OUTPUT_STAGE_PARAMS", "OutputBuffer", "FanoutBuffer"]
 
@@ -78,6 +78,14 @@ class OutputBuffer(CircuitElement):
         rng = self._resolve_rng(rng)
         return limiting_stage(waveform, self.amplitude, self.params, rng)
 
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> WaveformBatch:
+        rngs = self._resolve_lane_rngs(rngs, batch.n_lanes)
+        return limiting_stage_batch(batch, self.amplitude, self.params, rngs)
+
 
 class FanoutBuffer(CircuitElement):
     """1:N fanout buffer producing N independently-buffered copies.
@@ -124,3 +132,17 @@ class FanoutBuffer(CircuitElement):
     ) -> Waveform:
         rng = self._resolve_rng(rng)
         return limiting_stage(waveform, self.amplitude, self.params, rng)
+
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> WaveformBatch:
+        """Batched single-leg path (lane *i* rides fanout leg *i*).
+
+        A batched bus render routes each lane through its own leg, so
+        one leg per lane — exactly one limiting stage per lane — is the
+        batched equivalent of :meth:`process` on every lane.
+        """
+        rngs = self._resolve_lane_rngs(rngs, batch.n_lanes)
+        return limiting_stage_batch(batch, self.amplitude, self.params, rngs)

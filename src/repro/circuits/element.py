@@ -16,14 +16,40 @@ Callers who need exact control pass an explicit ``rng``.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import CircuitError
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 
-__all__ = ["CircuitElement", "Chain", "IdealDelay", "Gain", "Inverter"]
+__all__ = [
+    "CircuitElement",
+    "Chain",
+    "IdealDelay",
+    "Gain",
+    "Inverter",
+    "spawn_rngs",
+]
+
+
+def spawn_rngs(
+    rng: np.random.Generator, count: int
+) -> List[np.random.Generator]:
+    """Derive *count* independent child generators from *rng*.
+
+    This is the batch axis's seeding contract: every lane owns a child
+    stream, so a batched run and a lane-by-lane sequential run consume
+    identical per-lane noise regardless of processing order (the lanes'
+    streams never interleave).
+    """
+    try:
+        return list(rng.spawn(count))
+    except AttributeError:  # pragma: no cover - numpy < 1.25
+        return [
+            np.random.default_rng(int(rng.integers(0, 2**63)))
+            for _ in range(count)
+        ]
 
 
 class CircuitElement(abc.ABC):
@@ -55,6 +81,40 @@ class CircuitElement(abc.ABC):
     ) -> np.random.Generator:
         """Return the caller's generator, or this element's private one."""
         return self._rng if rng is None else rng
+
+    def _resolve_lane_rngs(
+        self,
+        rngs: Optional[Sequence[np.random.Generator]],
+        n_lanes: int,
+    ) -> List[np.random.Generator]:
+        """Per-lane generators: the caller's, or spawned from the private one."""
+        if rngs is None:
+            return spawn_rngs(self._rng, n_lanes)
+        if len(rngs) != n_lanes:
+            raise CircuitError(
+                f"need one generator per lane ({n_lanes}), got {len(rngs)}"
+            )
+        return list(rngs)
+
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> WaveformBatch:
+        """Process every lane of *batch*; returns a new batch.
+
+        The base implementation simply loops :meth:`process` over the
+        lanes with per-lane generators — semantically definitive, and
+        correct for any element.  Elements whose work vectorises across
+        lanes override this with a true batched path.
+        """
+        rngs = self._resolve_lane_rngs(rngs, batch.n_lanes)
+        return WaveformBatch.from_waveforms(
+            [
+                self.process(batch.lane(index), rngs[index])
+                for index in range(batch.n_lanes)
+            ]
+        )
 
     def reseed(self, seed: Optional[int]) -> None:
         """Reset the element's private random generator."""
@@ -96,6 +156,17 @@ class Chain(CircuitElement):
         result = waveform
         for element in self._elements:
             result = element.process(result, rng)
+        return result
+
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> WaveformBatch:
+        rngs = self._resolve_lane_rngs(rngs, batch.n_lanes)
+        result = batch
+        for element in self._elements:
+            result = element.process_batch(result, rngs)
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

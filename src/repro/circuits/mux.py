@@ -14,10 +14,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import CircuitError, ControlRangeError
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 from .buffers import OUTPUT_STAGE_PARAMS
 from .element import CircuitElement
-from .vga_buffer import BufferParams, limiting_stage
+from .vga_buffer import BufferParams, limiting_stage, limiting_stage_batch
 
 __all__ = ["Multiplexer"]
 
@@ -118,3 +118,25 @@ class Multiplexer(CircuitElement):
         skew = self.port_skews[self._select]
         chosen = waveform.shifted(skew) if skew else waveform
         return limiting_stage(chosen, self.amplitude, self.params, rng)
+
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        port_skews: Optional[Sequence[float]] = None,
+    ) -> WaveformBatch:
+        """Batched pass-through: every lane as the selected port.
+
+        *port_skews* optionally gives each lane its own port skew (a
+        multi-instance bus render, where lane *i* traverses a different
+        physical mux); ``None`` applies this mux's selected-port skew
+        to every lane.
+        """
+        rngs = self._resolve_lane_rngs(rngs, batch.n_lanes)
+        if port_skews is None:
+            skews = np.full(batch.n_lanes, self.port_skews[self._select])
+        else:
+            skews = np.asarray(port_skews, dtype=np.float64)
+        if np.any(skews):
+            batch = batch.shifted(skews)
+        return limiting_stage_batch(batch, self.amplitude, self.params, rngs)

@@ -19,13 +19,18 @@ more active fine stages (Sec. 3).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
+from scipy import signal as _scipy_signal
 
 from ..errors import CircuitError
-from ..signals.filters import single_pole_lowpass
-from ..signals.waveform import Waveform
+from ..signals.filters import (
+    bandwidth_to_time_constant,
+    bilinear_lowpass_coefficients,
+    single_pole_lowpass,
+)
+from ..signals.waveform import Waveform, WaveformBatch
 from .element import CircuitElement
 
 __all__ = ["TransmissionLine", "ReflectiveStub"]
@@ -101,6 +106,34 @@ class TransmissionLine(CircuitElement):
                 out = single_pole_lowpass(out, bandwidth)
         if self.gain != 1.0:
             out = out * self.gain
+        if self.total_delay != 0.0:
+            out = out.shifted(self.total_delay)
+        return out
+
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> WaveformBatch:
+        """Batched trace model: one dispersion filter pass for all lanes.
+
+        All lanes traverse the *same* trace build, so the single-pole
+        roll-off applies with one filter call along the sample axis;
+        gain and electrical length are lane-independent scalars.
+        """
+        values = batch.values
+        if self.dispersive and self.total_delay > 0:
+            bandwidth = self.bandwidth()
+            if np.isfinite(bandwidth) and bandwidth < 0.5 / batch.dt:
+                tau = bandwidth_to_time_constant(bandwidth)
+                b, a = bilinear_lowpass_coefficients(batch.dt, tau)
+                zi = _scipy_signal.lfilter_zi(b, a)[None, :] * values[:, :1]
+                values, _ = _scipy_signal.lfilter(
+                    b, a, values, axis=1, zi=zi
+                )
+        if self.gain != 1.0:
+            values = values * self.gain
+        out = WaveformBatch(values, batch.dt, batch.t0)
         if self.total_delay != 0.0:
             out = out.shifted(self.total_delay)
         return out

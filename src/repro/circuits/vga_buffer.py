@@ -33,16 +33,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 from scipy import signal as _scipy_signal
 
 from ..errors import CircuitError, ControlRangeError
 from ..kernels import compressive_slew_limit as _kernel_compressive_slew
+from ..kernels import (
+    compressive_slew_limit_batch as _kernel_compressive_slew_batch,
+)
 from ..kernels import slew_limit as _kernel_slew_limit
-from ..signals.filters import bandwidth_to_time_constant
-from ..signals.waveform import Waveform
+from ..kernels import slew_limit_batch as _kernel_slew_limit_batch
+from ..signals.filters import (
+    bandwidth_to_time_constant,
+    bilinear_lowpass_coefficients,
+)
+from ..signals.waveform import Waveform, WaveformBatch
 from .element import CircuitElement
 
 __all__ = [
@@ -51,6 +58,8 @@ __all__ = [
     "slew_limit",
     "compressive_slew_limit",
     "band_limited_noise",
+    "band_limited_noise_batch",
+    "limiting_stage_batch",
 ]
 
 ControlInput = Union[float, Waveform]
@@ -290,7 +299,17 @@ def _typical_crossing_interval(v_in: np.ndarray, dt: float) -> float:
     changes = np.flatnonzero(sign[1:] != sign[:-1])
     if changes.size < 2:
         return 1.0
-    return float(np.median(np.diff(changes))) * dt
+    # Median via direct partition: same value as np.median (middle
+    # element, or the mean of the two middle elements), without the
+    # dispatch overhead — this runs once per lane per stage.
+    intervals = np.diff(changes)
+    half = intervals.size // 2
+    if intervals.size % 2:
+        median = float(np.partition(intervals, half)[half])
+    else:
+        middle = np.partition(intervals, (half - 1, half))
+        median = (float(middle[half - 1]) + float(middle[half])) / 2.0
+    return median * dt
 
 
 def band_limited_noise(
@@ -317,9 +336,7 @@ def band_limited_noise(
         tau = bandwidth_to_time_constant(bandwidth)
         n_warmup = int(min(8192, math.ceil(10.0 * tau / dt)))
         white = rng.normal(0.0, 1.0, size=n_samples + n_warmup)
-        k = 2.0 * tau / dt
-        b = np.array([1.0, 1.0]) / (1.0 + k)
-        a = np.array([1.0, (1.0 - k) / (1.0 + k)])
+        b, a = bilinear_lowpass_coefficients(dt, tau)
         white = _scipy_signal.lfilter(b, a, white)[n_warmup:]
     else:
         white = rng.normal(0.0, 1.0, size=n_samples)
@@ -327,6 +344,55 @@ def band_limited_noise(
     if rms == 0.0:
         return np.zeros(n_samples)
     return white * (sigma / rms)
+
+
+def band_limited_noise_batch(
+    n_lanes: int,
+    n_samples: int,
+    sigma: float,
+    bandwidth: float,
+    dt: float,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Per-lane band-limited noise, one generator per lane.
+
+    Lane ``i`` is sample-for-sample what ``band_limited_noise`` returns
+    when fed ``rngs[i]`` — each lane draws only from its own stream, so
+    a batched render and a lane-by-lane render produce identical noise.
+    The low-pass warmup and the RMS normalisation run per lane (each
+    lane is its own stationary snapshot).
+    """
+    if sigma == 0.0 or n_samples == 0:
+        return np.zeros((n_lanes, n_samples))
+    nyquist = 0.5 / dt
+    if bandwidth < nyquist:
+        tau = bandwidth_to_time_constant(bandwidth)
+        n_warmup = int(min(8192, math.ceil(10.0 * tau / dt)))
+        white = np.stack(
+            [
+                rngs[lane].normal(0.0, 1.0, size=n_samples + n_warmup)
+                for lane in range(n_lanes)
+            ]
+        )
+        b, a = bilinear_lowpass_coefficients(dt, tau)
+        white = _scipy_signal.lfilter(b, a, white, axis=1)[:, n_warmup:]
+    else:
+        white = np.stack(
+            [
+                rngs[lane].normal(0.0, 1.0, size=n_samples)
+                for lane in range(n_lanes)
+            ]
+        )
+    # Per-lane scalar RMS via the single-lane expression, keeping the
+    # batched path bit-exact against lane-by-lane rendering.
+    out = np.empty_like(white)
+    for lane in range(n_lanes):
+        rms = float(np.sqrt(np.mean(white[lane] ** 2)))
+        if rms == 0.0:
+            out[lane] = 0.0
+        else:
+            out[lane] = white[lane] * (sigma / rms)
+    return out
 
 
 def limiting_stage(
@@ -369,13 +435,83 @@ def limiting_stage(
         target = amplitude * limited
         slewed = slew_limit(target, max_step, initial=target[0])
     tau = bandwidth_to_time_constant(params.bandwidth)
-    k = 2.0 * tau / dt
-    b0 = 1.0 / (1.0 + k)
-    b = np.array([b0, b0])
-    a = np.array([1.0, (1.0 - k) / (1.0 + k)])
+    b, a = bilinear_lowpass_coefficients(dt, tau)
     zi = _scipy_signal.lfilter_zi(b, a) * slewed[0]
     filtered, _ = _scipy_signal.lfilter(b, a, slewed, zi=zi)
     out = Waveform(filtered, dt, waveform.t0)
+    return out.shifted(params.propagation_delay)
+
+
+def limiting_stage_batch(
+    batch: WaveformBatch,
+    amplitude: Union[float, np.ndarray],
+    params: BufferParams,
+    rngs: Sequence[np.random.Generator],
+) -> WaveformBatch:
+    """Batched core signal path: every lane through one stage build.
+
+    *amplitude* may be a scalar (all lanes programmed alike), a
+    ``(n_lanes,)`` array (per-lane programming — a control-voltage
+    sweep as one batch), or a ``(n_lanes, n_samples)`` array
+    (per-lane time-varying control).  Lane ``i`` draws its noise from
+    ``rngs[i]`` only, so on the python kernel backend the result is
+    bit-exact against ``limiting_stage`` applied lane by lane with the
+    same generators; the element-wise work (noise filtering, tanh,
+    output pole) and the compression decomposition run across the
+    whole batch at once.
+    """
+    dt = batch.dt
+    n_lanes = batch.n_lanes
+    v_in = batch.values
+    if params.noise_sigma > 0:
+        v_in = v_in + band_limited_noise_batch(
+            n_lanes,
+            batch.n_samples,
+            params.noise_sigma,
+            params.noise_bandwidth,
+            dt,
+            rngs,
+        )
+    limited = np.tanh(v_in / params.v_linear)
+    amplitude = np.asarray(amplitude, dtype=np.float64)
+    if amplitude.ndim == 1:
+        amplitude = amplitude[:, None]
+    max_step = params.slew_rate * dt
+    if np.isfinite(params.compression_corner):
+        floor = np.minimum(amplitude, params.amplitude_min)
+        extra = amplitude - floor
+        # Per-lane comparator band and starting compression state.  The
+        # axis percentile is sample-for-sample the single-lane call on
+        # each row (same partition + interpolation per row), so lane
+        # equivalence stays exact.
+        upper, lower = np.percentile(v_in, (98.0, 2.0), axis=1)
+        hysteresis = 0.3 * ((upper - lower) / 2.0)
+        initial_interval = np.empty(n_lanes)
+        for lane in range(n_lanes):
+            initial_interval[lane] = _typical_crossing_interval(
+                v_in[lane], dt
+            )
+        slewed = _kernel_compressive_slew_batch(
+            v_in,
+            np.broadcast_to(floor * limited, limited.shape),
+            np.broadcast_to(extra * limited, limited.shape),
+            max_step,
+            dt,
+            hysteresis,
+            params.compression_corner,
+            params.compression_order,
+            initial_interval=initial_interval,
+        )
+    else:
+        target = amplitude * limited
+        slewed = _kernel_slew_limit_batch(
+            target, max_step, initial=target[:, 0]
+        )
+    tau = bandwidth_to_time_constant(params.bandwidth)
+    b, a = bilinear_lowpass_coefficients(dt, tau)
+    zi = _scipy_signal.lfilter_zi(b, a)[None, :] * slewed[:, :1]
+    filtered, _ = _scipy_signal.lfilter(b, a, slewed, axis=1, zi=zi)
+    out = WaveformBatch(filtered, dt, batch.t0)
     return out.shifted(params.propagation_delay)
 
 
@@ -433,3 +569,36 @@ class VariableGainBuffer(CircuitElement):
         rng = self._resolve_rng(rng)
         amplitude = self.amplitude_at(waveform)
         return limiting_stage(waveform, amplitude, self.params, rng)
+
+    def process_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        vctrl: Optional[Union[float, np.ndarray]] = None,
+    ) -> WaveformBatch:
+        """Process all lanes at once, optionally with per-lane control.
+
+        *vctrl* overrides the stage's programmed control: a scalar
+        programs every lane alike, a ``(n_lanes,)`` array programs each
+        lane its own voltage — which is how a whole Vctrl calibration
+        sweep becomes one batch.  ``None`` uses :attr:`vctrl`.
+        """
+        rngs = self._resolve_lane_rngs(rngs, batch.n_lanes)
+        if vctrl is None:
+            vctrl = self._vctrl
+        if isinstance(vctrl, Waveform):
+            # Time-varying control: evaluate on each lane's own grid
+            # (lanes share dt but not necessarily the origin).
+            amplitude = np.stack(
+                [
+                    self.params.amplitude_from_vctrl(
+                        vctrl.value_at(batch.lane_times(lane))
+                    )
+                    for lane in range(batch.n_lanes)
+                ]
+            )
+        else:
+            amplitude = self.params.amplitude_from_vctrl(
+                np.asarray(vctrl, dtype=np.float64)
+            )
+        return limiting_stage_batch(batch, amplitude, self.params, rngs)

@@ -12,17 +12,21 @@ delays into ``(tap, vctrl)`` settings.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
-from ..analysis.measurements import measure_delay
+from ..analysis.measurements import measure_delay, measure_delays_batch
 from ..circuits.dac import ControlDAC
+from ..circuits.element import spawn_rngs
 from ..errors import CalibrationError, DelayRangeError
 from ..signals.nrz import synthesize_nrz
 from ..signals.patterns import prbs_sequence
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 
 __all__ = [
     "CalibrationTable",
@@ -31,6 +35,29 @@ __all__ = [
     "DelaySetting",
     "CombinedDelaySolver",
 ]
+
+
+def _atomic_write_json(path, payload: dict) -> None:
+    """Write *payload* as JSON via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows, so a reader never
+    sees a half-written calibration file and a crash mid-write leaves
+    any existing file untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(os.fspath(path)))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".calibration-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def calibration_stimulus(
@@ -155,17 +182,12 @@ class CalibrationTable:
         return cls(vctrls=vctrls, delays=delays)
 
     def save(self, path) -> None:
-        """Write the table to a JSON file."""
-        import json
-
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the table to a JSON file (atomically)."""
+        _atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path) -> "CalibrationTable":
         """Read a table previously written by :meth:`save`."""
-        import json
-
         with open(path) as handle:
             return cls.from_dict(json.load(handle))
 
@@ -175,6 +197,7 @@ def calibrate_fine_delay(
     stimulus: Optional[Waveform] = None,
     n_points: int = 13,
     rng: Optional[np.random.Generator] = None,
+    batch: bool = True,
 ) -> CalibrationTable:
     """Measure a fine delay line's delay-vs-Vctrl curve.
 
@@ -193,7 +216,15 @@ def calibrate_fine_delay(
     n_points:
         Number of Vctrl grid points.
     rng:
-        Randomness source for the circuit noise during calibration.
+        Randomness source for the circuit noise during calibration;
+        split into one child stream per grid point, so batched and
+        sequential sweeps see identical noise.
+    batch:
+        When the delay line supports batched processing (the default
+        lines do), simulate the whole Vctrl grid as one
+        :class:`~repro.signals.waveform.WaveformBatch` pass — one lane
+        per grid point — through the kernel layer.  ``batch=False``
+        forces the point-by-point loop; both produce the same table.
     """
     if n_points < 2:
         raise CalibrationError(f"need >= 2 points, got {n_points}")
@@ -203,12 +234,20 @@ def calibrate_fine_delay(
         rng = np.random.default_rng(0xCA1)
     params = delay_line.params
     vctrls = np.linspace(params.vctrl_min, params.vctrl_max, n_points)
+    rngs = spawn_rngs(rng, n_points)
+    if batch and hasattr(delay_line, "process_batch"):
+        tiled = WaveformBatch.tiled(stimulus, n_points)
+        outputs = delay_line.process_batch(tiled, rngs, vctrls=vctrls)
+        delays = np.asarray(
+            [m.delay for m in measure_delays_batch(stimulus, outputs)]
+        )
+        return CalibrationTable(vctrls=vctrls, delays=delays - delays[0])
     saved = delay_line.vctrl
     delays = []
     try:
-        for vctrl in vctrls:
+        for index, vctrl in enumerate(vctrls):
             delay_line.vctrl = float(vctrl)
-            output = delay_line.process(stimulus, rng)
+            output = delay_line.process(stimulus, rngs[index])
             delays.append(measure_delay(stimulus, output).delay)
     finally:
         delay_line.vctrl = saved
@@ -364,16 +403,11 @@ class CombinedDelaySolver:
         return cls(fine_table=table, tap_delays=taps, dac=dac)
 
     def save(self, path) -> None:
-        """Write the solver's calibration data to a JSON file."""
-        import json
-
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the solver's calibration data to a JSON file (atomically)."""
+        _atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path, dac: Optional[ControlDAC] = None) -> "CombinedDelaySolver":
         """Read a solver previously written by :meth:`save`."""
-        import json
-
         with open(path) as handle:
             return cls.from_dict(json.load(handle), dac=dac)

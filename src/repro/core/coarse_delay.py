@@ -19,7 +19,7 @@ from ..circuits.element import CircuitElement
 from ..circuits.mux import Multiplexer
 from ..circuits.tline import TransmissionLine
 from ..errors import CircuitError
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 from .params import COARSE_STEP, COARSE_TAP_ERRORS
 
 __all__ = ["CoarseDelayLine"]
@@ -109,6 +109,16 @@ class CoarseDelayLine(CircuitElement):
         """The tap transmission lines, in tap order."""
         return tuple(self._lines)
 
+    @property
+    def fanout(self) -> FanoutBuffer:
+        """The 1:N fanout buffer feeding the taps."""
+        return self._fanout
+
+    @property
+    def mux(self) -> Multiplexer:
+        """The N:1 output multiplexer."""
+        return self._mux
+
     def nominal_tap_delays(self) -> List[float]:
         """Designed tap increments relative to tap 0, seconds."""
         return [i * self.step for i in range(self.n_taps)]
@@ -132,6 +142,17 @@ class CoarseDelayLine(CircuitElement):
         buffered = self._fanout.process(waveform, rng)
         lined = self._lines[self._mux.select].process(buffered, rng)
         return self._mux.process(lined, rng)
+
+    def process_batch(
+        self,
+        waveforms: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+    ) -> WaveformBatch:
+        """Batched selected-path simulation (all lanes, same tap)."""
+        rngs = self._resolve_lane_rngs(rngs, waveforms.n_lanes)
+        buffered = self._fanout.process_batch(waveforms, rngs)
+        lined = self._lines[self._mux.select].process_batch(buffered, rngs)
+        return self._mux.process_batch(lined, rngs)
 
     def process_all_taps(
         self, waveform: Waveform, rng: Optional[np.random.Generator] = None

@@ -9,15 +9,15 @@ everywhere in between.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..circuits.dac import ControlDAC
 from ..circuits.element import CircuitElement
 from ..circuits.vga_buffer import BufferParams, ControlInput
-from ..errors import CalibrationError
-from ..signals.waveform import Waveform
+from ..errors import CalibrationError, CircuitError
+from ..signals.waveform import Waveform, WaveformBatch
 from .calibration import (
     CombinedDelaySolver,
     DelaySetting,
@@ -28,7 +28,7 @@ from .coarse_delay import CoarseDelayLine
 from .fine_delay import FineDelayLine
 from ..analysis.measurements import measure_delay
 
-__all__ = ["CombinedDelayLine"]
+__all__ = ["CombinedDelayLine", "process_lines_batch"]
 
 
 class CombinedDelayLine(CircuitElement):
@@ -105,6 +105,22 @@ class CombinedDelayLine(CircuitElement):
     ) -> Waveform:
         rng = self._resolve_rng(rng)
         return self.fine.process(self.coarse.process(waveform, rng), rng)
+
+    def process_batch(
+        self,
+        waveforms: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        vctrls: Optional[np.ndarray] = None,
+    ) -> WaveformBatch:
+        """Run all lanes through coarse + fine sections as one batch.
+
+        *vctrls* optionally programs each lane its own fine-section
+        control voltage (the calibration-sweep batching); ``None``
+        keeps the programmed controls.
+        """
+        rngs = self._resolve_lane_rngs(rngs, waveforms.n_lanes)
+        coarse = self.coarse.process_batch(waveforms, rngs)
+        return self.fine.process_batch(coarse, rngs, vctrls=vctrls)
 
     # -- calibration flow ------------------------------------------------------
 
@@ -239,3 +255,95 @@ class CombinedDelayLine(CircuitElement):
             output_amplitude=self.fine.output_stage.amplitude,
             tap_delays=self.coarse.actual_tap_delays(),
         )
+
+
+def _lines_batchable(lines: Sequence[CombinedDelayLine]) -> bool:
+    """Can lane *i* of a batch ride instance ``lines[i]`` in one pass?
+
+    Batched rendering shares one set of stage physics across lanes, so
+    the instances must agree on every structural parameter; per-lane
+    differences are limited to what the batched path expresses per lane
+    (tap selection, mux port skews, a scalar Vctrl).
+    """
+    if not lines:
+        return False
+    if not all(isinstance(line, CombinedDelayLine) for line in lines):
+        return False
+    template = lines[0]
+    for line in lines:
+        vctrls = line.fine.stage_vctrls()
+        if any(isinstance(v, Waveform) for v in vctrls):
+            return False
+        if any(float(v) != float(vctrls[0]) for v in vctrls[1:]):
+            return False
+        if (
+            line.fine.n_stages != template.fine.n_stages
+            or line.fine.params != template.fine.params
+            or line.fine.output_stage.params
+            != template.fine.output_stage.params
+            or line.fine.output_stage.amplitude
+            != template.fine.output_stage.amplitude
+            or line.coarse.fanout.params != template.coarse.fanout.params
+            or line.coarse.fanout.amplitude
+            != template.coarse.fanout.amplitude
+            or line.coarse.mux.params != template.coarse.mux.params
+            or line.coarse.mux.amplitude != template.coarse.mux.amplitude
+        ):
+            return False
+    return True
+
+
+def process_lines_batch(
+    lines: Sequence[CombinedDelayLine],
+    waveforms: WaveformBatch,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+) -> WaveformBatch:
+    """Run lane *i* of *waveforms* through delay line ``lines[i]``.
+
+    The bus-render primitive: N per-channel :class:`CombinedDelayLine`
+    instances, one record per channel, simulated as a single batch.
+    Per-lane tap selection, mux port skew, and (scalar) fine Vctrl are
+    honoured; when the instances differ structurally (stage counts,
+    buffer physics, per-stage or waveform-valued Vctrl) the function
+    falls back to per-lane sequential processing, so the result is
+    always exactly what the per-lane loop would produce.
+
+    *rngs* supplies lane *i*'s noise stream; ``None`` uses each line's
+    own private generator — matching ``lines[i].process(lane, None)``.
+    """
+    if len(lines) != waveforms.n_lanes:
+        raise CircuitError(
+            f"{len(lines)} delay lines for {waveforms.n_lanes} lanes"
+        )
+    if rngs is None:
+        rngs = [line._rng for line in lines]
+    elif len(rngs) != len(lines):
+        raise CircuitError(
+            f"{len(rngs)} noise streams for {len(lines)} delay lines"
+        )
+    if not _lines_batchable(lines):
+        return WaveformBatch.from_waveforms(
+            [
+                line.process(waveforms.lane(i), rngs[i])
+                for i, line in enumerate(lines)
+            ]
+        )
+    template = lines[0]
+    buffered = template.coarse.fanout.process_batch(waveforms, rngs)
+    # The tap traces differ per lane (different electrical lengths) but
+    # a trace is noiseless and cheap: filter each lane's selection
+    # individually and restack.
+    lined = WaveformBatch.from_waveforms(
+        [
+            line.coarse.lines[line.coarse.select].process(
+                buffered.lane(i), rngs[i]
+            )
+            for i, line in enumerate(lines)
+        ]
+    )
+    skews = [
+        line.coarse.mux.port_skews[line.coarse.mux.select] for line in lines
+    ]
+    muxed = template.coarse.mux.process_batch(lined, rngs, port_skews=skews)
+    vctrls = np.array([float(line.fine.vctrl) for line in lines])
+    return template.fine.process_batch(muxed, rngs, vctrls=vctrls)

@@ -18,7 +18,7 @@ from ..circuits.buffers import OutputBuffer
 from ..circuits.element import CircuitElement
 from ..circuits.vga_buffer import BufferParams, ControlInput, VariableGainBuffer
 from ..errors import CircuitError
-from ..signals.waveform import Waveform
+from ..signals.waveform import Waveform, WaveformBatch
 from .params import DEFAULT_FINE_STAGES, FOUR_STAGE_BUFFER
 
 __all__ = ["FineDelayLine"]
@@ -126,6 +126,28 @@ class FineDelayLine(CircuitElement):
         for stage in self._stages:
             result = stage.process(result, rng)
         return self._output_stage.process(result, rng)
+
+    def process_batch(
+        self,
+        waveforms: WaveformBatch,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        vctrls: Optional[np.ndarray] = None,
+    ) -> WaveformBatch:
+        """Run all lanes through the cascade as one batch.
+
+        *vctrls* optionally programs each lane its own common control
+        voltage (every stage of lane ``i`` at ``vctrls[i]``, matching
+        the single-Vctrl convention) — this is how a calibration sweep
+        collapses into a single pass.  ``None`` keeps each stage's own
+        programming.  Lane ``i`` draws noise from ``rngs[i]`` only, so
+        the batch is bit-exact against per-lane :meth:`process` calls
+        on the python kernel backend.
+        """
+        rngs = self._resolve_lane_rngs(rngs, waveforms.n_lanes)
+        result = waveforms
+        for stage in self._stages:
+            result = stage.process_batch(result, rngs, vctrl=vctrls)
+        return self._output_stage.process_batch(result, rngs)
 
     def nominal_delay(self, vctrl: float, half_period: float = float("inf")) -> float:
         """Analytic estimate of the total insertion delay at *vctrl*.

@@ -6,14 +6,25 @@ Options
     Use reduced record lengths and sweep densities (CI speed).
 ``--only fig15,fig17``
     Run a comma-separated subset of experiment ids.
+``--jobs N``
+    Run up to N experiments concurrently in worker processes.  Each
+    experiment seeds its own generators, so results are identical to a
+    sequential run; tables are still printed in registry order.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures import ProcessPoolExecutor
 
 from . import RUNNERS
+
+
+def _run_by_name(name: str, fast: bool):
+    """Execute one registered runner (top-level, so workers can pickle
+    the call by name instead of shipping the runner itself)."""
+    return RUNNERS[name](fast=fast)
 
 
 def main(argv=None) -> int:
@@ -34,7 +45,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="emit Markdown sections instead of text tables",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments in parallel processes (default: 1)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.only:
         wanted = [name.strip() for name in args.only.split(",")]
@@ -47,9 +67,20 @@ def main(argv=None) -> int:
     else:
         selected = RUNNERS
 
+    if args.jobs > 1 and len(selected) > 1:
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            futures = {
+                name: pool.submit(_run_by_name, name, args.fast)
+                for name in selected
+            }
+            results = [futures[name].result() for name in selected]
+    else:
+        results = [
+            runner(fast=args.fast) for runner in selected.values()
+        ]
+
     any_failed = False
-    for name, runner in selected.items():
-        result = runner(fast=args.fast)
+    for result in results:
         if args.markdown:
             print(result.format_markdown())
         else:

@@ -26,7 +26,7 @@ prefers numba, then numpy.  See DESIGN.md §"Kernel layer".
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,11 +54,40 @@ __all__ = [
     "match_edges",
     "hysteresis_crossings",
     "nearest_edge_margin",
+    "slew_limit_batch",
+    "compressive_slew_limit_batch",
+    "match_edges_batch",
+    "hysteresis_crossings_batch",
 ]
+
+PerLane = Union[float, Sequence[float], np.ndarray]
 
 
 def _as_float_array(values) -> np.ndarray:
     return np.ascontiguousarray(values, dtype=np.float64)
+
+
+def _as_float_matrix(values, name: str) -> np.ndarray:
+    array = np.ascontiguousarray(values, dtype=np.float64)
+    if array.ndim != 2:
+        raise CircuitError(
+            f"{name} must be a 2-D (lanes, samples) array, got shape "
+            f"{array.shape}"
+        )
+    return array
+
+
+def _per_lane(value: PerLane, n_lanes: int, name: str) -> np.ndarray:
+    """Normalise a scalar-or-per-lane parameter to a ``(n_lanes,)`` array."""
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim == 0:
+        return np.full(n_lanes, float(array))
+    if array.shape != (n_lanes,):
+        raise CircuitError(
+            f"{name} must be a scalar or have one entry per lane "
+            f"({n_lanes}), got shape {array.shape}"
+        )
+    return np.ascontiguousarray(array)
 
 
 def slew_limit(
@@ -152,4 +181,108 @@ def nearest_edge_margin(
         get_backend().nearest_edge_margin(
             _as_float_array(probe_edges), _as_float_array(data_edges)
         )
+    )
+
+
+def slew_limit_batch(
+    values: np.ndarray,
+    max_step: float,
+    initial: Optional[PerLane] = None,
+) -> np.ndarray:
+    """Slew-limit every lane of a ``(lanes, samples)`` batch at once.
+
+    Lane ``i`` of the result equals ``slew_limit(values[i], max_step,
+    initial[i])`` on the same backend — bit-exactly: the batch axis
+    changes how the work is scheduled, never what is computed.
+    *initial* may be a scalar, one value per lane, or ``None`` (each
+    lane starts at its own first target).
+    """
+    if max_step <= 0:
+        raise CircuitError(f"max_step must be positive: {max_step}")
+    values = _as_float_matrix(values, "values")
+    if initial is None:
+        initials = np.ascontiguousarray(values[:, 0])
+    else:
+        initials = _per_lane(initial, values.shape[0], "initial")
+    return get_backend().slew_limit_batch(values, float(max_step), initials)
+
+
+def compressive_slew_limit_batch(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: PerLane,
+    corner: float,
+    order: int,
+    initial_interval: PerLane = 1.0,
+) -> np.ndarray:
+    """Batched compressive slew limiting over ``(lanes, samples)`` arrays.
+
+    *hysteresis* and *initial_interval* accept per-lane values because
+    both are derived from each lane's own signal (comparator band from
+    the lane's swing, starting compression state from the lane's
+    toggle rate).  ``max_step``/``dt``/``corner``/``order`` are shared:
+    a batch models many lanes through identically-built stages.
+    """
+    if max_step <= 0:
+        raise CircuitError(f"max_step must be positive: {max_step}")
+    v_in = _as_float_matrix(v_in, "v_in")
+    target_floor = _as_float_matrix(target_floor, "target_floor")
+    target_extra = _as_float_matrix(target_extra, "target_extra")
+    if not (v_in.shape == target_floor.shape == target_extra.shape):
+        raise CircuitError(
+            f"batch shapes disagree: v_in {v_in.shape}, floor "
+            f"{target_floor.shape}, extra {target_extra.shape}"
+        )
+    n_lanes = v_in.shape[0]
+    return get_backend().compressive_slew_limit_batch(
+        v_in,
+        target_floor,
+        target_extra,
+        float(max_step),
+        float(dt),
+        _per_lane(hysteresis, n_lanes, "hysteresis"),
+        float(corner),
+        int(order),
+        _per_lane(initial_interval, n_lanes, "initial_interval"),
+    )
+
+
+def match_edges_batch(
+    ref_edges: np.ndarray,
+    out_edges: Sequence[np.ndarray],
+    coarse: PerLane,
+    max_edge_offset: float,
+) -> List[np.ndarray]:
+    """Match one reference edge list against many lanes' output edges.
+
+    One bus acquisition (or calibration sweep) measures every lane
+    against the same reference record, each lane with its own coarse
+    delay estimate.  Lanes are ragged — each extracts however many
+    edges survived its own noise — so the result is a list of per-lane
+    offset arrays, ordered like *out_edges*.
+    """
+    reference = _as_float_array(ref_edges)
+    lanes = [_as_float_array(lane_edges) for lane_edges in out_edges]
+    return get_backend().match_edges_batch(
+        reference,
+        lanes,
+        _per_lane(coarse, len(lanes), "coarse"),
+        float(max_edge_offset),
+    )
+
+
+def hysteresis_crossings_batch(
+    v: np.ndarray, hysteresis: PerLane
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Comparator-with-hysteresis switches for every lane of a batch.
+
+    Returns one ``(positions, rising)`` pair per lane (lane results are
+    ragged).  *hysteresis* may be a scalar or one band per lane.
+    """
+    v = _as_float_matrix(v, "v")
+    return get_backend().hysteresis_crossings_batch(
+        v, _per_lane(hysteresis, v.shape[0], "hysteresis")
     )

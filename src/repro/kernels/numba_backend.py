@@ -19,11 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 try:
-    from numba import njit
+    from numba import njit, prange
 
     AVAILABLE = True
 except ImportError:  # pragma: no cover - depends on environment
     AVAILABLE = False
+    prange = range
 
     def njit(**_options):
         def decorate(func):
@@ -39,9 +40,17 @@ __all__ = [
     "match_edges",
     "hysteresis_crossings",
     "nearest_edge_margin",
+    "slew_limit_batch",
+    "compressive_slew_limit_batch",
+    "match_edges_batch",
+    "hysteresis_crossings_batch",
 ]
 
 _JIT_OPTIONS = {"cache": True, "nogil": True, "fastmath": False}
+# Lanes are independent recurrences, so the batched kernels parallelise
+# over the lane axis.  ``cache=True`` is dropped: parallel=True kernels
+# are not reliably cacheable across numba versions.
+_BATCH_JIT_OPTIONS = {"nogil": True, "fastmath": False, "parallel": True}
 
 
 @njit(**_JIT_OPTIONS)
@@ -236,6 +245,116 @@ def _hysteresis_crossings(v, hysteresis):  # pragma: no cover - compiled
 
 def hysteresis_crossings(v, hysteresis):
     return _hysteresis_crossings(v, hysteresis)
+
+
+@njit(**_BATCH_JIT_OPTIONS)
+def _slew_limit_batch(values, max_step, initials):  # pragma: no cover
+    n_lanes = values.shape[0]
+    n = values.shape[1]
+    out = np.empty((n_lanes, n))
+    up = max_step
+    down = -max_step
+    for lane in prange(n_lanes):
+        y = initials[lane]
+        for i in range(n):
+            dv = values[lane, i] - y
+            if dv > up:
+                dv = up
+            elif dv < down:
+                dv = down
+            y += dv
+            out[lane, i] = y
+    return out
+
+
+def slew_limit_batch(values, max_step, initials):
+    return _slew_limit_batch(values, max_step, initials)
+
+
+@njit(**_BATCH_JIT_OPTIONS)
+def _compressive_slew_limit_batch(  # pragma: no cover - compiled
+    v_in,
+    target_floor,
+    target_extra,
+    max_step,
+    dt,
+    hysteresis,
+    corner,
+    order,
+    initial_interval,
+):
+    n_lanes = v_in.shape[0]
+    n = v_in.shape[1]
+    out = np.empty((n_lanes, n))
+    inv_2corner = 1.0 / (2.0 * corner)
+    up = max_step
+    down = -max_step
+    for lane in prange(n_lanes):
+        band = hysteresis[lane]
+        state = 1 if v_in[lane, 0] > 0.0 else -1
+        elapsed = initial_interval[lane]
+        scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        y = target_floor[lane, 0] + scale * target_extra[lane, 0]
+        for i in range(n):
+            v = v_in[lane, i]
+            if state > 0:
+                if v < -band:
+                    state = -1
+                    scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+                    elapsed = 0.0
+            elif v > band:
+                state = 1
+                scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+                elapsed = 0.0
+            elapsed += dt
+            dv = target_floor[lane, i] + scale * target_extra[lane, i] - y
+            if dv > up:
+                dv = up
+            elif dv < down:
+                dv = down
+            y += dv
+            out[lane, i] = y
+    return out
+
+
+def compressive_slew_limit_batch(
+    v_in,
+    target_floor,
+    target_extra,
+    max_step,
+    dt,
+    hysteresis,
+    corner,
+    order,
+    initial_interval,
+):
+    return _compressive_slew_limit_batch(
+        v_in,
+        target_floor,
+        target_extra,
+        max_step,
+        dt,
+        hysteresis,
+        corner,
+        order,
+        initial_interval,
+    )
+
+
+def match_edges_batch(ref_edges, out_edges, coarse, max_edge_offset):
+    # Ragged per-lane edge lists: loop at Python level over the jitted
+    # single-lane kernel (the per-lane work releases the GIL).
+    return [
+        match_edges(ref_edges, lane_edges, float(coarse[lane]), max_edge_offset)
+        for lane, lane_edges in enumerate(out_edges)
+    ]
+
+
+def hysteresis_crossings_batch(v, hysteresis):
+    return [
+        hysteresis_crossings(v[lane], float(hysteresis[lane]))
+        for lane in range(v.shape[0])
+    ]
 
 
 @njit(**_JIT_OPTIONS)

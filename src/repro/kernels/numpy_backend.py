@@ -16,6 +16,11 @@ equals the target, until a step larger than ``max_step`` occurs) or
 catches the target).  Both regimes cover long runs of samples that can
 be emitted with one array operation each, so the Python-level loop
 runs once per edge instead of once per sample.
+
+The *batched* slew limiters use a different strategy — Jacobi
+relaxation (see :func:`_slew_limit_relax`) — because the per-event
+Python overhead of the walk is paid per lane, whereas a relaxation
+sweep is three array operations shared by every lane in the batch.
 """
 
 from __future__ import annotations
@@ -28,6 +33,10 @@ __all__ = [
     "match_edges",
     "hysteresis_crossings",
     "nearest_edge_margin",
+    "slew_limit_batch",
+    "compressive_slew_limit_batch",
+    "match_edges_batch",
+    "hysteresis_crossings_batch",
 ]
 
 
@@ -120,27 +129,26 @@ def slew_limit(
     return out
 
 
-def compressive_slew_limit(
+def _compressive_target(
     v_in: np.ndarray,
     target_floor: np.ndarray,
     target_extra: np.ndarray,
-    max_step: float,
     dt: float,
     hysteresis: float,
     corner: float,
     order: int,
     initial_interval: float,
-) -> np.ndarray:
-    """Vectorised compression comparator feeding the slew limiter.
+) -> "tuple[np.ndarray, float]":
+    """Per-sample slew target and initial level of one compressive lane.
 
     The comparator flips are pure functions of *v_in* and the
     hysteresis band, so the per-half-cycle excursion scales can be
     computed for all flips at once and expanded to a per-sample target
-    with :func:`numpy.repeat`; the result then runs through the
-    event-vectorised :func:`slew_limit`.
+    with :func:`numpy.repeat`.  Shared by the single-lane kernel and
+    the batched kernel (which stacks these per-lane targets, so the
+    two paths feed bit-identical targets to their slew stages).
     """
     n = len(target_extra)
-    inv_2corner = 1.0 / (2.0 * corner)
     tri = np.zeros(n, dtype=np.int8)
     tri[v_in > hysteresis] = 1
     tri[v_in < -hysteresis] = -1
@@ -156,6 +164,29 @@ def compressive_slew_limit(
     fill_index = np.maximum.accumulate(fill_index)
     filled = prefixed[fill_index]
     flips = np.flatnonzero(filled[1:] != filled[:-1])  # sample indices
+    return _scaled_target(
+        flips,
+        target_floor,
+        target_extra,
+        dt,
+        corner,
+        order,
+        initial_interval,
+    )
+
+
+def _scaled_target(
+    flips: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    dt: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+) -> "tuple[np.ndarray, float]":
+    """Expand comparator flips into the per-sample compressed target."""
+    n = len(target_extra)
+    inv_2corner = 1.0 / (2.0 * corner)
     scale0 = 1.0 / (1.0 + (inv_2corner / initial_interval) ** order)
     if flips.size == 0:
         scale = np.full(n, scale0)
@@ -173,6 +204,35 @@ def compressive_slew_limit(
         scale = np.repeat(np.concatenate([[scale0], flip_scales]), lengths)
     target = target_floor + scale * target_extra
     y0 = float(target_floor[0]) + scale0 * float(target_extra[0])
+    return target, y0
+
+
+def compressive_slew_limit(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+) -> np.ndarray:
+    """Vectorised compression comparator feeding the slew limiter.
+
+    The per-sample target comes from :func:`_compressive_target`; the
+    result then runs through the event-vectorised :func:`slew_limit`.
+    """
+    target, y0 = _compressive_target(
+        v_in,
+        target_floor,
+        target_extra,
+        dt,
+        hysteresis,
+        corner,
+        order,
+        initial_interval,
+    )
     return slew_limit(target, max_step, y0)
 
 
@@ -250,6 +310,200 @@ def hysteresis_crossings(
     fraction = np.where(denominator == 0.0, 0.5, v0 / safe)
     fraction = np.clip(fraction, 0.0, 1.0)
     return k + fraction, rising
+
+
+#: Relaxation sweep cap.  A sweep propagates the recurrence one sample,
+#: so convergence needs as many sweeps as the longest clamped (ramping)
+#: run; simulator edges span tens of samples.  Lanes that have not
+#: settled by the cap fall back to the exact per-lane event walk.
+_RELAX_MAX_SWEEPS = 192
+
+
+def _slew_limit_relax(
+    targets: np.ndarray, max_step: float, initials: np.ndarray
+) -> np.ndarray:
+    """Lane-parallel slew limiting by Jacobi fixed-point relaxation.
+
+    The recurrence ``y[i] = clip(t[i], y[i-1] - s, y[i-1] + s)`` has
+    exactly one fixed point — the sequential solution — and it is
+    reached by repeatedly applying the update to the whole record at
+    once: after ``k`` sweeps every sample whose dependency chain
+    (longest run of consecutively clamped samples) is shorter than
+    ``k`` holds its final value, and two equal consecutive sweeps mean
+    every lane sits on its fixed point.  Each sweep is three array
+    operations over the full ``(lanes, n)`` batch, so unlike the
+    single-lane event walk (Python-level loop, run once per lane) the
+    cost is shared by every lane in the batch.  Values agree with the
+    walk to floating-point rounding, not bit-exactly, because the
+    clamp arithmetic differs (``clip`` against a moving band versus
+    explicit ramp levels).
+    """
+    n_lanes, n = targets.shape
+    if n == 0:
+        return np.empty_like(targets)
+    # Column 0 pins the virtual sample before the record (the initial
+    # level); columns 1..n hold the current iterate.  Each sweep applies
+    # ``y_new = y_prev + clip(t - y_prev, -s, +s)`` — three array passes
+    # with scalar clip bounds, no per-sweep temporaries.
+    current = np.empty((n_lanes, n + 1))
+    proposed = np.empty((n_lanes, n + 1))
+    current[:, 0] = initials
+    proposed[:, 0] = initials
+    current[:, 1:] = targets
+    delta = np.empty((n_lanes, n))
+    max_sweeps = min(n, _RELAX_MAX_SWEEPS)
+    for sweep in range(max_sweeps):
+        np.subtract(targets, current[:, :-1], out=delta)
+        np.clip(delta, -max_step, max_step, out=delta)
+        np.add(current[:, :-1], delta, out=proposed[:, 1:])
+        # Equality of consecutive sweeps is the (unique) fixed point;
+        # checking costs a pass, so sample it.
+        if (sweep & 3) == 3 and np.array_equal(
+            current[:, 1:], proposed[:, 1:]
+        ):
+            return proposed[:, 1:]
+        current, proposed = proposed, current
+    if np.array_equal(current[:, 1:], proposed[:, 1:]):
+        return current[:, 1:]
+    result = current[:, 1:].copy()
+    stale = np.flatnonzero(
+        np.any(current[:, 1:] != proposed[:, 1:], axis=1)
+    )
+    for lane in stale:
+        result[lane] = slew_limit(
+            targets[lane], max_step, float(initials[lane])
+        )
+    return result
+
+
+def slew_limit_batch(
+    values: np.ndarray, max_step: float, initials: np.ndarray
+) -> np.ndarray:
+    """Slew limiting of a ``(lanes, n)`` batch by Jacobi relaxation.
+
+    See :func:`_slew_limit_relax`; lanes agree with sequential
+    single-lane calls to floating-point rounding.
+    """
+    return _slew_limit_relax(
+        values, max_step, np.asarray(initials, dtype=np.float64)
+    )
+
+
+def compressive_slew_limit_batch(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: np.ndarray,
+    corner: float,
+    order: int,
+    initial_interval: np.ndarray,
+) -> np.ndarray:
+    """Lane-vectorised compression comparators feeding one relaxed slew.
+
+    Everything runs on the whole batch at once: the comparator state
+    fill in 2-D (integer operations, so row ``i`` is bit-for-bit the
+    single-lane fill), the sparse per-flip scale algebra flattened
+    across all lanes' flips, and the slew recurrence as a lane-parallel
+    Jacobi relaxation (:func:`_slew_limit_relax`).  Each lane's target
+    is the same quantity :func:`_scaled_target` computes, evaluated
+    with array ops over the pooled flips, so lanes agree with
+    sequential single-lane calls to floating-point rounding.
+    """
+    n_lanes, n = v_in.shape
+    band = hysteresis[:, None]
+    tri = np.zeros((n_lanes, n), dtype=np.int8)
+    tri[v_in > band] = 1
+    tri[v_in < -band] = -1
+    # Forward-fill undecided samples with the last decided state, seeded
+    # with each lane's initial comparator state.
+    prefixed = np.empty((n_lanes, n + 1), dtype=np.int8)
+    prefixed[:, 0] = np.where(v_in[:, 0] > 0.0, 1, -1)
+    prefixed[:, 1:] = tri
+    col = np.arange(n + 1, dtype=np.int32)
+    fill_index = np.where(prefixed != 0, col[None, :], 0)
+    np.maximum.accumulate(fill_index, axis=1, out=fill_index)
+    filled = np.take_along_axis(prefixed, fill_index, axis=1)
+    flip_mask = filled[:, 1:] != filled[:, :-1]  # flip at sample j
+
+    # Per-flip excursion scales for every lane at once.  ``np.nonzero``
+    # walks the mask in row-major order, so each lane's flips appear as
+    # one ascending run — segment bookkeeping per lane reduces to
+    # adjacent-element comparisons on the flat arrays.
+    inv_2corner = 1.0 / (2.0 * corner)
+    scale0 = 1.0 / (1.0 + (inv_2corner / initial_interval) ** order)
+    flip_lanes, flip_cols = np.nonzero(flip_mask)
+    total = flip_lanes.size
+    if total == 0:
+        scale = np.broadcast_to(scale0[:, None], (n_lanes, n))
+    else:
+        is_first = np.empty(total, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = flip_lanes[1:] != flip_lanes[:-1]
+        prev_cols = np.empty(total, dtype=np.int64)
+        prev_cols[0] = 0
+        prev_cols[1:] = flip_cols[:-1]
+        # Interval preceding each flip: from the previous flip in the
+        # same lane, or from ``initial_interval`` before the record
+        # began for a lane's first flip.
+        elapsed = np.where(
+            is_first,
+            initial_interval[flip_lanes] + flip_cols * dt,
+            (flip_cols - prev_cols) * dt,
+        )
+        flip_scales = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        # Expand to per-sample scales with one flat repeat: each lane
+        # contributes a leading segment at its initial scale followed
+        # by one segment per flip; lane rows are contiguous in the
+        # flattened (n_lanes * n) layout.
+        counts = np.bincount(flip_lanes, minlength=n_lanes)
+        starts = np.empty(n_lanes, dtype=np.int64)
+        starts[0] = 0
+        np.cumsum(counts[:-1] + 1, out=starts[1:])
+        seg_values = np.empty(total + n_lanes)
+        seg_lengths = np.empty(total + n_lanes, dtype=np.int64)
+        flip_slots = np.ones(total + n_lanes, dtype=bool)
+        flip_slots[starts] = False
+        seg_values[starts] = scale0
+        seg_values[flip_slots] = flip_scales
+        lead = np.full(n_lanes, n, dtype=np.int64)
+        lead[flip_lanes[is_first]] = flip_cols[is_first]
+        is_last = np.empty(total, dtype=bool)
+        is_last[:-1] = is_first[1:]
+        is_last[-1] = True
+        next_cols = np.empty(total, dtype=np.int64)
+        next_cols[:-1] = flip_cols[1:]
+        next_cols[-1] = n
+        seg_lengths[starts] = lead
+        seg_lengths[flip_slots] = np.where(
+            is_last, n - flip_cols, next_cols - flip_cols
+        )
+        scale = np.repeat(seg_values, seg_lengths).reshape(n_lanes, n)
+    target = target_floor + scale * target_extra
+    y0 = target_floor[:, 0] + scale0 * target_extra[:, 0]
+    return _slew_limit_relax(target, max_step, y0)
+
+
+def match_edges_batch(
+    ref_edges: np.ndarray,
+    out_edges: list,
+    coarse: np.ndarray,
+    max_edge_offset: float,
+) -> list:
+    """Match one shared reference edge list against many ragged lanes."""
+    return [
+        match_edges(ref_edges, lane_edges, float(coarse[lane]), max_edge_offset)
+        for lane, lane_edges in enumerate(out_edges)
+    ]
+
+
+def hysteresis_crossings_batch(v: np.ndarray, hysteresis: np.ndarray) -> list:
+    """Comparator switches for every lane (ragged per-lane results)."""
+    return [
+        hysteresis_crossings(v[lane], float(hysteresis[lane]))
+        for lane in range(v.shape[0])
+    ]
 
 
 def nearest_edge_margin(

@@ -24,6 +24,10 @@ __all__ = [
     "match_edges",
     "hysteresis_crossings",
     "nearest_edge_margin",
+    "slew_limit_batch",
+    "compressive_slew_limit_batch",
+    "match_edges_batch",
+    "hysteresis_crossings_batch",
 ]
 
 
@@ -205,6 +209,78 @@ def hysteresis_crossings(
         np.asarray(positions, dtype=np.float64),
         np.asarray(polarities, dtype=np.bool_),
     )
+
+
+def slew_limit_batch(
+    values: np.ndarray, max_step: float, initials: np.ndarray
+) -> np.ndarray:
+    """Per-lane slew limiting of a ``(lanes, n)`` batch.
+
+    The reference semantics of the batch axis: each lane is exactly the
+    single-lane kernel, so batched and sequential runs are bit-exact.
+    """
+    out = np.empty_like(values)
+    for lane in range(values.shape[0]):
+        out[lane] = slew_limit(values[lane], max_step, float(initials[lane]))
+    return out
+
+
+def compressive_slew_limit_batch(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: np.ndarray,
+    corner: float,
+    order: int,
+    initial_interval: np.ndarray,
+) -> np.ndarray:
+    """Per-lane compressive slew limiting of a ``(lanes, n)`` batch.
+
+    *hysteresis* and *initial_interval* are per-lane arrays: each lane's
+    comparator band and starting compression state are derived from that
+    lane's own signal.
+    """
+    out = np.empty_like(v_in)
+    for lane in range(v_in.shape[0]):
+        out[lane] = compressive_slew_limit(
+            v_in[lane],
+            target_floor[lane],
+            target_extra[lane],
+            max_step,
+            dt,
+            float(hysteresis[lane]),
+            corner,
+            order,
+            float(initial_interval[lane]),
+        )
+    return out
+
+
+def match_edges_batch(
+    ref_edges: np.ndarray,
+    out_edges: list,
+    coarse: np.ndarray,
+    max_edge_offset: float,
+) -> list:
+    """Match one shared reference edge list against many lanes.
+
+    Lanes are ragged (each lane extracts its own output edges), so the
+    result is a list of per-lane offset arrays.
+    """
+    return [
+        match_edges(ref_edges, lane_edges, float(coarse[lane]), max_edge_offset)
+        for lane, lane_edges in enumerate(out_edges)
+    ]
+
+
+def hysteresis_crossings_batch(v: np.ndarray, hysteresis: np.ndarray) -> list:
+    """Comparator switches for every lane of a ``(lanes, n)`` batch."""
+    return [
+        hysteresis_crossings(v[lane], float(hysteresis[lane]))
+        for lane in range(v.shape[0])
+    ]
 
 
 def nearest_edge_margin(

@@ -7,7 +7,7 @@ with sub-picosecond edge placement, and extracts threshold crossings
 back out of simulated traces.
 """
 
-from .waveform import Waveform, DifferentialPair
+from .waveform import Waveform, WaveformBatch, DifferentialPair
 from .patterns import (
     PRBS_TAPS,
     prbs_sequence,
@@ -46,12 +46,14 @@ from .filters import (
     gaussian_lowpass,
     moving_average,
     bandwidth_to_time_constant,
+    bilinear_lowpass_coefficients,
     rise_time_to_bandwidth,
     bandwidth_to_rise_time,
 )
 
 __all__ = [
     "Waveform",
+    "WaveformBatch",
     "DifferentialPair",
     "PRBS_TAPS",
     "prbs_sequence",
@@ -84,6 +86,7 @@ __all__ = [
     "gaussian_lowpass",
     "moving_average",
     "bandwidth_to_time_constant",
+    "bilinear_lowpass_coefficients",
     "rise_time_to_bandwidth",
     "bandwidth_to_rise_time",
 ]

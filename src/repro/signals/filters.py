@@ -31,6 +31,7 @@ __all__ = [
     "gaussian_lowpass",
     "moving_average",
     "bandwidth_to_time_constant",
+    "bilinear_lowpass_coefficients",
     "rise_time_to_bandwidth",
     "bandwidth_to_rise_time",
 ]
@@ -60,8 +61,22 @@ def bandwidth_to_rise_time(bandwidth_3db: float) -> float:
     return 0.35 / bandwidth_3db
 
 
-def _bilinear_single_pole(dt: float, tau: float) -> tuple:
-    """Bilinear-transform coefficients for ``H(s) = 1 / (1 + s tau)``."""
+def bilinear_lowpass_coefficients(dt: float, tau: float) -> tuple:
+    """Bilinear-transform coefficients for ``H(s) = 1 / (1 + s tau)``.
+
+    Returns the ``(b, a)`` arrays for :func:`scipy.signal.lfilter`.
+    This is the one place the one-pole discretisation lives: the
+    stage-bandwidth model in
+    :func:`repro.circuits.vga_buffer.limiting_stage`, the noise
+    band-limiting in
+    :func:`repro.circuits.vga_buffer.band_limited_noise`, and
+    :func:`single_pole_lowpass` all share these coefficients, so a
+    change to the discretisation cannot silently de-synchronise them.
+    """
+    if dt <= 0:
+        raise WaveformError(f"sample interval must be positive: {dt}")
+    if tau <= 0:
+        raise WaveformError(f"time constant must be positive: {tau}")
     k = 2.0 * tau / dt
     b0 = 1.0 / (1.0 + k)
     b = np.array([b0, b0])
@@ -76,7 +91,7 @@ def single_pole_lowpass(waveform: Waveform, bandwidth_3db: float) -> Waveform:
     treated as the settled history of the line.
     """
     tau = bandwidth_to_time_constant(bandwidth_3db)
-    b, a = _bilinear_single_pole(waveform.dt, tau)
+    b, a = bilinear_lowpass_coefficients(waveform.dt, tau)
     zi = _scipy_signal.lfilter_zi(b, a) * waveform.values[0]
     filtered, _ = _scipy_signal.lfilter(b, a, waveform.values, zi=zi)
     return Waveform(filtered, waveform.dt, waveform.t0)

@@ -9,17 +9,23 @@ differential probe sees it: a single trace holding ``V(p) - V(n)``.  The
 :class:`DifferentialPair` helper splits such a trace into explicit
 positive/negative legs around a common-mode voltage when a model needs
 the physical legs (for example, the resistive attenuator).
+
+:class:`WaveformBatch` is the stacked form: many lanes sampled on one
+shared ``(dt, n)`` grid, with a per-lane time origin.  It is what the
+batched simulation paths (multi-channel bus acquisition, calibration
+sweeps) pass through the kernel layer so N lanes cost one vectorised
+pass instead of N sequential ones.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Union
+from typing import Callable, Iterable, List, Sequence, Union
 
 import numpy as np
 
 from ..errors import SampleRateMismatchError, WaveformError
 
-__all__ = ["Waveform", "DifferentialPair"]
+__all__ = ["Waveform", "WaveformBatch", "DifferentialPair"]
 
 _Number = Union[int, float]
 
@@ -314,6 +320,171 @@ class Waveform:
         high = float(np.percentile(self._values, 98))
         low = float(np.percentile(self._values, 2))
         return (high - low) / 2.0
+
+
+class WaveformBatch:
+    """A stack of lanes sampled on one shared uniform grid.
+
+    The batch axis is the library's unit of vectorisation: a parallel
+    bus acquisition is one batch (one lane per channel), a calibration
+    sweep is one batch (one lane per control-voltage point).  All lanes
+    share the sample interval and record length; each lane keeps its
+    own time origin, because delay elements move ``t0`` rather than
+    resampling (see :meth:`Waveform.shifted`).
+
+    Parameters
+    ----------
+    values:
+        Sample values, shape ``(n_lanes, n_samples)``.  Converted to a
+        float64 NumPy array.
+    dt:
+        Shared sample interval in seconds (must be positive).
+    t0:
+        Time of each lane's first sample: a scalar (shared origin) or
+        an array of length ``n_lanes``.
+    """
+
+    __slots__ = ("_values", "_dt", "_t0")
+
+    def __init__(
+        self,
+        values: Iterable[Iterable[float]],
+        dt: float,
+        t0: Union[float, Iterable[float]] = 0.0,
+    ):
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise WaveformError(
+                f"batch values must be 2-D (lanes, samples), got shape "
+                f"{array.shape}"
+            )
+        if array.shape[0] < 1 or array.shape[1] < 1:
+            raise WaveformError(
+                f"batch needs at least one lane and one sample, got shape "
+                f"{array.shape}"
+            )
+        if not np.all(np.isfinite(array)):
+            raise WaveformError("batch contains non-finite samples")
+        if not (dt > 0.0 and np.isfinite(dt)):
+            raise WaveformError(f"sample interval must be positive, got {dt}")
+        origins = np.broadcast_to(
+            np.asarray(t0, dtype=np.float64), (array.shape[0],)
+        ).copy()
+        if not np.all(np.isfinite(origins)):
+            raise WaveformError("batch time origins must be finite")
+        self._values = array
+        self._dt = float(dt)
+        self._t0 = origins
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values, shape ``(n_lanes, n_samples)`` (do not mutate)."""
+        return self._values
+
+    @property
+    def dt(self) -> float:
+        """Shared sample interval in seconds."""
+        return self._dt
+
+    @property
+    def t0(self) -> np.ndarray:
+        """Per-lane time of the first sample, shape ``(n_lanes,)``."""
+        return self._t0
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of lanes in the batch."""
+        return self._values.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per lane."""
+        return self._values.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_lanes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WaveformBatch(lanes={self.n_lanes}, n={self.n_samples}, "
+            f"dt={self._dt:.3e} s)"
+        )
+
+    # -- construction / decomposition ---------------------------------------
+
+    @classmethod
+    def from_waveforms(cls, waveforms: Sequence[Waveform]) -> "WaveformBatch":
+        """Stack single-lane waveforms sharing a ``(dt, n)`` grid."""
+        if len(waveforms) < 1:
+            raise WaveformError("batch needs at least one waveform")
+        first = waveforms[0]
+        for other in waveforms[1:]:
+            if not np.isclose(first.dt, other.dt, rtol=1e-12, atol=0.0):
+                raise SampleRateMismatchError(
+                    f"sample intervals differ: {first.dt} vs {other.dt}"
+                )
+            if len(other) != len(first):
+                raise WaveformError(
+                    f"waveform lengths differ: {len(first)} vs {len(other)}"
+                )
+        return cls(
+            np.stack([w.values for w in waveforms]),
+            first.dt,
+            np.array([w.t0 for w in waveforms]),
+        )
+
+    @classmethod
+    def tiled(cls, waveform: Waveform, n_lanes: int) -> "WaveformBatch":
+        """Repeat one waveform across *n_lanes* identical lanes.
+
+        This is how a sweep enters the batch axis: the same stimulus on
+        every lane, with per-lane controls and noise applied downstream.
+        """
+        if n_lanes < 1:
+            raise WaveformError(f"need at least one lane, got {n_lanes}")
+        return cls(
+            np.broadcast_to(
+                waveform.values, (n_lanes, len(waveform))
+            ).copy(),
+            waveform.dt,
+            waveform.t0,
+        )
+
+    def lane(self, index: int) -> Waveform:
+        """Return one lane as a standalone :class:`Waveform`."""
+        return Waveform(
+            self._values[index], self._dt, float(self._t0[index])
+        )
+
+    def waveforms(self) -> List[Waveform]:
+        """Unstack into per-lane :class:`Waveform` objects."""
+        return [self.lane(index) for index in range(self.n_lanes)]
+
+    # -- time-domain operations ----------------------------------------------
+
+    def lane_times(self, index: int) -> np.ndarray:
+        """Time axis of one lane (lanes differ only by their origin)."""
+        return self._t0[index] + self._dt * np.arange(self.n_samples)
+
+    def shifted(
+        self, delay: Union[float, Iterable[float]]
+    ) -> "WaveformBatch":
+        """Shift lane time axes by *delay* (scalar or per-lane), lossless."""
+        return WaveformBatch(
+            self._values, self._dt, self._t0 + np.asarray(delay)
+        )
+
+    def with_values(self, values: np.ndarray) -> "WaveformBatch":
+        """Same grid and origins, new sample values (shape-checked)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self._values.shape:
+            raise WaveformError(
+                f"replacement values shape {values.shape} != "
+                f"{self._values.shape}"
+            )
+        return WaveformBatch(values, self._dt, self._t0)
 
 
 class DifferentialPair:

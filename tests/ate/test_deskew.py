@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ate import DeskewController, ParallelBus
+from repro.core import calibration_stimulus
 from repro.errors import DeskewError
 
 
@@ -81,6 +82,91 @@ class TestDeskewFlows:
         assert len(report.ate_steps) == 3
         assert len(report.fine_targets) == 3
         assert report.iterations >= 1
+
+
+class TestBatchedAcquisitionEquivalence:
+    """Batched and per-channel bus rendering yield the same deskew."""
+
+    @staticmethod
+    def _deskew_report(batch_mode):
+        bus = ParallelBus(n_channels=8, skew_spread=150e-12, seed=88)
+        bus.calibrate_delay_lines(
+            stimulus=calibration_stimulus(n_bits=60, dt=1e-12), n_points=5
+        )
+        original_acquire = bus.acquire
+        bus.acquire = lambda *args, **kwargs: original_acquire(
+            *args, **{**kwargs, "batch": batch_mode}
+        )
+        controller = DeskewController(bus, n_bits=60)
+        return controller.deskew(np.random.default_rng(5))
+
+    def test_eight_channel_reports_identical(self):
+        batched = self._deskew_report(True)
+        looped = self._deskew_report(False)
+        # Discrete decisions must match exactly; measured times agree to
+        # floating-point rounding (the numpy backend's batched slew
+        # limiter relaxes to the sequential recurrence's fixed point).
+        assert batched.iterations == looped.iterations
+        assert batched.converged == looped.converged
+        assert batched.ate_steps == looped.ate_steps
+        for field in (
+            "initial_arrivals",
+            "final_arrivals",
+            "fine_targets",
+        ):
+            np.testing.assert_allclose(
+                getattr(batched, field),
+                getattr(looped, field),
+                rtol=0.0,
+                atol=1e-14,
+            )
+        assert batched.initial_spread == pytest.approx(
+            looped.initial_spread, abs=1e-14
+        )
+        assert batched.final_spread == pytest.approx(
+            looped.final_spread, abs=1e-14
+        )
+        assert len(batched.final_arrivals) == 8
+        assert batched.converged
+
+
+class TestEventTruncationGuards:
+    """measure_arrivals_event must not silently truncate edge sets."""
+
+    @staticmethod
+    def _controller_with_edges(edge_sets):
+        bus = ParallelBus(n_channels=2, with_delay_circuits=False, seed=1)
+        bus.acquire_edge_times = lambda *args, **kwargs: edge_sets
+        return DeskewController(bus, measurement="event")
+
+    def test_small_mismatch_is_silent(self):
+        reference = np.arange(20.0)
+        controller = self._controller_with_edges(
+            [reference, reference[:18] + 1.0]
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            arrivals = controller.measure_arrivals_event()
+        assert arrivals == [0.0, 1.0]
+
+    def test_warns_when_counts_disagree_by_more_than_two(self):
+        reference = np.arange(20.0)
+        controller = self._controller_with_edges(
+            [reference, reference[:15] + 1.0]
+        )
+        with pytest.warns(RuntimeWarning, match="differs"):
+            arrivals = controller.measure_arrivals_event()
+        assert arrivals == [0.0, 1.0]
+
+    def test_raises_when_fewer_than_half_match(self):
+        reference = np.arange(20.0)
+        controller = self._controller_with_edges(
+            [reference, reference[:5] + 1.0]
+        )
+        with pytest.raises(DeskewError, match="fewer than half"):
+            controller.measure_arrivals_event()
 
 
 class TestEventBackend:

@@ -1,0 +1,284 @@
+"""Property tests: batched kernels equal their per-lane counterparts.
+
+Contract (see DESIGN.md, "Kernel layer"):
+
+* On ``python`` (and ``numba``, whose jitted loops transcribe the
+  reference), a batched call is **bit-exact** against running each
+  lane through the single-lane kernel.
+* On ``numpy`` the batched compressive decomposition is vectorised
+  across lanes, so samples may disagree with the per-lane call by
+  rounding only (tolerance-bounded, far below physical scales).
+* End-to-end, batched simulation paths must preserve the 0.01 ps
+  cross-backend delay-measurement contract.
+
+The corpora reuse the seeded-grid idiom of
+``test_backend_agreement.py``: deterministic, CI-stable, spanning the
+signal regimes the simulator produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.analysis import measure_delay, measure_delays_batch
+from repro.circuits import VariableGainBuffer, limiting_stage_batch, spawn_rngs
+from repro.core import calibration_stimulus
+from repro.signals import WaveformBatch
+
+ALL_BACKENDS = tuple(kernels.available_backends())
+ALTERNATES = tuple(name for name in ALL_BACKENDS if name != "python")
+
+#: Backends whose batched kernels must match per-lane calls bit for bit.
+EXACT_BACKENDS = tuple(
+    name for name in ALL_BACKENDS if name in ("python", "numba")
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = kernels.active_backend()
+    yield
+    kernels.set_backend(previous)
+
+
+def _lane_corpus(n_lanes=5, n=700, seed=2026):
+    """Seeded stack of lanes mixing the simulator's signal regimes."""
+    rng = np.random.default_rng(seed)
+    lanes = []
+    for lane in range(n_lanes):
+        kind = lane % 4
+        if kind == 0:
+            period = rng.uniform(8, 200)
+            v = np.tanh(
+                np.sign(np.sin(2 * np.pi * np.arange(n) / period))
+                * rng.uniform(0.5, 4.0)
+            )
+        elif kind == 1:
+            v = rng.uniform(0.1, 1.0) * np.sin(
+                2 * np.pi * np.arange(n) / rng.uniform(50, 600)
+            )
+        elif kind == 2:
+            v = np.cumsum(rng.normal(0, rng.uniform(0.01, 0.3), n))
+        else:
+            v = rng.normal(0, rng.uniform(0.1, 1.0), n)
+        lanes.append(v)
+    return np.asarray(lanes)
+
+
+def _compressive_args(values, seed=1964):
+    rng = np.random.default_rng(seed)
+    n_lanes, n = values.shape
+    return dict(
+        target_floor=np.full((n_lanes, n), rng.uniform(0.05, 0.2)),
+        target_extra=np.abs(np.tanh(values)) * rng.uniform(0.1, 0.6),
+        max_step=float(rng.uniform(0.01, 0.3)),
+        dt=1e-12,
+        hysteresis=rng.uniform(0.0, 0.4, n_lanes),
+        corner=float(rng.uniform(1e9, 20e9)),
+        order=int(rng.integers(1, 5)),
+        initial_interval=rng.uniform(20e-12, 1.0, n_lanes),
+    )
+
+
+class TestSlewLimitBatch:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_matches_per_lane(self, backend):
+        values = _lane_corpus()
+        max_step = 0.07
+        initial = np.linspace(-0.5, 0.5, values.shape[0])
+        with kernels.use_backend(backend):
+            batched = kernels.slew_limit_batch(values, max_step, initial)
+            lanes = [
+                kernels.slew_limit(values[i], max_step, float(initial[i]))
+                for i in range(values.shape[0])
+            ]
+        for i, lane in enumerate(lanes):
+            if backend in EXACT_BACKENDS:
+                np.testing.assert_array_equal(batched[i], lane)
+            else:
+                np.testing.assert_allclose(
+                    batched[i], lane, atol=1e-12, rtol=0
+                )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_default_initial_is_first_sample(self, backend):
+        values = _lane_corpus(n_lanes=3, n=200, seed=9)
+        with kernels.use_backend(backend):
+            batched = kernels.slew_limit_batch(values, 0.05)
+        np.testing.assert_array_equal(batched[:, 0], values[:, 0])
+
+    def test_batched_python_is_reference_for_numpy(self):
+        # Cross-backend: batched numpy vs batched python within the
+        # single-lane agreement tolerance.
+        values = _lane_corpus(seed=31)
+        with kernels.use_backend("python"):
+            reference = kernels.slew_limit_batch(values, 0.04)
+        with kernels.use_backend("numpy"):
+            vectorised = kernels.slew_limit_batch(values, 0.04)
+        np.testing.assert_allclose(vectorised, reference, atol=1e-9, rtol=0)
+
+
+class TestCompressiveSlewLimitBatch:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_matches_per_lane(self, backend):
+        values = _lane_corpus()
+        args = _compressive_args(values)
+        with kernels.use_backend(backend):
+            batched = kernels.compressive_slew_limit_batch(values, **args)
+            lanes = [
+                kernels.compressive_slew_limit(
+                    values[i],
+                    target_floor=args["target_floor"][i],
+                    target_extra=args["target_extra"][i],
+                    max_step=args["max_step"],
+                    dt=args["dt"],
+                    hysteresis=float(args["hysteresis"][i]),
+                    corner=args["corner"],
+                    order=args["order"],
+                    initial_interval=float(args["initial_interval"][i]),
+                )
+                for i in range(values.shape[0])
+            ]
+        for i, lane in enumerate(lanes):
+            if backend in EXACT_BACKENDS:
+                np.testing.assert_array_equal(batched[i], lane)
+            else:
+                np.testing.assert_allclose(
+                    batched[i], lane, atol=1e-12, rtol=0
+                )
+
+    def test_cross_backend_agreement(self):
+        values = _lane_corpus(seed=47)
+        args = _compressive_args(values, seed=3)
+        with kernels.use_backend("python"):
+            reference = kernels.compressive_slew_limit_batch(values, **args)
+        for backend in ALTERNATES:
+            with kernels.use_backend(backend):
+                other = kernels.compressive_slew_limit_batch(values, **args)
+            if backend in EXACT_BACKENDS:
+                np.testing.assert_array_equal(other, reference)
+            else:
+                np.testing.assert_allclose(
+                    other, reference, atol=1e-9, rtol=0
+                )
+
+
+class TestRaggedKernelBatches:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_match_edges_batch_matches_per_lane(self, backend):
+        rng = np.random.default_rng(777)
+        ref = np.sort(rng.uniform(0, 20e-9, 50))
+        out_sets = [
+            np.sort(rng.uniform(0, 20e-9, int(rng.integers(10, 80))))
+            for _ in range(6)
+        ]
+        coarses = rng.normal(0, 200e-12, 6)
+        window = 400e-12
+        with kernels.use_backend(backend):
+            batched = kernels.match_edges_batch(ref, out_sets, coarses, window)
+            lanes = [
+                kernels.match_edges(ref, out_sets[i], float(coarses[i]), window)
+                for i in range(6)
+            ]
+        assert len(batched) == 6
+        for got, expected in zip(batched, lanes):
+            np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_hysteresis_crossings_batch_matches_per_lane(self, backend):
+        values = _lane_corpus(n_lanes=4, n=1500, seed=42)
+        hysteresis = np.linspace(0.05, 0.6, 4)
+        with kernels.use_backend(backend):
+            batched = kernels.hysteresis_crossings_batch(values, hysteresis)
+            lanes = [
+                kernels.hysteresis_crossings(values[i], float(hysteresis[i]))
+                for i in range(4)
+            ]
+        for (pos, rising), (ref_pos, ref_rising) in zip(batched, lanes):
+            np.testing.assert_array_equal(pos, ref_pos)
+            np.testing.assert_array_equal(rising, ref_rising)
+
+
+class TestBatchedStageEquivalence:
+    """Batched circuit stages vs per-lane sequential, per-lane streams."""
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_limiting_stage_batch_bit_exact(self, backend):
+        stimulus = calibration_stimulus(n_bits=31, dt=1e-12)
+        buffer = VariableGainBuffer(vctrl=0.8, seed=5)
+        n_lanes = 3
+        batch = WaveformBatch.tiled(stimulus, n_lanes)
+        with kernels.use_backend(backend):
+            rngs = spawn_rngs(np.random.default_rng(11), n_lanes)
+            batched = limiting_stage_batch(
+                batch, buffer.params.amplitude_from_vctrl(0.8),
+                buffer.params, rngs
+            )
+            rngs = spawn_rngs(np.random.default_rng(11), n_lanes)
+            from repro.circuits.vga_buffer import limiting_stage
+
+            lanes = [
+                limiting_stage(
+                    stimulus,
+                    float(buffer.params.amplitude_from_vctrl(0.8)),
+                    buffer.params,
+                    rngs[i],
+                )
+                for i in range(n_lanes)
+            ]
+        for i, lane in enumerate(lanes):
+            np.testing.assert_array_equal(batched.lane(i).values, lane.values)
+            assert batched.lane(i).t0 == lane.t0
+
+    def test_limiting_stage_batch_numpy_tolerance(self):
+        stimulus = calibration_stimulus(n_bits=31, dt=1e-12)
+        buffer = VariableGainBuffer(vctrl=0.8, seed=5)
+        n_lanes = 3
+        batch = WaveformBatch.tiled(stimulus, n_lanes)
+        if "numpy" not in ALL_BACKENDS:
+            pytest.skip("numpy backend unavailable")
+        with kernels.use_backend("numpy"):
+            rngs = spawn_rngs(np.random.default_rng(11), n_lanes)
+            batched = buffer.process_batch(batch, rngs)
+            rngs = spawn_rngs(np.random.default_rng(11), n_lanes)
+            lanes = [buffer.process(stimulus, rngs[i]) for i in range(n_lanes)]
+        for i, lane in enumerate(lanes):
+            np.testing.assert_allclose(
+                batched.lane(i).values, lane.values, atol=1e-9, rtol=0
+            )
+
+
+class TestBatchedDelayContract:
+    """The 0.01 ps cross-backend contract holds on batched paths."""
+
+    DELAY_TOLERANCE = 0.01e-12
+
+    def _batched_delays(self, backend):
+        with kernels.use_backend(backend):
+            stimulus = calibration_stimulus(n_bits=63, dt=1e-12)
+            buffer = VariableGainBuffer(vctrl=0.9, seed=7)
+            batch = WaveformBatch.tiled(stimulus, 3)
+            rngs = spawn_rngs(np.random.default_rng(3), 3)
+            out = buffer.process_batch(batch, rngs)
+            return [m.delay for m in measure_delays_batch(stimulus, out)]
+
+    def test_batched_delay_measurement_across_backends(self):
+        reference = self._batched_delays("python")
+        for backend in ALTERNATES:
+            delays = self._batched_delays(backend)
+            for got, expected in zip(delays, reference):
+                assert got == pytest.approx(
+                    expected, abs=self.DELAY_TOLERANCE
+                )
+
+    def test_measure_delays_batch_equals_measure_delay(self):
+        stimulus = calibration_stimulus(n_bits=63, dt=1e-12)
+        buffer = VariableGainBuffer(vctrl=0.7, seed=2)
+        rngs = spawn_rngs(np.random.default_rng(8), 3)
+        outputs = [buffer.process(stimulus, rngs[i]) for i in range(3)]
+        batched = measure_delays_batch(stimulus, outputs)
+        for lane, result in zip(outputs, batched):
+            single = measure_delay(stimulus, lane)
+            assert result.delay == single.delay
+            assert result.std == single.std
+            assert result.n_edges == single.n_edges

@@ -8,6 +8,7 @@ from repro.signals import (
     Waveform,
     bandwidth_to_rise_time,
     bandwidth_to_time_constant,
+    bilinear_lowpass_coefficients,
     gaussian_lowpass,
     moving_average,
     multi_pole_lowpass,
@@ -44,6 +45,52 @@ class TestConversions:
             rise_time_to_bandwidth(-1.0)
         with pytest.raises(WaveformError):
             bandwidth_to_rise_time(0.0)
+
+
+class TestBilinearCoefficients:
+    """Pin the shared one-pole bilinear-transform construction.
+
+    Every discrete one-pole in the simulator (filters, stage
+    bandwidth, trace dispersion) must build the same ``(b, a)`` pair;
+    these values are the closed-form bilinear transform of
+    ``1 / (1 + s*tau)`` at sample interval ``dt``.
+    """
+
+    def test_pinned_values(self):
+        dt, tau = 1e-12, 20e-12
+        b, a = bilinear_lowpass_coefficients(dt, tau)
+        k = 2.0 * tau / dt
+        np.testing.assert_allclose(
+            b, [1.0 / (1.0 + k), 1.0 / (1.0 + k)], rtol=0, atol=0
+        )
+        np.testing.assert_allclose(
+            a, [1.0, (1.0 - k) / (1.0 + k)], rtol=0, atol=0
+        )
+
+    def test_unity_dc_gain(self):
+        for tau in (1e-12, 5e-11, 3e-9):
+            b, a = bilinear_lowpass_coefficients(1e-12, tau)
+            assert b.sum() / a.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(WaveformError):
+            bilinear_lowpass_coefficients(0.0, 1e-12)
+        with pytest.raises(WaveformError):
+            bilinear_lowpass_coefficients(1e-12, -1e-12)
+
+    def test_matches_single_pole_lowpass(self):
+        # The filter built from the shared coefficients must be the
+        # filter single_pole_lowpass applies.
+        wave = synthesize_step(1e-12, rise_time=5e-12)
+        bandwidth = 10e9
+        filtered = single_pole_lowpass(wave, bandwidth)
+        from scipy.signal import lfilter, lfilter_zi
+
+        tau = bandwidth_to_time_constant(bandwidth)
+        b, a = bilinear_lowpass_coefficients(wave.dt, tau)
+        zi = lfilter_zi(b, a) * wave.values[0]
+        expected, _ = lfilter(b, a, wave.values, zi=zi)
+        np.testing.assert_array_equal(filtered.values, expected)
 
 
 class TestSinglePoleLowpass:

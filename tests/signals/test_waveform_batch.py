@@ -1,0 +1,103 @@
+"""Tests for the stacked multi-lane waveform container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SampleRateMismatchError, WaveformError
+from repro.signals import Waveform, WaveformBatch
+
+
+def ramp(n=64, dt=1e-12, t0=0.0, slope=1.0):
+    return Waveform(slope * np.arange(n, dtype=np.float64), dt, t0)
+
+
+class TestConstruction:
+    def test_values_shape(self):
+        values = np.arange(12.0).reshape(3, 4)
+        batch = WaveformBatch(values, 1e-12)
+        assert batch.n_lanes == 3
+        assert batch.n_samples == 4
+        assert len(batch) == 3
+        np.testing.assert_array_equal(batch.values, values)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WaveformError):
+            WaveformBatch(np.arange(4.0), 1e-12)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(WaveformError):
+            WaveformBatch(np.zeros((2, 4)), 0.0)
+
+    def test_rejects_non_finite(self):
+        values = np.zeros((2, 4))
+        values[1, 2] = np.nan
+        with pytest.raises(WaveformError):
+            WaveformBatch(values, 1e-12)
+
+    def test_t0_broadcast_scalar_and_vector(self):
+        batch = WaveformBatch(np.zeros((3, 4)), 1e-12, t0=5e-12)
+        np.testing.assert_array_equal(batch.t0, np.full(3, 5e-12))
+        batch = WaveformBatch(
+            np.zeros((2, 4)), 1e-12, t0=[1e-12, 2e-12]
+        )
+        np.testing.assert_array_equal(batch.t0, [1e-12, 2e-12])
+
+
+class TestFromWaveforms:
+    def test_round_trip(self):
+        lanes = [ramp(t0=i * 1e-12, slope=i + 1) for i in range(3)]
+        batch = WaveformBatch.from_waveforms(lanes)
+        back = batch.waveforms()
+        assert len(back) == 3
+        for original, restored in zip(lanes, back):
+            np.testing.assert_array_equal(original.values, restored.values)
+            assert restored.dt == original.dt
+            assert restored.t0 == original.t0
+
+    def test_rejects_mixed_dt(self):
+        with pytest.raises(SampleRateMismatchError):
+            WaveformBatch.from_waveforms([ramp(dt=1e-12), ramp(dt=2e-12)])
+
+    def test_rejects_mixed_length(self):
+        with pytest.raises(WaveformError):
+            WaveformBatch.from_waveforms([ramp(n=64), ramp(n=65)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(WaveformError):
+            WaveformBatch.from_waveforms([])
+
+
+class TestTiled:
+    def test_tiled_copies_one_waveform(self):
+        wave = ramp(t0=3e-12)
+        batch = WaveformBatch.tiled(wave, 4)
+        assert batch.n_lanes == 4
+        for i in range(4):
+            lane = batch.lane(i)
+            np.testing.assert_array_equal(lane.values, wave.values)
+            assert lane.t0 == wave.t0
+
+    def test_does_not_alias_source_waveform(self):
+        wave = ramp()
+        batch = WaveformBatch.tiled(wave, 2)
+        batch.values[0, 0] = -1.0
+        assert wave.values[0] == 0.0
+
+
+class TestShifted:
+    def test_scalar_shift_moves_all_lanes(self):
+        batch = WaveformBatch.from_waveforms([ramp(), ramp(t0=1e-12)])
+        shifted = batch.shifted(10e-12)
+        np.testing.assert_allclose(shifted.t0, [10e-12, 11e-12])
+        np.testing.assert_array_equal(shifted.values, batch.values)
+
+    def test_per_lane_shift(self):
+        batch = WaveformBatch.tiled(ramp(), 3)
+        shifted = batch.shifted([1e-12, 2e-12, 3e-12])
+        np.testing.assert_allclose(shifted.t0, [1e-12, 2e-12, 3e-12])
+
+    def test_lane_times_follow_t0(self):
+        batch = WaveformBatch.tiled(ramp(n=4), 2).shifted([0.0, 5e-12])
+        np.testing.assert_allclose(
+            batch.lane_times(1) - batch.lane_times(0), 5e-12
+        )
