@@ -14,6 +14,7 @@ import platform
 
 import pytest
 
+from repro import instrument
 from repro.experiments import RUNNERS
 
 
@@ -32,6 +33,26 @@ def pytest_addoption(parser):
 
 def pytest_configure(config):
     config._bench_durations = {}
+    config._bench_kernels = {}
+
+
+@pytest.fixture(autouse=True)
+def _bench_kernel_counters(request):
+    """Record each benchmark's kernel counters into the ``--bench-json``
+    payload.
+
+    Benchmarks reuse the :mod:`repro.instrument` registry — the same
+    counters the experiment manifests carry — so a timing regression in
+    the JSON artifact can be read next to how many kernel calls/samples
+    the test actually dispatched, and to which backend.
+    """
+    instrument.get_registry().reset()
+    with instrument.enabled_scope():
+        yield
+    snapshot = instrument.get_registry().snapshot()
+    request.config._bench_kernels[request.node.nodeid] = (
+        instrument.kernel_stats(snapshot["counters"])
+    )
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -49,10 +70,16 @@ def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--bench-json")
     if not path:
         return
+    tests = {}
+    for nodeid, entry in session.config._bench_durations.items():
+        tests[nodeid] = dict(entry)
+        kernels = session.config._bench_kernels.get(nodeid)
+        if kernels is not None:
+            tests[nodeid]["kernels"] = kernels
     payload = {
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "tests": session.config._bench_durations,
+        "tests": tests,
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

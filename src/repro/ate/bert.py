@@ -54,6 +54,12 @@ class BertResult:
         it uses the Poisson-approximation bound
         ``(k + sqrt(k) * z + z^2/2 ... )`` simplified to the common
         ``(k + z*sqrt(k) + z^2) / N`` test-floor formula.
+
+        Both branches are *one-sided* bounds (the test-floor question
+        is only "could the true BER exceed the target?"), so ``z`` is
+        the one-sided normal quantile ``sqrt(2) * erfinv(2*CL - 1)``
+        (~1.645 at 95 %), consistent with the zero-error rule — not
+        the two-sided ~1.96.
         """
         if not 0.0 < confidence < 1.0:
             raise MeasurementError(
@@ -63,7 +69,7 @@ class BertResult:
             raise MeasurementError("no bits were compared")
         if self.n_errors == 0:
             return -math.log(1.0 - confidence) / self.n_bits
-        z = math.sqrt(2.0) * _erfinv(confidence)
+        z = math.sqrt(2.0) * _erfinv(2.0 * confidence - 1.0)
         k = float(self.n_errors)
         return (k + z * math.sqrt(k) + z * z) / self.n_bits
 

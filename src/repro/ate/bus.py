@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import instrument
 from ..core.combined import CombinedDelayLine, process_lines_batch
 from ..circuits.dac import ControlDAC
 from ..circuits.element import spawn_rngs
@@ -126,24 +127,32 @@ class ParallelBus:
         """
         if bits is None:
             bits = self.training_bits()
-        drive_rngs, line_rngs = self._lane_rngs(rng)
-        records = [
-            channel.drive(bits, dt, drive_rngs[index])
-            for index, channel in enumerate(self.channels)
-        ]
-        if not through_delay_lines or self.delay_lines is None:
-            return records
-        if batch:
-            stacked = WaveformBatch.from_waveforms(records)
-            return process_lines_batch(
-                self.delay_lines, stacked, line_rngs
-            ).waveforms()
-        return [
-            self.delay_lines[index].process(
-                record, None if line_rngs is None else line_rngs[index]
+        with instrument.span("bus.acquire"):
+            drive_rngs, line_rngs = self._lane_rngs(rng)
+            with instrument.span("drive"):
+                records = [
+                    channel.drive(bits, dt, drive_rngs[index])
+                    for index, channel in enumerate(self.channels)
+                ]
+            instrument.count("bus.acquire.calls")
+            instrument.count("bus.acquire.lanes", self.n_channels)
+            instrument.count(
+                "bus.acquire.samples",
+                sum(len(record) for record in records),
             )
-            for index, record in enumerate(records)
-        ]
+            if not through_delay_lines or self.delay_lines is None:
+                return records
+            if batch:
+                stacked = WaveformBatch.from_waveforms(records)
+                return process_lines_batch(
+                    self.delay_lines, stacked, line_rngs
+                ).waveforms()
+            return [
+                self.delay_lines[index].process(
+                    record, None if line_rngs is None else line_rngs[index]
+                )
+                for index, record in enumerate(records)
+            ]
 
     def acquire_edge_times(
         self,

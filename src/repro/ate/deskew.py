@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import instrument
 from ..analysis.measurements import measure_delays_batch
 from ..errors import DeskewError
 from .bus import ParallelBus
@@ -115,13 +116,17 @@ class DeskewController:
         delays against channel 0 — the software equivalent of probing
         all bus lines at the DUT with a multi-input sampling scope.
         """
-        bits = self.bus.training_bits(self.n_bits)
-        records = self.bus.acquire(
-            bits, dt=self.dt, rng=rng, through_delay_lines=through_delay_lines
-        )
-        reference = records[0]
-        measurements = measure_delays_batch(reference, records[1:])
-        return [0.0] + [m.delay for m in measurements]
+        with instrument.span("measure_arrivals"):
+            bits = self.bus.training_bits(self.n_bits)
+            records = self.bus.acquire(
+                bits,
+                dt=self.dt,
+                rng=rng,
+                through_delay_lines=through_delay_lines,
+            )
+            reference = records[0]
+            measurements = measure_delays_batch(reference, records[1:])
+            return [0.0] + [m.delay for m in measurements]
 
     def measure_arrivals_event(
         self,
@@ -136,10 +141,14 @@ class DeskewController:
         model's; the deskew flow corrects its residual with a final
         waveform trim.
         """
-        edge_sets = self.bus.acquire_edge_times(
-            self.bus.training_bits(self.n_bits),
-            rng=rng,
-            through_delay_lines=through_delay_lines,
+        with instrument.span("measure_arrivals_event"):
+            edge_sets = self.bus.acquire_edge_times(
+                self.bus.training_bits(self.n_bits),
+                rng=rng,
+                through_delay_lines=through_delay_lines,
+            )
+        instrument.count(
+            "deskew.edges", sum(len(edges) for edges in edge_sets)
         )
         reference = edge_sets[0]
         arrivals = [0.0]
@@ -183,13 +192,14 @@ class DeskewController:
         skew is bounded by half the ~100 ps resolution plus the
         instrument's linearity error.
         """
-        initial = self.measure_arrivals(rng, through_delay_lines=False)
-        latest = max(initial)
-        ate_steps = []
-        for channel, arrival in zip(self.bus.channels, initial):
-            step = channel.programmable.set_delay(latest - arrival)
-            ate_steps.append(step)
-        final = self.measure_arrivals(rng, through_delay_lines=False)
+        with instrument.span("deskew_coarse_only"):
+            initial = self.measure_arrivals(rng, through_delay_lines=False)
+            latest = max(initial)
+            ate_steps = []
+            for channel, arrival in zip(self.bus.channels, initial):
+                step = channel.programmable.set_delay(latest - arrival)
+                ate_steps.append(step)
+            final = self.measure_arrivals(rng, through_delay_lines=False)
         return DeskewReport(
             initial_arrivals=initial,
             final_arrivals=final,
@@ -232,47 +242,55 @@ class DeskewController:
                     "bus.calibrate_delay_lines() first"
                 )
 
-        # Phase 0: raw skew, no correction anywhere.
-        initial = self._measure(rng, through_delay_lines=True)
+        with instrument.span("deskew"):
+            # Phase 0: raw skew, no correction anywhere.
+            initial = self._measure(rng, through_delay_lines=True)
 
-        # Phase 1: bulk alignment with the ATE's native steps.
-        latest = max(initial)
-        ate_steps = []
-        for channel, arrival in zip(self.bus.channels, initial):
-            step = channel.programmable.set_delay(latest - arrival)
-            ate_steps.append(step)
+            # Phase 1: bulk alignment with the ATE's native steps.
+            latest = max(initial)
+            ate_steps = []
+            for channel, arrival in zip(self.bus.channels, initial):
+                step = channel.programmable.set_delay(latest - arrival)
+                ate_steps.append(step)
 
-        # Phase 2: iterate the analog fine correction.
-        targets = [fine_base] * self.bus.n_channels
-        for index, line in enumerate(self.bus.delay_lines):
-            line.set_delay(targets[index])
-
-        def correct(arrivals: List[float]) -> None:
-            latest = max(arrivals)
+            # Phase 2: iterate the analog fine correction.
+            targets = [fine_base] * self.bus.n_channels
             for index, line in enumerate(self.bus.delay_lines):
-                correction = latest - arrivals[index]
-                new_target = targets[index] + correction
-                new_target = min(max(new_target, 0.0), line.total_range)
-                targets[index] = new_target
-                line.set_delay(new_target)
+                line.set_delay(targets[index])
 
-        iterations = 0
-        final = self._measure(rng, through_delay_lines=True)
-        while iterations < self.max_iterations:
-            iterations += 1
-            if _spread(final) <= self.tolerance:
-                break
-            correct(final)
+            def correct(arrivals: List[float]) -> None:
+                latest = max(arrivals)
+                for index, line in enumerate(self.bus.delay_lines):
+                    correction = latest - arrivals[index]
+                    new_target = targets[index] + correction
+                    new_target = min(max(new_target, 0.0), line.total_range)
+                    targets[index] = new_target
+                    line.set_delay(new_target)
+
+            iterations = 0
             final = self._measure(rng, through_delay_lines=True)
-
-        if self.measurement == "event":
-            # The event model's per-setting error is systematic; one
-            # waveform-measured trim removes the residual it leaves.
-            final = self.measure_arrivals(rng, through_delay_lines=True)
-            if _spread(final) > self.tolerance:
+            while iterations < self.max_iterations:
                 iterations += 1
-                correct(final)
-                final = self.measure_arrivals(rng, through_delay_lines=True)
+                if _spread(final) <= self.tolerance:
+                    break
+                with instrument.span("iteration"):
+                    instrument.count("deskew.iterations")
+                    correct(final)
+                    final = self._measure(rng, through_delay_lines=True)
+
+            if self.measurement == "event":
+                # The event model's per-setting error is systematic; one
+                # waveform-measured trim removes the residual it leaves.
+                with instrument.span("event_trim"):
+                    final = self.measure_arrivals(
+                        rng, through_delay_lines=True
+                    )
+                    if _spread(final) > self.tolerance:
+                        iterations += 1
+                        correct(final)
+                        final = self.measure_arrivals(
+                            rng, through_delay_lines=True
+                        )
 
         return DeskewReport(
             initial_arrivals=initial,

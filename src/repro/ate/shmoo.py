@@ -23,6 +23,39 @@ from .bert import BitErrorRateTester
 __all__ = ["ShmooResult", "timing_shmoo"]
 
 
+def _longest_cyclic_run(good: np.ndarray) -> "tuple[int, int]":
+    """``(start, length)`` of the longest True run on a cyclic axis.
+
+    The shmoo's offset grid is generated with ``endpoint=False``, so
+    position 0 is the cyclic neighbour of position N-1: a clean region
+    straddling the UI boundary is one run, not two.  Ties go to the
+    earliest start.
+    """
+    good = np.asarray(good, dtype=bool)
+    n = good.size
+    if n == 0 or not good.any():
+        return 0, 0
+    if good.all():
+        return 0, n
+    # Doubling the axis makes every wrap-around run contiguous; only
+    # runs that *start* in the first copy are candidates, and no run
+    # can exceed the period.
+    doubled = np.concatenate([good, good])
+    best_start = best_len = 0
+    run_start = None
+    for index in range(2 * n + 1):
+        flag = doubled[index] if index < 2 * n else False
+        if flag and run_start is None:
+            run_start = index
+        elif not flag and run_start is not None:
+            if run_start < n:
+                length = min(index - run_start, n)
+                if length > best_len:
+                    best_len, best_start = length, run_start
+            run_start = None
+    return best_start, best_len
+
+
 @dataclass(frozen=True)
 class ShmooResult:
     """Measured BER across sampling positions within one UI.
@@ -44,32 +77,37 @@ class ShmooResult:
     n_bits: int
     unit_interval: float
 
+    def _step(self) -> float:
+        return (
+            float(self.offsets[1] - self.offsets[0])
+            if len(self.offsets) > 1
+            else 1.0
+        )
+
     def opening(self, max_ber: float = 0.0) -> float:
         """Width (seconds) of the contiguous region with BER <= max_ber.
 
         Returns the longest error-free (or sub-threshold) stretch of
-        sampling positions, converted to seconds.
+        sampling positions, converted to seconds.  The offset axis is
+        cyclic (offsets cover one UI with ``endpoint=False``), so a
+        clean region wrapping the UI boundary counts as one run.
         """
-        good = self.ber <= max_ber
-        if not np.any(good):
-            return 0.0
-        best = 0
-        run = 0
-        for flag in good:
-            run = run + 1 if flag else 0
-            best = max(best, run)
-        step = (
-            (self.offsets[1] - self.offsets[0])
-            if len(self.offsets) > 1
-            else 1.0
-        )
-        return best * step * self.unit_interval
+        _, length = _longest_cyclic_run(self.ber <= max_ber)
+        return length * self._step() * self.unit_interval
 
     def best_offset(self) -> float:
-        """Centre of the widest clean region (fraction of UI)."""
-        good = self.ber <= self.ber.min()
-        indices = np.flatnonzero(good)
-        return float(self.offsets[indices[len(indices) // 2]])
+        """Centre of the widest contiguous min-BER run (fraction of UI).
+
+        The strobe-placement answer: among the (possibly several,
+        disjoint) regions tied at the minimum measured BER, pick the
+        widest — wrapping across the UI boundary if it does — and
+        return its centre, which maximises margin to the closed
+        regions on both sides.  The centre of an even-length run falls
+        midway between two grid offsets.
+        """
+        start, length = _longest_cyclic_run(self.ber <= self.ber.min())
+        centre = float(self.offsets[start]) + 0.5 * (length - 1) * self._step()
+        return centre % 1.0
 
 
 def timing_shmoo(

@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import instrument
 from ..analysis.measurements import measure_delay, measure_delays_batch
 from ..circuits.dac import ControlDAC
 from ..circuits.element import spawn_rngs
@@ -235,20 +236,24 @@ def calibrate_fine_delay(
     params = delay_line.params
     vctrls = np.linspace(params.vctrl_min, params.vctrl_max, n_points)
     rngs = spawn_rngs(rng, n_points)
+    instrument.count("calibration.sweep_points", n_points)
     if batch and hasattr(delay_line, "process_batch"):
-        tiled = WaveformBatch.tiled(stimulus, n_points)
-        outputs = delay_line.process_batch(tiled, rngs, vctrls=vctrls)
-        delays = np.asarray(
-            [m.delay for m in measure_delays_batch(stimulus, outputs)]
-        )
+        with instrument.span("calibrate_fine_delay"):
+            tiled = WaveformBatch.tiled(stimulus, n_points)
+            outputs = delay_line.process_batch(tiled, rngs, vctrls=vctrls)
+            delays = np.asarray(
+                [m.delay for m in measure_delays_batch(stimulus, outputs)]
+            )
         return CalibrationTable(vctrls=vctrls, delays=delays - delays[0])
     saved = delay_line.vctrl
     delays = []
     try:
-        for index, vctrl in enumerate(vctrls):
-            delay_line.vctrl = float(vctrl)
-            output = delay_line.process(stimulus, rngs[index])
-            delays.append(measure_delay(stimulus, output).delay)
+        with instrument.span("calibrate_fine_delay"):
+            for index, vctrl in enumerate(vctrls):
+                delay_line.vctrl = float(vctrl)
+                with instrument.span("sweep_point"):
+                    output = delay_line.process(stimulus, rngs[index])
+                    delays.append(measure_delay(stimulus, output).delay)
     finally:
         delay_line.vctrl = saved
     delays = np.asarray(delays)

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import instrument
 from ..circuits.dac import ControlDAC
 from ..circuits.element import CircuitElement
 from ..circuits.vga_buffer import BufferParams, ControlInput
@@ -104,7 +105,10 @@ class CombinedDelayLine(CircuitElement):
         self, waveform: Waveform, rng: Optional[np.random.Generator] = None
     ) -> Waveform:
         rng = self._resolve_rng(rng)
-        return self.fine.process(self.coarse.process(waveform, rng), rng)
+        with instrument.span("combined_delay"):
+            with instrument.span("coarse"):
+                result = self.coarse.process(waveform, rng)
+            return self.fine.process(result, rng)
 
     def process_batch(
         self,
@@ -119,8 +123,10 @@ class CombinedDelayLine(CircuitElement):
         keeps the programmed controls.
         """
         rngs = self._resolve_lane_rngs(rngs, waveforms.n_lanes)
-        coarse = self.coarse.process_batch(waveforms, rngs)
-        return self.fine.process_batch(coarse, rngs, vctrls=vctrls)
+        with instrument.span("combined_delay"):
+            with instrument.span("coarse"):
+                coarse = self.coarse.process_batch(waveforms, rngs)
+            return self.fine.process_batch(coarse, rngs, vctrls=vctrls)
 
     # -- calibration flow ------------------------------------------------------
 
@@ -155,10 +161,14 @@ class CombinedDelayLine(CircuitElement):
         tap_delays = []
         try:
             self.fine.vctrl = self.fine.params.vctrl_min
-            for tap in range(self.coarse.n_taps):
-                self.coarse.select = tap
-                output = self.process(stimulus, rng)
-                tap_delays.append(measure_delay(stimulus, output).delay)
+            with instrument.span("calibrate_tap_sweep"):
+                instrument.count(
+                    "calibration.tap_points", self.coarse.n_taps
+                )
+                for tap in range(self.coarse.n_taps):
+                    self.coarse.select = tap
+                    output = self.process(stimulus, rng)
+                    tap_delays.append(measure_delay(stimulus, output).delay)
         finally:
             self.coarse.select = saved_tap
             self.fine.vctrl = saved_vctrl
@@ -322,28 +332,34 @@ def process_lines_batch(
             f"{len(rngs)} noise streams for {len(lines)} delay lines"
         )
     if not _lines_batchable(lines):
-        return WaveformBatch.from_waveforms(
-            [
-                line.process(waveforms.lane(i), rngs[i])
-                for i, line in enumerate(lines)
-            ]
-        )
-    template = lines[0]
-    buffered = template.coarse.fanout.process_batch(waveforms, rngs)
-    # The tap traces differ per lane (different electrical lengths) but
-    # a trace is noiseless and cheap: filter each lane's selection
-    # individually and restack.
-    lined = WaveformBatch.from_waveforms(
-        [
-            line.coarse.lines[line.coarse.select].process(
-                buffered.lane(i), rngs[i]
+        with instrument.span("lines_batch_fallback"):
+            return WaveformBatch.from_waveforms(
+                [
+                    line.process(waveforms.lane(i), rngs[i])
+                    for i, line in enumerate(lines)
+                ]
             )
-            for i, line in enumerate(lines)
-        ]
-    )
-    skews = [
-        line.coarse.mux.port_skews[line.coarse.mux.select] for line in lines
-    ]
-    muxed = template.coarse.mux.process_batch(lined, rngs, port_skews=skews)
-    vctrls = np.array([float(line.fine.vctrl) for line in lines])
-    return template.fine.process_batch(muxed, rngs, vctrls=vctrls)
+    with instrument.span("lines_batch"):
+        template = lines[0]
+        with instrument.span("coarse"):
+            buffered = template.coarse.fanout.process_batch(waveforms, rngs)
+            # The tap traces differ per lane (different electrical
+            # lengths) but a trace is noiseless and cheap: filter each
+            # lane's selection individually and restack.
+            lined = WaveformBatch.from_waveforms(
+                [
+                    line.coarse.lines[line.coarse.select].process(
+                        buffered.lane(i), rngs[i]
+                    )
+                    for i, line in enumerate(lines)
+                ]
+            )
+            skews = [
+                line.coarse.mux.port_skews[line.coarse.mux.select]
+                for line in lines
+            ]
+            muxed = template.coarse.mux.process_batch(
+                lined, rngs, port_skews=skews
+            )
+        vctrls = np.array([float(line.fine.vctrl) for line in lines])
+        return template.fine.process_batch(muxed, rngs, vctrls=vctrls)

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import instrument
 from ..circuits.buffers import OutputBuffer
 from ..circuits.element import CircuitElement
 from ..circuits.vga_buffer import BufferParams, ControlInput, VariableGainBuffer
@@ -122,10 +123,13 @@ class FineDelayLine(CircuitElement):
     def process(
         self, waveform: Waveform, rng: Optional[np.random.Generator] = None
     ) -> Waveform:
-        result = waveform
-        for stage in self._stages:
-            result = stage.process(result, rng)
-        return self._output_stage.process(result, rng)
+        with instrument.span("fine_delay"):
+            result = waveform
+            for index, stage in enumerate(self._stages):
+                with instrument.span(f"stage{index}"):
+                    result = stage.process(result, rng)
+            with instrument.span("output_stage"):
+                return self._output_stage.process(result, rng)
 
     def process_batch(
         self,
@@ -144,10 +148,13 @@ class FineDelayLine(CircuitElement):
         on the python kernel backend.
         """
         rngs = self._resolve_lane_rngs(rngs, waveforms.n_lanes)
-        result = waveforms
-        for stage in self._stages:
-            result = stage.process_batch(result, rngs, vctrl=vctrls)
-        return self._output_stage.process_batch(result, rngs)
+        with instrument.span("fine_delay"):
+            result = waveforms
+            for index, stage in enumerate(self._stages):
+                with instrument.span(f"stage{index}"):
+                    result = stage.process_batch(result, rngs, vctrl=vctrls)
+            with instrument.span("output_stage"):
+                return self._output_stage.process_batch(result, rngs)
 
     def nominal_delay(self, vctrl: float, half_period: float = float("inf")) -> float:
         """Analytic estimate of the total insertion delay at *vctrl*.

@@ -16,6 +16,7 @@ __all__ = [
     "CircuitError",
     "ControlRangeError",
     "KernelError",
+    "InstrumentError",
     "CalibrationError",
     "DelayRangeError",
     "MeasurementError",
@@ -54,6 +55,10 @@ class ControlRangeError(CircuitError, ValueError):
 
 class KernelError(ReproError):
     """A compute-kernel backend is unknown or unavailable."""
+
+
+class InstrumentError(ReproError, ValueError):
+    """An observability artifact (e.g. a run manifest) is malformed."""
 
 
 class CalibrationError(CircuitError):

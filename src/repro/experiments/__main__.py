@@ -10,21 +10,50 @@ Options
     Run up to N experiments concurrently in worker processes.  Each
     experiment seeds its own generators, so results are identical to a
     sequential run; tables are still printed in registry order.
+``--metrics-json PATH``
+    Enable :mod:`repro.instrument` and write a validated run manifest
+    (experiment ids, per-stage wall times, kernel backend, per-op
+    call/sample counters) to PATH.  With ``--jobs N`` each worker
+    snapshots its own registry and the parent merges, so the manifest
+    aggregates the whole pool.
+``--profile``
+    Enable instrumentation and print a sorted hot-spot table (stage
+    spans, then kernel ops) after the result tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 
+from .. import instrument
+from ..kernels import active_backend
 from . import RUNNERS
 
 
-def _run_by_name(name: str, fast: bool):
+def _run_by_name(name: str, fast: bool, collect: bool = False):
     """Execute one registered runner (top-level, so workers can pickle
-    the call by name instead of shipping the runner itself)."""
-    return RUNNERS[name](fast=fast)
+    the call by name instead of shipping the runner itself).
+
+    Returns ``(result, duration_s, snapshot)``.  *collect* turns the
+    worker's own registry on and snapshots exactly this experiment's
+    metrics (the registry is reset first, so a pool worker reused for
+    several experiments ships each one separately and the parent's
+    merge stays a plain sum).
+    """
+    snapshot = None
+    if collect:
+        instrument.get_registry().reset()
+        instrument.enable()
+    t0 = time.perf_counter()
+    with instrument.span(f"experiment.{name}"):
+        result = RUNNERS[name](fast=fast)
+    duration = time.perf_counter() - t0
+    if collect:
+        snapshot = instrument.get_registry().snapshot()
+    return result, duration, snapshot
 
 
 def main(argv=None) -> int:
@@ -52,6 +81,17 @@ def main(argv=None) -> int:
         metavar="N",
         help="run up to N experiments in parallel processes (default: 1)",
     )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write an instrumented run manifest (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a sorted hot-spot table after the result tables",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -67,17 +107,38 @@ def main(argv=None) -> int:
     else:
         selected = RUNNERS
 
+    collect = bool(args.metrics_json or args.profile)
+    previously_enabled = instrument.enabled()
+    if collect:
+        instrument.get_registry().reset()
+        instrument.enable()
+
+    run_t0 = time.perf_counter()
+    results = []
+    durations = {}
     if args.jobs > 1 and len(selected) > 1:
+        # Workers inherit the parent's (empty) registry; each call
+        # resets, runs, and snapshots, and the parent merges the
+        # snapshots — the cross-process aggregation path.
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             futures = {
-                name: pool.submit(_run_by_name, name, args.fast)
+                name: pool.submit(_run_by_name, name, args.fast, collect)
                 for name in selected
             }
-            results = [futures[name].result() for name in selected]
+            for name in selected:
+                result, duration, snapshot = futures[name].result()
+                results.append(result)
+                durations[name] = duration
+                if snapshot is not None:
+                    instrument.get_registry().merge(snapshot)
     else:
-        results = [
-            runner(fast=args.fast) for runner in selected.values()
-        ]
+        for name in selected:
+            t0 = time.perf_counter()
+            with instrument.span(f"experiment.{name}"):
+                result = RUNNERS[name](fast=args.fast)
+            durations[name] = time.perf_counter() - t0
+            results.append(result)
+    run_duration = time.perf_counter() - run_t0
 
     any_failed = False
     for result in results:
@@ -88,6 +149,33 @@ def main(argv=None) -> int:
             print()
         if not result.all_checks_pass:
             any_failed = True
+
+    if collect:
+        snapshot = instrument.get_registry().snapshot()
+        if args.profile:
+            print(instrument.profile_table(snapshot))
+        if args.metrics_json:
+            manifest = instrument.build_manifest(
+                [
+                    {
+                        "id": result.experiment,
+                        "title": result.title,
+                        "duration_s": durations[name],
+                        "checks_passed": result.all_checks_pass,
+                        "failed_checks": result.failed_checks(),
+                        "n_rows": len(result.rows),
+                    }
+                    for name, result in zip(selected, results)
+                ],
+                fast=args.fast,
+                jobs=args.jobs,
+                backend=active_backend(),
+                snapshot=snapshot,
+                duration_s=run_duration,
+            )
+            instrument.write_manifest(args.metrics_json, manifest)
+        if not previously_enabled:
+            instrument.disable()
     return 1 if any_failed else 0
 
 

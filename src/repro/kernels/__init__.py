@@ -26,10 +26,12 @@ prefers numba, then numpy.  See DESIGN.md §"Kernel layer".
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import instrument
 from ..errors import CircuitError
 from .dispatch import (
     BACKEND_NAMES,
@@ -61,6 +63,23 @@ __all__ = [
 ]
 
 PerLane = Union[float, Sequence[float], np.ndarray]
+
+
+def _run(op: str, samples: int, call):
+    """Dispatch one kernel op, recording counters when instrumented.
+
+    *samples* is the op's work size (array elements, or edges for the
+    matching kernels); it feeds the manifest's per-op sample counters.
+    The disabled path is one flag check — no clocks are read.
+    """
+    if not instrument.enabled():
+        return call()
+    t0 = time.perf_counter()
+    result = call()
+    instrument.record_kernel_op(
+        op, active_backend(), samples, time.perf_counter() - t0
+    )
+    return result
 
 
 def _as_float_array(values) -> np.ndarray:
@@ -102,7 +121,11 @@ def slew_limit(
         raise CircuitError(f"max_step must be positive: {max_step}")
     values = _as_float_array(values)
     start = float(values[0]) if initial is None else float(initial)
-    return get_backend().slew_limit(values, float(max_step), start)
+    return _run(
+        "slew_limit",
+        values.size,
+        lambda: get_backend().slew_limit(values, float(max_step), start),
+    )
 
 
 def compressive_slew_limit(
@@ -123,16 +146,21 @@ def compressive_slew_limit(
     """
     if max_step <= 0:
         raise CircuitError(f"max_step must be positive: {max_step}")
-    return get_backend().compressive_slew_limit(
-        _as_float_array(v_in),
-        _as_float_array(target_floor),
-        _as_float_array(target_extra),
-        float(max_step),
-        float(dt),
-        float(hysteresis),
-        float(corner),
-        int(order),
-        float(initial_interval),
+    v_in = _as_float_array(v_in)
+    return _run(
+        "compressive_slew_limit",
+        v_in.size,
+        lambda: get_backend().compressive_slew_limit(
+            v_in,
+            _as_float_array(target_floor),
+            _as_float_array(target_extra),
+            float(max_step),
+            float(dt),
+            float(hysteresis),
+            float(corner),
+            int(order),
+            float(initial_interval),
+        ),
     )
 
 
@@ -150,11 +178,17 @@ def match_edges(
     from the coarse estimate are discarded, and each output edge is
     granted to at most one reference edge (closest deviation wins).
     """
-    return get_backend().match_edges(
-        _as_float_array(ref_edges),
-        _as_float_array(out_edges),
-        float(coarse),
-        float(max_edge_offset),
+    ref_edges = _as_float_array(ref_edges)
+    out_edges = _as_float_array(out_edges)
+    return _run(
+        "match_edges",
+        ref_edges.size + out_edges.size,
+        lambda: get_backend().match_edges(
+            ref_edges,
+            out_edges,
+            float(coarse),
+            float(max_edge_offset),
+        ),
     )
 
 
@@ -168,8 +202,11 @@ def hysteresis_crossings(
     coordinates of the bare-threshold crossings that caused each
     comparator switch.
     """
-    return get_backend().hysteresis_crossings(
-        _as_float_array(v), float(hysteresis)
+    v = _as_float_array(v)
+    return _run(
+        "hysteresis_crossings",
+        v.size,
+        lambda: get_backend().hysteresis_crossings(v, float(hysteresis)),
     )
 
 
@@ -177,9 +214,15 @@ def nearest_edge_margin(
     probe_edges: np.ndarray, data_edges: np.ndarray
 ) -> float:
     """Smallest |probe - nearest data edge| distance, seconds."""
+    probe_edges = _as_float_array(probe_edges)
+    data_edges = _as_float_array(data_edges)
     return float(
-        get_backend().nearest_edge_margin(
-            _as_float_array(probe_edges), _as_float_array(data_edges)
+        _run(
+            "nearest_edge_margin",
+            probe_edges.size + data_edges.size,
+            lambda: get_backend().nearest_edge_margin(
+                probe_edges, data_edges
+            ),
         )
     )
 
@@ -204,7 +247,13 @@ def slew_limit_batch(
         initials = np.ascontiguousarray(values[:, 0])
     else:
         initials = _per_lane(initial, values.shape[0], "initial")
-    return get_backend().slew_limit_batch(values, float(max_step), initials)
+    return _run(
+        "slew_limit_batch",
+        values.size,
+        lambda: get_backend().slew_limit_batch(
+            values, float(max_step), initials
+        ),
+    )
 
 
 def compressive_slew_limit_batch(
@@ -237,16 +286,20 @@ def compressive_slew_limit_batch(
             f"{target_floor.shape}, extra {target_extra.shape}"
         )
     n_lanes = v_in.shape[0]
-    return get_backend().compressive_slew_limit_batch(
-        v_in,
-        target_floor,
-        target_extra,
-        float(max_step),
-        float(dt),
-        _per_lane(hysteresis, n_lanes, "hysteresis"),
-        float(corner),
-        int(order),
-        _per_lane(initial_interval, n_lanes, "initial_interval"),
+    return _run(
+        "compressive_slew_limit_batch",
+        v_in.size,
+        lambda: get_backend().compressive_slew_limit_batch(
+            v_in,
+            target_floor,
+            target_extra,
+            float(max_step),
+            float(dt),
+            _per_lane(hysteresis, n_lanes, "hysteresis"),
+            float(corner),
+            int(order),
+            _per_lane(initial_interval, n_lanes, "initial_interval"),
+        ),
     )
 
 
@@ -266,11 +319,15 @@ def match_edges_batch(
     """
     reference = _as_float_array(ref_edges)
     lanes = [_as_float_array(lane_edges) for lane_edges in out_edges]
-    return get_backend().match_edges_batch(
-        reference,
-        lanes,
-        _per_lane(coarse, len(lanes), "coarse"),
-        float(max_edge_offset),
+    return _run(
+        "match_edges_batch",
+        reference.size * len(lanes) + sum(lane.size for lane in lanes),
+        lambda: get_backend().match_edges_batch(
+            reference,
+            lanes,
+            _per_lane(coarse, len(lanes), "coarse"),
+            float(max_edge_offset),
+        ),
     )
 
 
@@ -283,6 +340,10 @@ def hysteresis_crossings_batch(
     ragged).  *hysteresis* may be a scalar or one band per lane.
     """
     v = _as_float_matrix(v, "v")
-    return get_backend().hysteresis_crossings_batch(
-        v, _per_lane(hysteresis, v.shape[0], "hysteresis")
+    return _run(
+        "hysteresis_crossings_batch",
+        v.size,
+        lambda: get_backend().hysteresis_crossings_batch(
+            v, _per_lane(hysteresis, v.shape[0], "hysteresis")
+        ),
     )

@@ -98,6 +98,38 @@ class TestBerStatistics:
         result = BertResult(n_bits=10**6, n_errors=10, alignment=0)
         assert result.ber_upper_bound() > result.ber
 
+    def test_k_errors_bound_uses_one_sided_quantile(self):
+        # The pass/fail question is one-sided ("could the true BER
+        # exceed the target?"), so the k-errors branch must use the
+        # one-sided 95 % quantile z ~ 1.645 — matching the zero-error
+        # branch's one-sided -ln(1-CL)/N rule — not the two-sided
+        # z ~ 1.96 (the pre-fix bug, which inflated every bound).
+        result = BertResult(n_bits=10**6, n_errors=10, alignment=0)
+        z_one_sided = 1.6448536269514722
+        expected = (10 + z_one_sided * math.sqrt(10) + z_one_sided**2) / 1e6
+        assert result.ber_upper_bound(0.95) == pytest.approx(
+            expected, rel=1e-9
+        )
+        z_two_sided = 1.959963984540054
+        inflated = (10 + z_two_sided * math.sqrt(10) + z_two_sided**2) / 1e6
+        assert result.ber_upper_bound(0.95) < inflated
+
+    def test_one_sided_quantile_tracks_confidence(self):
+        # At CL the one-sided z solves Phi(z) = CL; spot-check 0.9.
+        result = BertResult(n_bits=10**6, n_errors=4, alignment=0)
+        z = 1.2815515655446004  # Phi^-1(0.90)
+        expected = (4 + z * math.sqrt(4) + z * z) / 1e6
+        assert result.ber_upper_bound(0.90) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_marginal_pass_not_rejected_by_inflated_bound(self):
+        # 10 errors in 1e6 bits: one-sided bound ~1.79e-5 passes a
+        # 1.9e-5 target; the two-sided (buggy) bound ~2.00e-5 would
+        # have failed this device.
+        result = BertResult(n_bits=10**6, n_errors=10, alignment=0)
+        assert result.passes(1.9e-5, confidence=0.95)
+
     def test_passes_target(self):
         result = BertResult(n_bits=10**7, n_errors=0, alignment=0)
         assert result.passes(1e-6)

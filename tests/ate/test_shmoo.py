@@ -115,3 +115,65 @@ class TestShmooResult:
         )
         # Longest clean run is 3 positions of width 1 ps each.
         assert shmoo.opening() == pytest.approx(3e-12)
+
+    def test_opening_counts_run_wrapping_ui_boundary(self):
+        # Offsets are generated with endpoint=False, so position 0 is
+        # the cyclic neighbour of position N-1: the clean region
+        # 8,9,0,1 is ONE 4-point run.  Pre-fix code split it into two
+        # 2-point runs and reported half the opening.
+        ber = np.array([0.0, 0.0, 0.5, 0.5, 0.0, 0.5, 0.5, 0.5, 0.0, 0.0])
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 10, endpoint=False),
+            ber=ber,
+            n_bits=100,
+            unit_interval=10e-12,
+        )
+        assert shmoo.opening() == pytest.approx(4e-12)
+
+    def test_opening_full_ui_when_all_clean(self):
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 10, endpoint=False),
+            ber=np.zeros(10),
+            n_bits=100,
+            unit_interval=10e-12,
+        )
+        assert shmoo.opening() == pytest.approx(10e-12)
+
+    def test_best_offset_centres_widest_run(self):
+        # Min-BER positions form two disjoint runs: {0,1} and
+        # {5,6,7,8}.  The strobe belongs at the centre of the widest
+        # run (index 6.5 -> offset 0.65).  Pre-fix code took the median
+        # of all min-BER indices (index 6 -> offset 0.6), a point
+        # pulled off-centre by the other run.
+        ber = np.array([0.0, 0.0, 0.5, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.5])
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 10, endpoint=False),
+            ber=ber,
+            n_bits=100,
+            unit_interval=10e-12,
+        )
+        assert shmoo.best_offset() == pytest.approx(0.65)
+
+    def test_best_offset_wraps_ui_boundary(self):
+        # Widest clean run is 8,9,0,1 (cyclic); its centre sits at
+        # wrapped index 9.5 -> offset 0.95.  Pre-fix code returned the
+        # median min-BER index (4 -> offset 0.4), a 1-point island.
+        ber = np.array([0.0, 0.0, 0.5, 0.5, 0.0, 0.5, 0.5, 0.5, 0.0, 0.0])
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 10, endpoint=False),
+            ber=ber,
+            n_bits=100,
+            unit_interval=10e-12,
+        )
+        assert shmoo.best_offset() == pytest.approx(0.95)
+
+    def test_best_offset_is_a_min_ber_position_on_odd_runs(self):
+        ber = np.array([0.5, 0.0, 0.0, 0.0, 0.5, 0.5, 0.5, 0.5])
+        shmoo = ShmooResult(
+            offsets=np.linspace(0, 1, 8, endpoint=False),
+            ber=ber,
+            n_bits=100,
+            unit_interval=8e-12,
+        )
+        # Run 1..3, centre index 2 -> offset 0.25.
+        assert shmoo.best_offset() == pytest.approx(0.25)

@@ -1,8 +1,13 @@
 """Tests for the ``python -m repro.experiments`` command line."""
 
+import json
+
 import pytest
 
+from repro import instrument
 from repro.experiments.__main__ import main
+from repro.instrument import validate_manifest
+from repro.kernels import BACKEND_NAMES
 
 
 class TestCli:
@@ -38,3 +43,70 @@ class TestMarkdownFlag:
         assert exit_code == 0
         assert "## `app_resolution`" in captured.out
         assert "- [x]" in captured.out
+
+
+class TestMetricsFlags:
+    def test_metrics_json_writes_valid_manifest(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "--fast",
+                "--only",
+                "app_resolution",
+                "--metrics-json",
+                str(path),
+            ]
+        )
+        assert exit_code == 0
+        data = json.loads(path.read_text())
+        validate_manifest(data)
+        assert data["fast"] is True
+        assert data["kernel_backend"] in BACKEND_NAMES
+        entry = data["experiments"][0]
+        assert entry["id"] == "app_resolution"
+        assert entry["checks_passed"] is True
+        assert entry["duration_s"] > 0.0
+        # Per-stage wall times under the experiment's own span tree.
+        assert "experiment.app_resolution" in data["spans"]
+        assert any(
+            span.startswith("experiment.app_resolution/")
+            for span in data["spans"]
+        )
+        # Kernel dispatch counters made it into the manifest.
+        assert data["kernels"]["ops"]
+        assert data["kernels"]["backend_calls"]
+        # The CLI restores the disabled default.
+        assert not instrument.enabled()
+
+    def test_profile_prints_hotspot_table(self, capsys):
+        exit_code = main(["--fast", "--only", "app_resolution", "--profile"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "profile: stage spans" in captured.out
+        assert "experiment.app_resolution" in captured.out
+
+    def test_jobs_pool_aggregates_metrics(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "--fast",
+                "--jobs",
+                "2",
+                "--only",
+                "fig09,app_resolution",
+                "--metrics-json",
+                str(path),
+            ]
+        )
+        assert exit_code == 0
+        data = json.loads(path.read_text())
+        validate_manifest(data)
+        assert data["jobs"] == 2
+        assert [e["id"] for e in data["experiments"]] == [
+            "fig09",
+            "app_resolution",
+        ]
+        # Both workers' snapshots were merged into one registry.
+        assert "experiment.fig09" in data["spans"]
+        assert "experiment.app_resolution" in data["spans"]
+        assert data["kernels"]["ops"]

@@ -1,0 +1,148 @@
+"""Tests for run manifests: build, validate, round-trip, profile table."""
+
+import json
+
+import pytest
+
+from repro.errors import InstrumentError
+from repro.instrument import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    Registry,
+    build_manifest,
+    kernel_stats,
+    profile_table,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def _sample_snapshot() -> dict:
+    registry = Registry()
+    registry.count("kernels.slew_limit.calls", 3)
+    registry.count("kernels.slew_limit.samples", 1500)
+    registry.count("kernels.slew_limit.seconds", 0.25)
+    registry.count("kernels.backend.numpy.calls", 3)
+    registry.count("deskew.iterations", 2)
+    with registry.span("experiment.fig07"):
+        with registry.span("calibrate_fine_delay"):
+            pass
+    return registry.snapshot()
+
+
+def _sample_manifest() -> dict:
+    return build_manifest(
+        [
+            {
+                "id": "fig07",
+                "title": "Delay vs Vctrl",
+                "duration_s": 1.25,
+                "checks_passed": True,
+                "failed_checks": [],
+                "n_rows": 13,
+            }
+        ],
+        fast=True,
+        jobs=1,
+        backend="numpy",
+        snapshot=_sample_snapshot(),
+        duration_s=1.3,
+    )
+
+
+class TestKernelStats:
+    def test_folds_flat_counters(self):
+        stats = kernel_stats(_sample_snapshot()["counters"])
+        assert stats["ops"]["slew_limit"] == {
+            "calls": 3,
+            "samples": 1500,
+            "seconds": 0.25,
+        }
+        assert stats["backend_calls"] == {"numpy": 3}
+
+    def test_ignores_non_kernel_counters(self):
+        stats = kernel_stats({"deskew.iterations": 2, "bus.acquire.calls": 1})
+        assert stats == {"ops": {}, "backend_calls": {}}
+
+
+class TestBuildAndValidate:
+    def test_built_manifest_validates(self):
+        manifest = _sample_manifest()
+        assert validate_manifest(manifest) is manifest
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["schema_version"] == MANIFEST_VERSION
+
+    def test_contains_stage_timings_and_kernel_counters(self):
+        manifest = _sample_manifest()
+        assert (
+            manifest["spans"]["experiment.fig07/calibrate_fine_delay"][
+                "calls"
+            ]
+            == 1
+        )
+        assert manifest["kernels"]["ops"]["slew_limit"]["samples"] == 1500
+        assert manifest["kernel_backend"] == "numpy"
+        assert manifest["experiments"][0]["id"] == "fig07"
+
+    def test_json_round_trip(self):
+        manifest = _sample_manifest()
+        recovered = json.loads(json.dumps(manifest))
+        assert validate_manifest(recovered) is recovered
+        assert recovered == manifest
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda m: m.pop("schema"),
+            lambda m: m.update(schema="something-else"),
+            lambda m: m.update(schema_version="1"),
+            lambda m: m.update(kernel_backend=""),
+            lambda m: m.update(fast="yes"),
+            lambda m: m.update(jobs=0),
+            lambda m: m.update(duration_s=-1.0),
+            lambda m: m.update(experiments={}),
+            lambda m: m["experiments"][0].pop("id"),
+            lambda m: m["experiments"][0].update(checks_passed="true"),
+            lambda m: m.update(counters=[]),
+            lambda m: m.update(spans={"x": {"calls": 0, "total_s": 1.0}}),
+            lambda m: m.pop("kernels"),
+        ],
+    )
+    def test_rejects_malformed(self, mutate):
+        manifest = _sample_manifest()
+        mutate(manifest)
+        with pytest.raises(InstrumentError):
+            validate_manifest(manifest)
+
+
+class TestWriteManifest:
+    def test_writes_valid_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = _sample_manifest()
+        write_manifest(path, manifest)
+        recovered = json.loads(path.read_text())
+        assert recovered == manifest
+
+    def test_refuses_invalid(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        with pytest.raises(InstrumentError):
+            write_manifest(path, {"schema": "nope"})
+        assert not path.exists()
+
+
+class TestProfileTable:
+    def test_hottest_span_first(self):
+        registry = Registry()
+        registry._record_span("cold", 0.001)
+        registry._record_span("hot", 1.0)
+        table = profile_table(registry.snapshot())
+        assert table.index("hot") < table.index("cold")
+
+    def test_includes_kernel_ops(self):
+        table = profile_table(_sample_snapshot())
+        assert "slew_limit" in table
+        assert "numpy=3" in table
+
+    def test_empty_snapshot(self):
+        table = profile_table({"counters": {}, "spans": {}})
+        assert "no spans" in table
