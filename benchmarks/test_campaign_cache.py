@@ -1,0 +1,84 @@
+"""Benchmarks of the campaign engine's cache and scheduling behaviour.
+
+Two claims are measured:
+
+* a fully cached re-run is orders of magnitude faster than the cold
+  run it replays (the content-addressed cache actually short-circuits
+  the physics), and
+* the warm run reproduces the cold run's report payload byte for byte
+  (the cache returns results, not approximations).
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    build_report,
+    run_campaign,
+)
+from repro.campaign.spec import canonical_json
+
+SPEC = {
+    "name": "bench-campaign",
+    "scenario": "range",
+    "seed": 77,
+    "n_instances": 2,
+    "base": {"n_bits": 48, "n_points": 5, "measure_jitter": False},
+    "sweeps": [{"name": "bit_rate", "values": ["2.4 Gbps", "4.8 Gbps"]}],
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return CampaignSpec.from_dict(SPEC)
+
+
+def test_perf_campaign_cold_run(benchmark, spec, tmp_path_factory):
+    """Cold campaign: every point computed, cache filled."""
+    cache_dir = tmp_path_factory.mktemp("cold-cache")
+    result = benchmark.pedantic(
+        lambda: run_campaign(spec, jobs=1, cache_dir=cache_dir / "c"),
+        rounds=1,
+        iterations=1,
+    )
+    # Only the first (benchmarked) call is cold; that one computed all.
+    assert result.computed + result.cached == spec.n_points()
+
+
+def test_perf_campaign_warm_cache_speedup(spec, tmp_path):
+    """A warm re-run must be >= 20x faster and byte-identical."""
+    cache_dir = tmp_path / "cache"
+    t0 = time.perf_counter()
+    cold = run_campaign(spec, jobs=1, cache_dir=cache_dir)
+    cold_time = time.perf_counter() - t0
+    assert cold.computed == spec.n_points()
+
+    t0 = time.perf_counter()
+    warm = run_campaign(spec, jobs=1, cache_dir=cache_dir)
+    warm_time = time.perf_counter() - t0
+    assert warm.computed == 0
+    assert warm.cache_stats["hits"] == spec.n_points()
+
+    speedup = cold_time / warm_time
+    print(
+        f"\ncampaign {spec.n_points()} points: cold {cold_time:.2f} s, "
+        f"warm {warm_time * 1e3:.1f} ms, {speedup:.0f}x"
+    )
+    assert speedup >= 20.0, (
+        f"warm cache run only {speedup:.1f}x faster "
+        f"({warm_time:.3f} s vs {cold_time:.3f} s)"
+    )
+    assert canonical_json(build_report(cold)["payload"]) == canonical_json(
+        build_report(warm)["payload"]
+    ), "warm report payload diverged from the cold run"
+
+
+def test_perf_campaign_parallel_matches_sequential(spec):
+    """--jobs must change wall time only, never the metrics."""
+    sequential = run_campaign(spec, jobs=1)
+    parallel = run_campaign(spec, jobs=2)
+    assert canonical_json(sequential.metrics) == canonical_json(
+        parallel.metrics
+    )

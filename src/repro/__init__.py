@@ -21,7 +21,10 @@ parallel-bus deskew and jitter injection — entirely in software:
 * :mod:`repro.baselines` — the early 2-stage circuit, ATE-native
   100 ps deskew, and an ideal delay element;
 * :mod:`repro.experiments` — one runner per figure in the paper's
-  evaluation (driven by the benchmark suite).
+  evaluation (driven by the benchmark suite);
+* :mod:`repro.campaign` — declarative sweep / Monte-Carlo campaigns
+  over the above, with process-variation corners, a content-addressed
+  result cache, and yield reports against the paper's spec lines.
 
 Quick start::
 

@@ -41,6 +41,17 @@ class ParallelBus:
         channel.  Disable to model the ATE-only baseline.
     seed:
         Master seed; all per-channel randomness derives from it.
+    buffer_params:
+        Optional per-channel fine-section physics — one
+        :class:`~repro.circuits.vga_buffer.BufferParams` per channel.
+        This is the process-variation hook :mod:`repro.campaign` uses
+        to model instance-to-instance spread; ``None`` keeps the
+        calibrated nominal part on every channel.
+    tap_errors:
+        Optional per-channel coarse tap-error vectors (one sequence of
+        per-tap errors per channel).
+    rise_times:
+        Optional per-channel source 20-80 % rise times, seconds.
     """
 
     def __init__(
@@ -50,11 +61,24 @@ class ParallelBus:
         skew_spread: float = 200e-12,
         with_delay_circuits: bool = True,
         seed: Optional[int] = None,
+        buffer_params: Optional[Sequence] = None,
+        tap_errors: Optional[Sequence[Sequence[float]]] = None,
+        rise_times: Optional[Sequence[float]] = None,
     ):
         if n_channels < 2:
             raise CircuitError(f"a bus needs >= 2 channels: {n_channels}")
         if skew_spread < 0:
             raise CircuitError(f"skew_spread must be >= 0: {skew_spread}")
+        for name, per_channel in (
+            ("buffer_params", buffer_params),
+            ("tap_errors", tap_errors),
+            ("rise_times", rise_times),
+        ):
+            if per_channel is not None and len(per_channel) != n_channels:
+                raise CircuitError(
+                    f"{name} has {len(per_channel)} entries for "
+                    f"{n_channels} channels"
+                )
         self.n_channels = int(n_channels)
         self.bit_rate = float(bit_rate)
         master = np.random.SeedSequence(seed)
@@ -66,6 +90,11 @@ class ParallelBus:
                 bit_rate=bit_rate,
                 static_skew=float(skews[i]),
                 seed=int(children[1 + i].generate_state(1)[0]),
+                **(
+                    {}
+                    if rise_times is None
+                    else {"rise_time": float(rise_times[i])}
+                ),
             )
             for i in range(n_channels)
         ]
@@ -76,6 +105,12 @@ class ParallelBus:
                     dac=ControlDAC(seed=i),
                     seed=int(
                         children[1 + n_channels + i].generate_state(1)[0]
+                    ),
+                    buffer_params=(
+                        None if buffer_params is None else buffer_params[i]
+                    ),
+                    tap_errors=(
+                        None if tap_errors is None else tap_errors[i]
                     ),
                 )
                 for i in range(n_channels)

@@ -1,0 +1,77 @@
+"""Declarative sweep / Monte-Carlo campaign engine.
+
+The paper's headline claims are *population* statements — < 5 ps
+channel-to-channel skew, < 5 ps added jitter, >= 120 ps range — that
+must hold across parts, temperatures, and data rates.  A single
+experiment module evaluates one hand-picked parameter point; this
+package evaluates thousands:
+
+:mod:`~repro.campaign.spec`
+    The declarative layer: a :class:`CampaignSpec` describes a base
+    scenario plus sweep axes (explicit lists or ``linspace``, with
+    engineering-notation strings like ``"6.4 Gbps"``) and a number of
+    Monte-Carlo instances per sweep point.
+:mod:`~repro.campaign.variation`
+    The process-variation model: seeded per-instance perturbations of
+    the buffer physics, coarse tap lengths, source rise time, and a
+    temperature drift, each with documented sigmas.
+:mod:`~repro.campaign.cache`
+    A content-addressed result cache (SHA-256 of the canonical point
+    identity plus a code-version salt) so a killed campaign resumes
+    and an edited spec only recomputes the new points.
+:mod:`~repro.campaign.runner`
+    The execution engine: expands a spec into points, schedules them
+    over a process pool with order-independent per-point seeding, and
+    stores results through the cache.
+:mod:`~repro.campaign.report`
+    Yield / tolerance aggregation against the paper's spec lines and a
+    versioned ``repro.campaign-report`` JSON artifact.
+
+Run a campaign from the command line::
+
+    python -m repro.campaign run SPEC.json --jobs 4 \\
+        --cache-dir .campaign-cache --report report.json
+
+or from the library::
+
+    from repro.campaign import CampaignSpec, run_campaign, build_report
+
+    spec = CampaignSpec.load("examples/campaign_specs/range_vs_rate.json")
+    result = run_campaign(spec, jobs=4, cache_dir=".campaign-cache")
+    report = build_report(result)
+"""
+
+from .cache import CACHE_SALT, ResultCache
+from .report import (
+    CAMPAIGN_REPORT_SCHEMA,
+    CAMPAIGN_REPORT_VERSION,
+    SPEC_LINES,
+    build_report,
+    format_report,
+    validate_report,
+    write_report,
+)
+from .runner import CampaignResult, evaluate_point, run_campaign
+from .spec import CampaignPoint, CampaignSpec, SweepAxis, expand_points
+from .variation import InstanceVariation, VariationModel
+
+__all__ = [
+    "CACHE_SALT",
+    "CAMPAIGN_REPORT_SCHEMA",
+    "CAMPAIGN_REPORT_VERSION",
+    "SPEC_LINES",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "InstanceVariation",
+    "ResultCache",
+    "SweepAxis",
+    "VariationModel",
+    "build_report",
+    "evaluate_point",
+    "expand_points",
+    "format_report",
+    "run_campaign",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,358 @@
+"""The campaign execution engine: expand, schedule, cache, collect.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.spec.CampaignSpec`
+into points, satisfies as many as possible from the content-addressed
+cache, and schedules the rest — sequentially or over a
+``ProcessPoolExecutor`` — through the same instrumented point runner
+``python -m repro.experiments --jobs N`` uses
+(:func:`repro.experiments.common.call_instrumented`).  Every point is
+evaluated with a seed derived from its own identity, so results are
+bit-for-bit identical regardless of worker count or completion order,
+and every computed point is written to the cache as soon as it
+finishes — a killed campaign resumes from exactly where it died.
+
+Scenario evaluators
+-------------------
+``range``
+    One combined coarse+fine delay line per instance, its physics
+    drawn from the variation model, calibrated through the full path;
+    metrics are the calibrated total range and (optionally) the added
+    peak-to-peak jitter of a PRBS run at mid delay — the paper's
+    >= 120 ps and < 5 ps claims (Figs. 10, 12, 15).
+``deskew``
+    One parallel bus per instance with per-channel device variation,
+    calibrated and deskewed; metrics are the initial/final bus skew
+    spread, convergence, and the weakest channel's calibrated range —
+    the paper's < 5 ps deskew claim (Sec. 1/6) as a yield number.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import instrument
+from ..ate.bus import ParallelBus
+from ..ate.deskew import DeskewController
+from ..core.calibration import calibration_stimulus
+from ..core.combined import CombinedDelayLine
+from ..core.params import (
+    COARSE_TAP_ERRORS,
+    FOUR_STAGE_BUFFER,
+    SOURCE_RISE_TIME,
+)
+from ..errors import CampaignError
+from ..experiments.common import WARMUP_TIME, call_instrumented, steady_state
+from ..signals.patterns import prbs_sequence
+from ..signals.nrz import synthesize_nrz
+from ..analysis.measurements import peak_to_peak_jitter
+from .cache import ResultCache
+from .spec import CampaignPoint, CampaignSpec, expand_points
+
+__all__ = ["CampaignResult", "evaluate_point", "run_campaign"]
+
+
+# -- scenario evaluators ----------------------------------------------------
+
+#: Per-scenario parameter defaults; a point may only set these keys.
+_RANGE_DEFAULTS: Dict[str, object] = {
+    "bit_rate": 2.4e9,
+    "n_bits": 127,
+    "dt": 1e-12,
+    "n_points": 9,
+    "n_stages": 4,
+    "temperature_c": 25.0,
+    "measure_jitter": True,
+}
+
+_DESKEW_DEFAULTS: Dict[str, object] = {
+    "n_channels": 8,
+    "bit_rate": 6.4e9,
+    "n_bits": 127,
+    "dt": 1e-12,
+    "n_cal_points": 9,
+    "skew_spread": 200e-12,
+    "measurement": "event",
+    "tolerance": 5e-12,
+    "max_iterations": 4,
+    "temperature_c": 25.0,
+}
+
+_INT_PARAMS = frozenset(
+    {
+        "n_bits",
+        "n_points",
+        "n_stages",
+        "n_channels",
+        "n_cal_points",
+        "max_iterations",
+    }
+)
+
+
+def _resolve_params(point: CampaignPoint, defaults: Dict[str, object]) -> dict:
+    """Defaults overlaid with the point's params; unknown keys rejected."""
+    unknown = sorted(set(point.params) - set(defaults))
+    if unknown:
+        raise CampaignError(
+            f"scenario {point.scenario!r} does not take parameters "
+            f"{unknown}; known: {sorted(defaults)}"
+        )
+    params = dict(defaults)
+    params.update(point.params)
+    for name in _INT_PARAMS & set(params):
+        params[name] = int(round(float(params[name])))
+    return params
+
+
+def _evaluate_range(point: CampaignPoint) -> dict:
+    """Calibrated total range (and added jitter) of one device instance."""
+    params = _resolve_params(point, _RANGE_DEFAULTS)
+    children = np.random.SeedSequence(point.seed()).spawn(3)
+    variation = point.variation.draw(
+        children[0], temperature_c=float(params["temperature_c"])
+    )
+    buffer_params = variation.buffer_params(FOUR_STAGE_BUFFER)
+    line = CombinedDelayLine(
+        seed=int(children[1].generate_state(1)[0]),
+        buffer_params=buffer_params,
+        tap_errors=variation.tap_errors(COARSE_TAP_ERRORS),
+        n_stages=params["n_stages"],
+    )
+    stimulus = calibration_stimulus(
+        bit_rate=float(params["bit_rate"]),
+        n_bits=params["n_bits"],
+        dt=float(params["dt"]),
+        rise_time=variation.rise_time(SOURCE_RISE_TIME),
+    )
+    solver = line.calibrate(stimulus=stimulus, n_points=params["n_points"])
+    metrics: Dict[str, object] = {
+        "total_range_s": float(solver.total_range),
+        "fine_range_s": float(solver.fine_table.range),
+        "variation": variation.summary(),
+    }
+    if params["measure_jitter"]:
+        # Added jitter at mid delay, fig12-style: clean PRBS in, total
+        # peak-to-peak jitter out minus the (near-zero) input residue.
+        ui = 1.0 / float(params["bit_rate"])
+        n_bits = max(
+            params["n_bits"], int(np.ceil(2 * WARMUP_TIME / ui)) + 16
+        )
+        pattern = synthesize_nrz(
+            prbs_sequence(7, n_bits),
+            float(params["bit_rate"]),
+            float(params["dt"]),
+            rise_time=variation.rise_time(SOURCE_RISE_TIME),
+        )
+        line.set_delay(0.5 * solver.total_range)
+        rng = np.random.default_rng(children[2])
+        out = line.process(pattern, rng)
+        tj_in = peak_to_peak_jitter(steady_state(pattern), ui)
+        tj_out = peak_to_peak_jitter(steady_state(out), ui)
+        metrics["added_jitter_s"] = float(tj_out - tj_in)
+    return metrics
+
+
+def _evaluate_deskew(point: CampaignPoint) -> dict:
+    """Deskew one bus of varied device instances; report the residual."""
+    params = _resolve_params(point, _DESKEW_DEFAULTS)
+    n_channels = params["n_channels"]
+    if params["measurement"] not in ("waveform", "event"):
+        raise CampaignError(
+            "deskew 'measurement' must be 'waveform' or 'event': "
+            f"{params['measurement']!r}"
+        )
+    children = np.random.SeedSequence(point.seed()).spawn(n_channels + 2)
+    temperature = float(params["temperature_c"])
+    variations = [
+        point.variation.draw(children[2 + i], temperature_c=temperature)
+        for i in range(n_channels)
+    ]
+    bus = ParallelBus(
+        n_channels=n_channels,
+        bit_rate=float(params["bit_rate"]),
+        skew_spread=float(params["skew_spread"]),
+        seed=int(children[0].generate_state(1)[0]),
+        buffer_params=[
+            v.buffer_params(FOUR_STAGE_BUFFER) for v in variations
+        ],
+        tap_errors=[v.tap_errors(COARSE_TAP_ERRORS) for v in variations],
+        rise_times=[v.rise_time(SOURCE_RISE_TIME) for v in variations],
+    )
+    stimulus = calibration_stimulus(
+        n_bits=params["n_bits"], dt=float(params["dt"])
+    )
+    bus.calibrate_delay_lines(
+        stimulus=stimulus, n_points=params["n_cal_points"]
+    )
+    controller = DeskewController(
+        bus,
+        tolerance=float(params["tolerance"]),
+        max_iterations=params["max_iterations"],
+        dt=float(params["dt"]),
+        n_bits=params["n_bits"],
+        measurement=params["measurement"],
+    )
+    report = controller.deskew(np.random.default_rng(children[1]))
+    return {
+        "initial_spread_s": float(report.initial_spread),
+        "final_spread_s": float(report.final_spread),
+        "converged": bool(report.converged),
+        "iterations": int(report.iterations),
+        # The paper's range requirement applied to the weakest channel.
+        "total_range_s": float(
+            min(line.total_range for line in bus.delay_lines)
+        ),
+        "variation": [v.summary() for v in variations],
+    }
+
+
+_EVALUATORS: Dict[str, Callable[[CampaignPoint], dict]] = {
+    "range": _evaluate_range,
+    "deskew": _evaluate_deskew,
+}
+
+
+def evaluate_point(point: CampaignPoint) -> dict:
+    """Evaluate one campaign point; returns a JSON-friendly metrics dict.
+
+    Deterministic: the result is a pure function of the point's
+    identity (its seed derives from it), so any worker, any schedule,
+    and any ``--jobs`` width produce bit-for-bit the same metrics.
+    """
+    evaluator = _EVALUATORS.get(point.scenario)
+    if evaluator is None:
+        raise CampaignError(
+            f"unknown scenario {point.scenario!r}; known: "
+            f"{sorted(_EVALUATORS)}"
+        )
+    instrument.count("campaign.points.evaluated")
+    return evaluator(point)
+
+
+def _evaluate_for_pool(point: CampaignPoint, collect: bool):
+    """Worker-side wrapper: shared instrumented point runner."""
+    metrics, duration, snapshot = call_instrumented(
+        evaluate_point, point, collect=collect, span="campaign.point"
+    )
+    return metrics, duration, snapshot
+
+
+# -- the engine -------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Everything one :func:`run_campaign` call produced.
+
+    ``metrics[i]`` corresponds to ``points[i]`` (campaign expansion
+    order).  ``computed`` / ``cached`` split the points by how they
+    were satisfied; ``cache_stats`` is the cache's tally dict (empty
+    when no cache directory was used).
+    """
+
+    spec: CampaignSpec
+    points: List[CampaignPoint]
+    metrics: List[dict]
+    computed: int
+    cached: int
+    duration_s: float
+    jobs: int
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """Run every point of *spec*, reusing cached results where possible.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    jobs:
+        Worker processes; ``1`` runs in-process.  Results do not
+        depend on this (per-point seeding is schedule-independent).
+    cache_dir:
+        Directory for the content-addressed result cache; ``None``
+        (and no *cache*) disables caching.
+    cache:
+        An existing :class:`~repro.campaign.cache.ResultCache` to use
+        instead of constructing one from *cache_dir*.
+    progress:
+        Optional callback ``(done, total)`` invoked after each point.
+    """
+    if jobs < 1:
+        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    t0 = time.perf_counter()
+    with instrument.span("campaign.run"):
+        points = expand_points(spec)
+        total = len(points)
+        metrics: List[Optional[dict]] = [None] * total
+        pending: List[CampaignPoint] = []
+        with instrument.span("cache_lookup"):
+            for point in points:
+                hit = None if cache is None else cache.get(point)
+                if hit is not None:
+                    metrics[point.index] = hit
+                else:
+                    pending.append(point)
+        cached = total - len(pending)
+        instrument.count("campaign.points.total", total)
+        instrument.count("campaign.points.cached", cached)
+        instrument.count("campaign.points.scheduled", len(pending))
+        done = cached
+        if progress is not None and done:
+            progress(done, total)
+
+        collect = instrument.enabled()
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(_evaluate_for_pool, point, collect): point
+                    for point in pending
+                }
+                # Completion order: each result is cached the moment it
+                # lands, so a kill mid-campaign loses at most the
+                # in-flight points.
+                for future in as_completed(futures):
+                    point = futures[future]
+                    result, _duration, snapshot = future.result()
+                    metrics[point.index] = result
+                    if snapshot is not None:
+                        instrument.get_registry().merge(snapshot)
+                    if cache is not None:
+                        cache.put(point, result)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+        else:
+            for point in pending:
+                with instrument.span("campaign.point"):
+                    result = evaluate_point(point)
+                metrics[point.index] = result
+                if cache is not None:
+                    cache.put(point, result)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+    return CampaignResult(
+        spec=spec,
+        points=points,
+        metrics=[m for m in metrics if m is not None],
+        computed=len(pending),
+        cached=cached,
+        duration_s=time.perf_counter() - t0,
+        jobs=jobs,
+        cache_stats={} if cache is None else cache.stats(),
+    )

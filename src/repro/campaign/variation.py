@@ -1,0 +1,253 @@
+"""Process-variation model: per-instance perturbation of the circuits.
+
+EffiTest (Zhang, Li, Schlichtmann) frames post-silicon tunable-delay
+configuration as a statistical problem over instance-to-instance
+variation; this module supplies the variation the rest of the campaign
+engine samples.  A :class:`VariationModel` holds the population sigmas
+(each justified below from the paper's own measurements); a seeded
+:meth:`VariationModel.draw` produces one :class:`InstanceVariation` —
+an immutable record of multiplicative/additive perturbations that can
+be applied to :class:`~repro.circuits.vga_buffer.BufferParams`, the
+coarse tap errors, and the source rise time.
+
+Where the sigmas come from
+--------------------------
+``slew_rate_sigma`` (fractional, default 6 %)
+    The per-stage fine delay range is ``(A_max - A_min) / slew_rate``;
+    the paper measured 49.5 ps for one 4-stage part (Fig. 12) and
+    ~56 ps for another sweep (Fig. 7) — a ~12 % part-to-part spread in
+    range, consistent with a few-percent sigma on the slew rate and
+    on the amplitude rails combined.
+``amplitude_sigma`` (fractional, default 4 %)
+    Datasheet-style tolerance on the programmed output swing rails
+    (100 / 750 mV nominal).  Shifts both rails together (a gain-trim
+    error), scaling the usable amplitude range and with it the delay
+    range.
+``tap_error_sigma`` (absolute, default 2 ps)
+    The paper's measured coarse taps land at 0 / 33 / 70 / 95 ps where
+    0 / 33 / 66 / 99 ps were designed (Fig. 9) — electrical-length
+    errors of up to ~4 ps magnitude on the two long taps.  A 2 ps
+    per-tap sigma reproduces that scale of manufacturing spread.
+``rise_time_sigma`` (fractional, default 5 %)
+    Pattern-generator edge-rate tolerance around the 30 ps nominal
+    20-80 % rise time (Sec. 2's source description).
+``noise_sigma_sigma`` (fractional, default 10 %)
+    Spread of the input-referred noise that sets each stage's added
+    jitter (the ~7 ps budget of Figs. 12-13 is a typical, not a
+    guaranteed, number).
+``temp_delay_ppm_per_c`` (default 500 ppm/degC)
+    Linear drift of the fixed propagation delay with temperature —
+    ~0.04 ps/degC on an 80 ps stage delay, the scale ECL buffer
+    datasheets quote and the reason the paper's application recalibrates
+    rather than trusting a one-time deskew.
+``temp_slew_ppm_per_c`` (default -1000 ppm/degC)
+    Output stages slew slightly slower when hot; -0.1 %/degC stretches
+    the fine range a little at high temperature and shrinks it cold.
+
+All perturbations are drawn from normal distributions (truncated so
+multiplicative scales stay positive) with a fixed draw order, so one
+seed always yields the same instance regardless of which fields are
+later used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.vga_buffer import BufferParams
+from ..core.params import COARSE_TAP_ERRORS, SOURCE_RISE_TIME
+from ..errors import CampaignError
+
+__all__ = ["VariationModel", "InstanceVariation", "NOMINAL_TEMPERATURE_C"]
+
+#: Reference temperature: drifts are zero here, degrees Celsius.
+NOMINAL_TEMPERATURE_C = 25.0
+
+#: Multiplicative scales are truncated to this band so an extreme draw
+#: cannot produce an unphysical (non-positive or absurd) parameter.
+_SCALE_BOUNDS = (0.5, 1.5)
+
+
+def _truncated_scale(rng: np.random.Generator, sigma: float) -> float:
+    """One multiplicative scale factor ``~ N(1, sigma)``, truncated."""
+    scale = 1.0 + sigma * float(rng.standard_normal())
+    return float(min(max(scale, _SCALE_BOUNDS[0]), _SCALE_BOUNDS[1]))
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Population sigmas for instance-to-instance process variation.
+
+    All sigmas default to the documented values above; set one to zero
+    to freeze that parameter at nominal.  ``n_taps`` sizes the coarse
+    tap-error vector drawn per instance.
+    """
+
+    slew_rate_sigma: float = 0.06
+    amplitude_sigma: float = 0.04
+    tap_error_sigma: float = 2.0e-12
+    rise_time_sigma: float = 0.05
+    noise_sigma_sigma: float = 0.10
+    temp_delay_ppm_per_c: float = 500.0
+    temp_slew_ppm_per_c: float = -1000.0
+    n_taps: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "slew_rate_sigma",
+            "amplitude_sigma",
+            "tap_error_sigma",
+            "rise_time_sigma",
+            "noise_sigma_sigma",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise CampaignError(f"{name} must be a number >= 0: {value!r}")
+        if self.n_taps < 1:
+            raise CampaignError(f"n_taps must be >= 1: {self.n_taps}")
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly representation (part of the cache identity)."""
+        return {
+            "slew_rate_sigma": self.slew_rate_sigma,
+            "amplitude_sigma": self.amplitude_sigma,
+            "tap_error_sigma": self.tap_error_sigma,
+            "rise_time_sigma": self.rise_time_sigma,
+            "noise_sigma_sigma": self.noise_sigma_sigma,
+            "temp_delay_ppm_per_c": self.temp_delay_ppm_per_c,
+            "temp_slew_ppm_per_c": self.temp_slew_ppm_per_c,
+            "n_taps": self.n_taps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VariationModel":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        if not isinstance(data, dict):
+            raise CampaignError(
+                f"variation model must be a dict, got {type(data).__name__}"
+            )
+        known = set(cls().to_dict())
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise CampaignError(
+                f"unknown variation model keys: {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        return cls(**data)
+
+    def draw(
+        self,
+        seed: Union[int, np.random.SeedSequence],
+        temperature_c: float = NOMINAL_TEMPERATURE_C,
+    ) -> "InstanceVariation":
+        """Sample one device instance's deviations from nominal.
+
+        The draw order is fixed (slew, amplitude, taps, rise time,
+        noise), so the same seed yields the same instance for any
+        model with the same sigmas.
+        """
+        rng = np.random.default_rng(seed)
+        slew_scale = _truncated_scale(rng, self.slew_rate_sigma)
+        amplitude_scale = _truncated_scale(rng, self.amplitude_sigma)
+        tap_offsets = tuple(
+            float(x)
+            for x in rng.normal(0.0, self.tap_error_sigma, size=self.n_taps)
+        )
+        rise_time_scale = _truncated_scale(rng, self.rise_time_sigma)
+        noise_scale = _truncated_scale(rng, self.noise_sigma_sigma)
+        return InstanceVariation(
+            slew_rate_scale=slew_scale,
+            amplitude_scale=amplitude_scale,
+            tap_error_offsets=tap_offsets,
+            rise_time_scale=rise_time_scale,
+            noise_sigma_scale=noise_scale,
+            temperature_c=float(temperature_c),
+            temp_delay_ppm_per_c=self.temp_delay_ppm_per_c,
+            temp_slew_ppm_per_c=self.temp_slew_ppm_per_c,
+        )
+
+
+@dataclass(frozen=True)
+class InstanceVariation:
+    """One device instance's deviations from the calibrated nominals.
+
+    Produced by :meth:`VariationModel.draw`; apply with
+    :meth:`buffer_params`, :meth:`tap_errors`, and :meth:`rise_time`.
+    The default instance (all scales 1, offsets 0, 25 degC) is exactly
+    nominal, so code paths can treat "no variation" and "nominal
+    instance" identically.
+    """
+
+    slew_rate_scale: float = 1.0
+    amplitude_scale: float = 1.0
+    tap_error_offsets: Tuple[float, ...] = field(default_factory=tuple)
+    rise_time_scale: float = 1.0
+    noise_sigma_scale: float = 1.0
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+    temp_delay_ppm_per_c: float = 500.0
+    temp_slew_ppm_per_c: float = -1000.0
+
+    def _delta_t(self) -> float:
+        return self.temperature_c - NOMINAL_TEMPERATURE_C
+
+    def buffer_params(self, base: BufferParams) -> BufferParams:
+        """*base* with this instance's perturbations and drift applied.
+
+        Slew rate takes both the process scale and the temperature
+        drift; the amplitude rails scale together (a gain-trim error);
+        the fixed propagation delay drifts with temperature; the noise
+        scales by its own factor.
+        """
+        delta_t = self._delta_t()
+        slew = base.slew_rate * self.slew_rate_scale * (
+            1.0 + self.temp_slew_ppm_per_c * 1e-6 * delta_t
+        )
+        delay = base.propagation_delay * (
+            1.0 + self.temp_delay_ppm_per_c * 1e-6 * delta_t
+        )
+        return base.with_updates(
+            slew_rate=slew,
+            amplitude_min=base.amplitude_min * self.amplitude_scale,
+            amplitude_max=base.amplitude_max * self.amplitude_scale,
+            propagation_delay=delay,
+            noise_sigma=base.noise_sigma * self.noise_sigma_scale,
+        )
+
+    def tap_errors(
+        self, base: Sequence[float] = COARSE_TAP_ERRORS
+    ) -> Tuple[float, ...]:
+        """As-built coarse tap errors: calibration base + this instance.
+
+        Tap 0 is the reference line, so its drawn offset is subtracted
+        from every tap (only relative electrical length matters), which
+        keeps tap 0's error at the base value exactly.
+        """
+        offsets = self.tap_error_offsets
+        if not offsets:
+            return tuple(float(e) for e in base)
+        if len(offsets) != len(base):
+            raise CampaignError(
+                f"variation drew {len(offsets)} tap offsets for "
+                f"{len(base)} taps"
+            )
+        reference = offsets[0]
+        return tuple(
+            float(e) + (o - reference) for e, o in zip(base, offsets)
+        )
+
+    def rise_time(self, base: float = SOURCE_RISE_TIME) -> float:
+        """This instance's source 20-80 % rise time, seconds."""
+        return float(base) * self.rise_time_scale
+
+    def summary(self) -> dict:
+        """Compact JSON-friendly record (stored next to point metrics)."""
+        return {
+            "slew_rate_scale": self.slew_rate_scale,
+            "amplitude_scale": self.amplitude_scale,
+            "rise_time_scale": self.rise_time_scale,
+            "noise_sigma_scale": self.noise_sigma_scale,
+            "temperature_c": self.temperature_c,
+        }

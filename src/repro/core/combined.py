@@ -46,6 +46,17 @@ class CombinedDelayLine(CircuitElement):
         Optional Vctrl DAC used when solving delay targets.
     seed:
         Master seed used for default-constructed sections.
+    buffer_params:
+        Physics for the default-constructed fine section's stages (the
+        process-variation hook used by :mod:`repro.campaign`).  Only
+        legal when *fine* is omitted.
+    tap_errors:
+        Per-tap electrical-length errors for the default-constructed
+        coarse section (the other variation hook).  Only legal when
+        *coarse* is omitted.
+    n_stages:
+        Stage count for the default-constructed fine section.  Only
+        legal when *fine* is omitted.
     """
 
     def __init__(
@@ -54,8 +65,23 @@ class CombinedDelayLine(CircuitElement):
         fine: Optional[FineDelayLine] = None,
         dac: Optional[ControlDAC] = None,
         seed: Optional[int] = None,
+        buffer_params: Optional[BufferParams] = None,
+        tap_errors: Optional[Sequence[float]] = None,
+        n_stages: Optional[int] = None,
     ):
         super().__init__(seed)
+        if coarse is not None and tap_errors is not None:
+            raise CircuitError(
+                "pass tap_errors to the CoarseDelayLine being supplied, "
+                "not alongside it"
+            )
+        if fine is not None and (
+            buffer_params is not None or n_stages is not None
+        ):
+            raise CircuitError(
+                "pass buffer_params/n_stages to the FineDelayLine being "
+                "supplied, not alongside it"
+            )
         if seed is None:
             coarse_seed = fine_seed = None
         else:
@@ -63,9 +89,16 @@ class CombinedDelayLine(CircuitElement):
             coarse_seed = int(children[0].generate_state(1)[0])
             fine_seed = int(children[1].generate_state(1)[0])
         self.coarse = coarse if coarse is not None else CoarseDelayLine(
-            seed=coarse_seed
+            seed=coarse_seed, tap_errors=tap_errors
         )
-        self.fine = fine if fine is not None else FineDelayLine(seed=fine_seed)
+        if fine is None:
+            fine_kwargs = {}
+            if buffer_params is not None:
+                fine_kwargs["params"] = buffer_params
+            if n_stages is not None:
+                fine_kwargs["n_stages"] = n_stages
+            fine = FineDelayLine(seed=fine_seed, **fine_kwargs)
+        self.fine = fine
         self.dac = dac
         self._solver: Optional[CombinedDelaySolver] = None
 

@@ -17,6 +17,7 @@ __all__ = [
     "ControlRangeError",
     "KernelError",
     "InstrumentError",
+    "CampaignError",
     "CalibrationError",
     "DelayRangeError",
     "MeasurementError",
@@ -59,6 +60,10 @@ class KernelError(ReproError):
 
 class InstrumentError(ReproError, ValueError):
     """An observability artifact (e.g. a run manifest) is malformed."""
+
+
+class CampaignError(ReproError, ValueError):
+    """A campaign spec, cache entry, or report is invalid."""
 
 
 class CalibrationError(CircuitError):

@@ -24,6 +24,7 @@ Options
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -31,29 +32,33 @@ from concurrent.futures import ProcessPoolExecutor
 from .. import instrument
 from ..kernels import active_backend
 from . import RUNNERS
+from .common import call_instrumented
 
 
 def _run_by_name(name: str, fast: bool, collect: bool = False):
     """Execute one registered runner (top-level, so workers can pickle
     the call by name instead of shipping the runner itself).
 
-    Returns ``(result, duration_s, snapshot)``.  *collect* turns the
-    worker's own registry on and snapshots exactly this experiment's
-    metrics (the registry is reset first, so a pool worker reused for
-    several experiments ships each one separately and the parent's
-    merge stays a plain sum).
+    Returns ``(result, duration_s, snapshot)`` via the shared
+    :func:`~repro.experiments.common.call_instrumented` point runner.
     """
-    snapshot = None
-    if collect:
-        instrument.get_registry().reset()
-        instrument.enable()
-    t0 = time.perf_counter()
-    with instrument.span(f"experiment.{name}"):
-        result = RUNNERS[name](fast=fast)
-    duration = time.perf_counter() - t0
-    if collect:
-        snapshot = instrument.get_registry().snapshot()
-    return result, duration, snapshot
+    runner = RUNNERS.get(name)
+    if runner is None:
+        raise SystemExit(_unknown_experiment_message([name]))
+    return call_instrumented(
+        runner, fast=fast, collect=collect, span=f"experiment.{name}"
+    )
+
+
+def _unknown_experiment_message(unknown) -> str:
+    """A fail-fast message naming every valid experiment id."""
+    lines = []
+    for name in unknown:
+        close = difflib.get_close_matches(name, RUNNERS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        lines.append(f"unknown experiment id {name!r}{hint}")
+    lines.append("valid ids: " + ", ".join(sorted(RUNNERS)))
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -97,12 +102,14 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.only:
-        wanted = [name.strip() for name in args.only.split(",")]
+        wanted = [
+            name.strip() for name in args.only.split(",") if name.strip()
+        ]
+        if not wanted:
+            parser.error("--only got no experiment ids")
         unknown = [name for name in wanted if name not in RUNNERS]
         if unknown:
-            parser.error(
-                f"unknown experiments: {unknown}; known: {sorted(RUNNERS)}"
-            )
+            parser.error(_unknown_experiment_message(unknown))
         selected = {name: RUNNERS[name] for name in wanted}
     else:
         selected = RUNNERS

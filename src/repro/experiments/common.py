@@ -13,9 +13,11 @@ drops.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import instrument
 from ..errors import MeasurementError
 from ..signals.waveform import Waveform
 
@@ -25,6 +27,7 @@ __all__ = [
     "ExperimentResult",
     "steady_state",
     "format_ps",
+    "call_instrumented",
 ]
 
 #: Default simulation sample interval for experiments, seconds.
@@ -53,6 +56,45 @@ def steady_state(waveform: Waveform, warmup: float = WARMUP_TIME) -> Waveform:
 def format_ps(seconds: float, digits: int = 1) -> str:
     """Render a time in picoseconds for result tables."""
     return f"{seconds * 1e12:.{digits}f} ps"
+
+
+def call_instrumented(
+    fn: Callable,
+    *args,
+    collect: bool = False,
+    span: Optional[str] = None,
+    **kwargs,
+) -> Tuple[object, float, Optional[dict]]:
+    """Run one unit of work, optionally capturing its own metrics.
+
+    The shared point-runner both ``python -m repro.experiments`` and
+    :mod:`repro.campaign` schedule through their worker pools: it is
+    top-level picklable call material (workers receive ``fn`` by
+    module attribute plus plain arguments), and it implements the
+    snapshot-per-call discipline the cross-process metric aggregation
+    relies on.
+
+    Returns ``(result, duration_s, snapshot)``.  With *collect*, the
+    process-local :mod:`repro.instrument` registry is reset and
+    enabled before the call and snapshotted after, so a pool worker
+    reused for several units ships each unit's metrics separately and
+    the parent's :meth:`~repro.instrument.registry.Registry.merge`
+    stays a plain sum.  *span* wraps the call in a stage timer.
+    """
+    snapshot = None
+    if collect:
+        instrument.get_registry().reset()
+        instrument.enable()
+    t0 = time.perf_counter()
+    if span is not None:
+        with instrument.span(span):
+            result = fn(*args, **kwargs)
+    else:
+        result = fn(*args, **kwargs)
+    duration = time.perf_counter() - t0
+    if collect:
+        snapshot = instrument.get_registry().snapshot()
+    return result, duration, snapshot
 
 
 @dataclass

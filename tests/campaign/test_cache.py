@@ -1,0 +1,113 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro import instrument
+from repro.campaign import CampaignSpec, ResultCache, expand_points
+from repro.campaign.cache import CACHE_SALT
+from repro.errors import CampaignError
+
+
+@pytest.fixture
+def point():
+    spec = CampaignSpec.from_dict(
+        {"name": "c", "scenario": "range", "base": {"n_bits": 48}}
+    )
+    return expand_points(spec)[0]
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        key = cache.put(point, {"total_range_s": 1.4e-10})
+        assert cache.get(point) == {"total_range_s": 1.4e-10}
+        assert len(key) == 64
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        assert cache.get(point) is None
+
+    def test_key_is_stable_across_instances(self, tmp_path, point):
+        assert ResultCache(tmp_path).key(point) == ResultCache(
+            tmp_path
+        ).key(point)
+
+    def test_entry_is_self_describing(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        key = cache.put(point, {"x": 1})
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        assert entry["identity"] == point.identity()
+        assert entry["salt"] == CACHE_SALT
+
+    def test_rejects_non_dict_metrics(self, tmp_path, point):
+        with pytest.raises(CampaignError):
+            ResultCache(tmp_path).put(point, [1, 2])
+
+
+class TestEviction:
+    def test_corrupt_entry_is_evicted_and_recomputable(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        key = cache.put(point, {"x": 1})
+        (tmp_path / f"{key}.json").write_text("{truncated")
+        assert cache.get(point) is None
+        assert not (tmp_path / f"{key}.json").exists()
+        assert cache.stats()["evictions"] == 1
+
+    def test_salt_bump_invalidates(self, tmp_path, point):
+        old = ResultCache(tmp_path, salt="repro.campaign/0")
+        old.put(point, {"x": 1})
+        new = ResultCache(tmp_path, salt="repro.campaign/1")
+        # Different salt, different address: a clean miss.
+        assert new.get(point) is None
+        assert new.key(point) != old.key(point)
+
+    def test_prune_removes_stale_salt_entries(self, tmp_path, point):
+        old = ResultCache(tmp_path, salt="repro.campaign/0")
+        old.put(point, {"x": 1})
+        new = ResultCache(tmp_path, salt="repro.campaign/1")
+        new.put(point, {"x": 2})
+        assert len(new) == 2
+        assert new.prune() == 1
+        assert len(new) == 1
+        assert new.get(point) == {"x": 2}
+
+
+class TestStats:
+    def test_tallies(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.get(point)
+        cache.put(point, {"x": 1})
+        cache.get(point)
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+            "evictions": 0,
+        }
+
+    def test_instrument_counters(self, tmp_path, point):
+        instrument.get_registry().reset()
+        instrument.enable()
+        try:
+            cache = ResultCache(tmp_path)
+            cache.get(point)
+            cache.put(point, {"x": 1})
+            cache.get(point)
+            counters = instrument.get_registry().snapshot()["counters"]
+        finally:
+            instrument.disable()
+        assert counters["campaign.cache.misses"] == 1
+        assert counters["campaign.cache.writes"] == 1
+        assert counters["campaign.cache.hits"] == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.put(point, {"x": 1})
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+        ]
+        assert leftovers == []

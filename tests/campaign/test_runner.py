@@ -1,0 +1,192 @@
+"""Tests for the campaign execution engine.
+
+Compute budgets matter here: every spec uses short records (48-bit
+PRBS, 5 calibration points) so a point costs ~0.25 s and the whole
+module stays test-tier fast.
+"""
+
+import pytest
+
+from repro import instrument
+from repro.campaign import (
+    CampaignSpec,
+    ResultCache,
+    evaluate_point,
+    expand_points,
+    run_campaign,
+)
+from repro.campaign.spec import canonical_json
+from repro.errors import CampaignError
+
+TINY = {
+    "name": "runner-tiny",
+    "scenario": "range",
+    "seed": 21,
+    "n_instances": 2,
+    "base": {"n_bits": 48, "n_points": 5, "measure_jitter": False},
+    "sweeps": [{"name": "bit_rate", "values": ["2.4 Gbps", "4.8 Gbps"]}],
+}
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    data = dict(TINY)
+    data.update(overrides)
+    return CampaignSpec.from_dict(data)
+
+
+@pytest.fixture(scope="module")
+def cold_result():
+    """One shared cold run of the tiny spec (deterministic)."""
+    return run_campaign(tiny_spec(), jobs=1)
+
+
+class TestEvaluatePoint:
+    def test_range_metrics(self, cold_result):
+        metrics = cold_result.metrics[0]
+        assert metrics["total_range_s"] > 100e-12
+        assert metrics["fine_range_s"] > 0
+        assert "variation" in metrics
+
+    def test_deterministic(self):
+        point = expand_points(tiny_spec())[0]
+        assert canonical_json(evaluate_point(point)) == canonical_json(
+            evaluate_point(point)
+        )
+
+    def test_unknown_scenario_rejected(self):
+        point = expand_points(tiny_spec())[0]
+        bad = type(point)(
+            scenario="warp",
+            params=point.params,
+            instance=0,
+            spec_seed=0,
+            variation=point.variation,
+            index=0,
+        )
+        with pytest.raises(CampaignError, match="unknown scenario"):
+            evaluate_point(bad)
+
+    def test_unknown_parameter_rejected(self):
+        spec = tiny_spec(base={"n_bits": 48, "warp_factor": 9}, sweeps=[])
+        with pytest.raises(CampaignError, match="warp_factor"):
+            evaluate_point(expand_points(spec)[0])
+
+    def test_deskew_metrics(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "dsk",
+                "scenario": "deskew",
+                "seed": 5,
+                "base": {
+                    "n_channels": 2,
+                    "n_bits": 48,
+                    "n_cal_points": 5,
+                    "measurement": "event",
+                },
+            }
+        )
+        metrics = evaluate_point(expand_points(spec)[0])
+        assert metrics["final_spread_s"] < metrics["initial_spread_s"]
+        assert metrics["converged"] is True
+        assert metrics["total_range_s"] > 100e-12
+        assert len(metrics["variation"]) == 2
+
+    def test_deskew_rejects_bad_measurement(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "dsk",
+                "scenario": "deskew",
+                "base": {"measurement": "oscilloscope"},
+            }
+        )
+        with pytest.raises(CampaignError, match="measurement"):
+            evaluate_point(expand_points(spec)[0])
+
+
+class TestRunCampaign:
+    def test_jobs_do_not_change_results(self, cold_result):
+        parallel = run_campaign(tiny_spec(), jobs=2)
+        assert canonical_json(parallel.metrics) == canonical_json(
+            cold_result.metrics
+        )
+
+    def test_metrics_align_with_points(self, cold_result):
+        assert len(cold_result.metrics) == len(cold_result.points) == 4
+        assert cold_result.computed == 4
+        assert cold_result.cached == 0
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(CampaignError):
+            run_campaign(tiny_spec(), jobs=0)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        run_campaign(
+            tiny_spec(n_instances=1),
+            jobs=1,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (2, 2)
+
+
+class TestCaching:
+    def test_warm_rerun_is_all_hits(self, tmp_path, cold_result):
+        cache_dir = tmp_path / "cache"
+        first = run_campaign(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        second = run_campaign(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        assert first.computed == 4 and first.cached == 0
+        assert second.computed == 0 and second.cached == 4
+        assert second.cache_stats["hits"] == 4
+        assert second.cache_stats["misses"] == 0
+        assert canonical_json(second.metrics) == canonical_json(
+            cold_result.metrics
+        )
+
+    def test_killed_campaign_resumes_missing_points_only(self, tmp_path):
+        """Half-run the campaign, then restart: the acceptance test."""
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path / "cache")
+        points = expand_points(spec)
+        # Simulate a campaign killed halfway: two of four points landed.
+        for point in points[:2]:
+            cache.put(point, evaluate_point(point))
+
+        instrument.get_registry().reset()
+        instrument.enable()
+        try:
+            resumed = run_campaign(spec, jobs=1, cache=cache)
+            counters = instrument.get_registry().snapshot()["counters"]
+        finally:
+            instrument.disable()
+        assert counters["campaign.points.total"] == 4
+        assert counters["campaign.points.cached"] == 2
+        assert counters["campaign.points.evaluated"] == 2
+        assert counters["campaign.cache.hits"] == 2
+        assert counters["campaign.cache.misses"] == 2
+        # And the resumed result matches a single cold run bit for bit.
+        cold = run_campaign(spec, jobs=1)
+        assert canonical_json(resumed.metrics) == canonical_json(
+            cold.metrics
+        )
+
+    def test_extending_a_sweep_recomputes_only_new_points(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_campaign(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        extended = tiny_spec(
+            sweeps=[
+                {
+                    "name": "bit_rate",
+                    "values": ["2.4 Gbps", "4.8 Gbps", "3.2 Gbps"],
+                }
+            ]
+        )
+        result = run_campaign(extended, jobs=1, cache_dir=cache_dir)
+        assert result.cached == 4
+        assert result.computed == 2
+
+    def test_parallel_run_fills_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = run_campaign(tiny_spec(), jobs=2, cache_dir=cache_dir)
+        second = run_campaign(tiny_spec(), jobs=2, cache_dir=cache_dir)
+        assert first.computed == 4
+        assert second.computed == 0

@@ -1,0 +1,134 @@
+"""Tests for the process-variation model."""
+
+import pytest
+
+from repro.campaign.variation import (
+    NOMINAL_TEMPERATURE_C,
+    InstanceVariation,
+    VariationModel,
+)
+from repro.core.params import (
+    COARSE_TAP_ERRORS,
+    FOUR_STAGE_BUFFER,
+    SOURCE_RISE_TIME,
+)
+from repro.errors import CampaignError
+
+
+class TestDraw:
+    def test_same_seed_same_instance(self):
+        model = VariationModel()
+        assert model.draw(42) == model.draw(42)
+
+    def test_different_seeds_differ(self):
+        model = VariationModel()
+        assert model.draw(1) != model.draw(2)
+
+    def test_zero_sigma_freezes_at_nominal(self):
+        model = VariationModel(
+            slew_rate_sigma=0.0,
+            amplitude_sigma=0.0,
+            tap_error_sigma=0.0,
+            rise_time_sigma=0.0,
+            noise_sigma_sigma=0.0,
+        )
+        var = model.draw(7)
+        assert var.slew_rate_scale == 1.0
+        assert var.amplitude_scale == 1.0
+        assert var.rise_time_scale == 1.0
+        assert var.noise_sigma_scale == 1.0
+        assert var.tap_error_offsets == (0.0,) * 4
+
+    def test_scales_are_truncated(self):
+        model = VariationModel(slew_rate_sigma=10.0)
+        scales = [model.draw(seed).slew_rate_scale for seed in range(50)]
+        assert all(0.5 <= s <= 1.5 for s in scales)
+
+    def test_spread_tracks_sigma(self):
+        tight = VariationModel(slew_rate_sigma=0.01)
+        loose = VariationModel(slew_rate_sigma=0.10)
+        tight_scales = [tight.draw(s).slew_rate_scale for s in range(100)]
+        loose_scales = [loose.draw(s).slew_rate_scale for s in range(100)]
+        assert max(tight_scales) - min(tight_scales) < max(
+            loose_scales
+        ) - min(loose_scales)
+
+
+class TestApplication:
+    def test_nominal_instance_is_identity(self):
+        var = InstanceVariation()
+        assert var.buffer_params(FOUR_STAGE_BUFFER) == FOUR_STAGE_BUFFER
+        assert var.tap_errors() == COARSE_TAP_ERRORS
+        assert var.rise_time() == SOURCE_RISE_TIME
+
+    def test_buffer_scales_apply(self):
+        var = InstanceVariation(
+            slew_rate_scale=1.1, amplitude_scale=0.9, noise_sigma_scale=2.0
+        )
+        perturbed = var.buffer_params(FOUR_STAGE_BUFFER)
+        assert perturbed.slew_rate == pytest.approx(
+            FOUR_STAGE_BUFFER.slew_rate * 1.1
+        )
+        assert perturbed.amplitude_min == pytest.approx(
+            FOUR_STAGE_BUFFER.amplitude_min * 0.9
+        )
+        assert perturbed.amplitude_max == pytest.approx(
+            FOUR_STAGE_BUFFER.amplitude_max * 0.9
+        )
+        assert perturbed.noise_sigma == pytest.approx(
+            FOUR_STAGE_BUFFER.noise_sigma * 2.0
+        )
+
+    def test_temperature_drift_signs(self):
+        hot = InstanceVariation(temperature_c=NOMINAL_TEMPERATURE_C + 50)
+        params = hot.buffer_params(FOUR_STAGE_BUFFER)
+        # Positive delay drift, negative slew drift (defaults).
+        assert params.propagation_delay > FOUR_STAGE_BUFFER.propagation_delay
+        assert params.slew_rate < FOUR_STAGE_BUFFER.slew_rate
+
+    def test_nominal_temperature_means_no_drift(self):
+        var = InstanceVariation(temperature_c=NOMINAL_TEMPERATURE_C)
+        assert var.buffer_params(FOUR_STAGE_BUFFER) == FOUR_STAGE_BUFFER
+
+    def test_tap_errors_are_relative_to_tap0(self):
+        var = InstanceVariation(
+            tap_error_offsets=(1e-12, 2e-12, 3e-12, 4e-12)
+        )
+        errors = var.tap_errors(COARSE_TAP_ERRORS)
+        # Tap 0 keeps its base value exactly; others shift relatively.
+        assert errors[0] == COARSE_TAP_ERRORS[0]
+        assert errors[1] == pytest.approx(COARSE_TAP_ERRORS[1] + 1e-12)
+
+    def test_tap_count_mismatch_raises(self):
+        var = InstanceVariation(tap_error_offsets=(1e-12, 2e-12))
+        with pytest.raises(CampaignError, match="tap offsets"):
+            var.tap_errors(COARSE_TAP_ERRORS)
+
+    def test_rise_time_scales(self):
+        var = InstanceVariation(rise_time_scale=1.2)
+        assert var.rise_time(30e-12) == pytest.approx(36e-12)
+
+
+class TestModelValidation:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(CampaignError):
+            VariationModel(slew_rate_sigma=-0.1)
+
+    def test_round_trip(self):
+        model = VariationModel(tap_error_sigma=3e-12, n_taps=6)
+        assert VariationModel.from_dict(model.to_dict()) == model
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(CampaignError, match="unknown variation"):
+            VariationModel.from_dict({"voltage_sigma": 0.1})
+
+    def test_summary_is_json_friendly(self):
+        summary = VariationModel().draw(3).summary()
+        assert set(summary) == {
+            "slew_rate_scale",
+            "amplitude_scale",
+            "rise_time_scale",
+            "noise_sigma_scale",
+            "temperature_c",
+        }
+        assert all(isinstance(v, float) for v in summary.values())

@@ -30,6 +30,29 @@ class TestCli:
             main(["--only", "fig99"])
         assert excinfo.value.code == 2  # argparse usage error
 
+    def test_unknown_experiment_message_lists_valid_ids(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])
+        captured = capsys.readouterr()
+        assert "unknown experiment id 'fig99'" in captured.err
+        assert "valid ids:" in captured.err
+        # Every registered experiment is named, so the user can pick one.
+        from repro.experiments import RUNNERS
+
+        for name in RUNNERS:
+            assert name in captured.err
+
+    def test_typo_gets_did_you_mean_hint(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig9"])
+        captured = capsys.readouterr()
+        assert "did you mean" in captured.err
+
+    def test_empty_only_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only", ","])
+        assert excinfo.value.code == 2
+
     def test_help_exits_cleanly(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])

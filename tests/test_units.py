@@ -107,6 +107,88 @@ class TestFormatting:
         assert units.format_time(value) == "95.0 ps"
 
 
+class TestParseFormatRoundTrips:
+    """format_* output must parse back to the same SI value."""
+
+    @pytest.mark.parametrize(
+        "value", [33e-12, 1.5e-9, 2.87e-13, -33e-12, 95e-12]
+    )
+    def test_time_round_trip(self, value):
+        text = units.format_time(value, digits=3)
+        assert units.parse_quantity(text, expect="time") == pytest.approx(
+            value
+        )
+
+    @pytest.mark.parametrize("value", [0.75, 1.5, 100e-3, 7e-6])
+    def test_voltage_round_trip(self, value):
+        text = units.format_voltage(value, digits=3)
+        assert units.parse_quantity(text, expect="voltage") == pytest.approx(
+            value
+        )
+
+    @pytest.mark.parametrize("value", [6.4e9, 2.4e9, 100e6])
+    def test_rate_round_trip(self, value):
+        text = units.format_rate(value)
+        assert units.parse_quantity(text, expect="rate") == pytest.approx(
+            value
+        )
+
+    @pytest.mark.parametrize("value", [6.4e9, 2.6e9, 50e6])
+    def test_frequency_round_trip(self, value):
+        text = units.format_frequency(value)
+        assert units.parse_quantity(
+            text, expect="frequency"
+        ) == pytest.approx(value)
+
+
+class TestParseWhitespaceAndCase:
+    @pytest.mark.parametrize(
+        "text", ["33 ps", "33ps", "  33 ps  ", "33\tps", " 33ps"]
+    )
+    def test_whitespace_variants_parse(self, text):
+        assert units.parse_quantity(text) == pytest.approx(33e-12)
+
+    def test_units_are_case_sensitive(self):
+        # SI case matters: "mV" is millivolts, "MV" is megavolts.
+        assert units.parse_quantity("1 mV") == pytest.approx(1e-3)
+        assert units.parse_quantity("1 MV") == pytest.approx(1e6)
+
+    @pytest.mark.parametrize("bad", ["33 PS", "33 pS", "6.4 GBPS", "1 v"])
+    def test_wrong_case_units_are_rejected(self, bad):
+        with pytest.raises(UnitError):
+            units.parse_quantity(bad)
+
+    def test_k_prefix_accepts_both_cases(self):
+        assert units.parse_quantity("1 kHz") == units.parse_quantity("1 KHz")
+
+
+class TestParseErrorPaths:
+    @pytest.mark.parametrize(
+        "bad",
+        ["33 ps extra", "ps 33", "1/0 ps", "33 p s", "1e ps", "++3 ps"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(UnitError):
+            units.parse_quantity(bad)
+
+    def test_error_message_names_the_input(self):
+        with pytest.raises(UnitError, match="33 parsecs"):
+            units.parse_quantity("33 parsecs")
+
+    @pytest.mark.parametrize(
+        "text,wrong",
+        [
+            ("6.4 Gbps", "frequency"),
+            ("6.4 GHz", "rate"),
+            ("750 mV", "time"),
+            ("33 ps", "resistance"),
+        ],
+    )
+    def test_dimension_mismatch_names_both(self, text, wrong):
+        with pytest.raises(UnitError, match=wrong):
+            units.parse_quantity(text, expect=wrong)
+
+
 class TestUiConversions:
     def test_ui_from_rate(self):
         assert units.ui_from_rate(6.4e9) == pytest.approx(156.25e-12)
