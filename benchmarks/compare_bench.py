@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Diff two ``--bench-json`` artifacts and fail on wall-clock regressions.
+
+CI runs the benchmark suite with ``--bench-json`` every build and
+archives the result.  This script compares the fresh artifact against
+the previous build's and exits non-zero when any benchmark shared by
+both files slowed down by more than the threshold (default 25 %)::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--threshold 0.25] [--min-seconds 0.05]
+
+Design choices, all aimed at zero false alarms on shared CI boxes:
+
+* Only node ids present in **both** files are compared — new, renamed
+  and deleted benchmarks never trip the gate.
+* Benchmarks faster than ``--min-seconds`` on the baseline are skipped:
+  a 20 ms test timed on a busy runner can double without meaning
+  anything.
+* Only tests that **passed** in both runs are compared.
+* A missing or unreadable baseline (first build, expired artifact,
+  schema change) is a clean exit 0 with a notice — the gate can never
+  wedge the pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_tests(path: str):
+    """Return the ``tests`` mapping of a bench-json file, or ``None``."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"compare_bench: cannot read {path!r}: {error}")
+        return None
+    tests = payload.get("tests")
+    if not isinstance(tests, dict):
+        print(f"compare_bench: {path!r} has no 'tests' mapping")
+        return None
+    return tests
+
+
+def compare(baseline, current, threshold: float, min_seconds: float):
+    """Return (regressions, improvements, compared) comparing durations."""
+    regressions = []
+    improvements = []
+    compared = 0
+    for nodeid in sorted(set(baseline) & set(current)):
+        before = baseline[nodeid]
+        after = current[nodeid]
+        if before.get("outcome") != "passed" or after.get("outcome") != "passed":
+            continue
+        t_before = float(before.get("duration_s", 0.0))
+        t_after = float(after.get("duration_s", 0.0))
+        if t_before < min_seconds:
+            continue
+        compared += 1
+        ratio = t_after / t_before if t_before > 0 else float("inf")
+        entry = (nodeid, t_before, t_after, ratio)
+        if ratio > 1.0 + threshold:
+            regressions.append(entry)
+        elif ratio < 1.0 - threshold:
+            improvements.append(entry)
+    return regressions, improvements, compared
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when shared benchmarks regress vs a baseline"
+    )
+    parser.add_argument("baseline", help="previous build's bench JSON")
+    parser.add_argument("current", help="this build's bench JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="skip baselines faster than this (timer noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_tests(args.baseline)
+    if baseline is None:
+        print("compare_bench: no usable baseline; skipping the gate")
+        return 0
+    current = load_tests(args.current)
+    if current is None:
+        print("compare_bench: current artifact unreadable; failing")
+        return 2
+
+    regressions, improvements, compared = compare(
+        baseline, current, args.threshold, args.min_seconds
+    )
+    print(
+        f"compare_bench: {compared} shared benchmarks compared "
+        f"(threshold {args.threshold:.0%}, floor {args.min_seconds}s)"
+    )
+    for nodeid, before, after, ratio in improvements:
+        print(f"  faster  {ratio:5.2f}x  {before:7.3f}s -> {after:7.3f}s  {nodeid}")
+    for nodeid, before, after, ratio in regressions:
+        print(f"  SLOWER  {ratio:5.2f}x  {before:7.3f}s -> {after:7.3f}s  {nodeid}")
+    if regressions:
+        print(
+            f"compare_bench: {len(regressions)} benchmark(s) regressed "
+            f"more than {args.threshold:.0%}"
+        )
+        return 1
+    print("compare_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

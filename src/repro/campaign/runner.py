@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from .. import instrument
+from .. import instrument, parallel
 from ..ate.bus import ParallelBus
 from ..ate.deskew import DeskewController
 from ..core.calibration import calibration_stimulus
@@ -231,15 +231,26 @@ def evaluate_point(point: CampaignPoint) -> dict:
             f"{sorted(_EVALUATORS)}"
         )
     instrument.count("campaign.points.evaluated")
-    return evaluator(point)
+    # The scenario span splits a point's wall-clock out by evaluator
+    # ("campaign.point/range", "campaign.point/deskew", ...), so a
+    # --metrics-json manifest attributes time to evaluation, distinct
+    # from the runner's cache_lookup and ipc.decode spans.
+    with instrument.span(point.scenario):
+        return evaluator(point)
 
 
 def _evaluate_for_pool(point: CampaignPoint, collect: bool):
-    """Worker-side wrapper: shared instrumented point runner."""
+    """Worker-side wrapper: shared instrumented point runner.
+
+    The result crosses the process boundary shm-encoded: metrics dicts
+    are scalars (tokens change nothing), but any payload that carries
+    waveforms or large arrays moves its samples through shared memory
+    instead of the result pickle.
+    """
     metrics, duration, snapshot = call_instrumented(
         evaluate_point, point, collect=collect, span="campaign.point"
     )
-    return metrics, duration, snapshot
+    return parallel.encode_payload((metrics, duration, snapshot))
 
 
 # -- the engine -------------------------------------------------------------
@@ -327,7 +338,10 @@ def run_campaign(
                 # in-flight points.
                 for future in as_completed(futures):
                     point = futures[future]
-                    result, _duration, snapshot = future.result()
+                    with instrument.span("ipc.decode"):
+                        result, _duration, snapshot = parallel.decode_payload(
+                            future.result()
+                        )
                     metrics[point.index] = result
                     if snapshot is not None:
                         instrument.get_registry().merge(snapshot)

@@ -45,6 +45,7 @@ from ..kernels import (
 )
 from ..kernels import slew_limit as _kernel_slew_limit
 from ..kernels import slew_limit_batch as _kernel_slew_limit_batch
+from ..kernels.cascade import typical_crossing_interval
 from ..signals.filters import (
     bandwidth_to_time_constant,
     bilinear_lowpass_coefficients,
@@ -287,29 +288,10 @@ def compressive_slew_limit(
     )
 
 
-def _typical_crossing_interval(v_in: np.ndarray, dt: float) -> float:
-    """Median interval between zero crossings of *v_in*, seconds.
-
-    Used to initialise the compression state at the start of a record
-    (the record models a snapshot of a signal that has been running at
-    its own rate forever).  Returns a long interval (no compression)
-    when the record has fewer than two crossings.
-    """
-    sign = v_in > 0.0
-    changes = np.flatnonzero(sign[1:] != sign[:-1])
-    if changes.size < 2:
-        return 1.0
-    # Median via direct partition: same value as np.median (middle
-    # element, or the mean of the two middle elements), without the
-    # dispatch overhead — this runs once per lane per stage.
-    intervals = np.diff(changes)
-    half = intervals.size // 2
-    if intervals.size % 2:
-        median = float(np.partition(intervals, half)[half])
-    else:
-        middle = np.partition(intervals, (half - 1, half))
-        median = (float(middle[half - 1]) + float(middle[half])) / 2.0
-    return median * dt
+# The crossing-interval seed moved to repro.kernels.cascade so the fused
+# cascade kernels can use it without importing the circuit layer; the
+# alias keeps this module's callers and call sites unchanged.
+_typical_crossing_interval = typical_crossing_interval
 
 
 def band_limited_noise(

@@ -10,15 +10,27 @@ setability through a DAC on Vctrl.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import instrument
+from .. import instrument, kernels
 from ..circuits.buffers import OutputBuffer
 from ..circuits.element import CircuitElement
-from ..circuits.vga_buffer import BufferParams, ControlInput, VariableGainBuffer
+from ..circuits.vga_buffer import (
+    BufferParams,
+    ControlInput,
+    VariableGainBuffer,
+    band_limited_noise,
+    band_limited_noise_batch,
+)
 from ..errors import CircuitError
+from ..kernels.cascade import CascadeStage, fusion_enabled
+from ..signals.filters import (
+    bandwidth_to_time_constant,
+    bilinear_lowpass_coefficients,
+    lowpass_zi_unit,
+)
 from ..signals.waveform import Waveform, WaveformBatch
 from .params import DEFAULT_FINE_STAGES, FOUR_STAGE_BUFFER
 
@@ -120,10 +132,147 @@ class FineDelayLine(CircuitElement):
 
     # -- behaviour ---------------------------------------------------------
 
+    def _elements(self) -> List[CircuitElement]:
+        """All cascade elements in signal order (stages + output stage)."""
+        return list(self._stages) + [self._output_stage]
+
+    def _cascade_plan(
+        self, waveform: Waveform, rng: Optional[np.random.Generator]
+    ) -> Tuple[List[CascadeStage], float]:
+        """Resolve the whole cascade into a fused-kernel stage plan.
+
+        Everything the per-stage path resolves *between* kernel calls —
+        control-voltage-to-amplitude mapping on each stage's (delayed)
+        time grid, per-stage noise records drawn in stage order from the
+        same generators, discretised filter state — is resolved here up
+        front, so the fused kernel consumes identical inputs and the
+        generators end in identical states.  Returns the plan and the
+        output ``t0`` (input ``t0`` plus the accumulated propagation
+        delays, summed in the same order as the per-stage path).
+        """
+        dt = waveform.dt
+        n = len(waveform)
+        t_acc = waveform.t0
+        stages: List[CascadeStage] = []
+        for element in self._elements():
+            params = element.params
+            if isinstance(element, VariableGainBuffer):
+                vctrl = element.vctrl
+                if isinstance(vctrl, Waveform):
+                    times = t_acc + dt * np.arange(n)
+                    amplitude = params.amplitude_from_vctrl(
+                        vctrl.value_at(times)
+                    )
+                else:
+                    amplitude = params.amplitude_from_vctrl(vctrl)
+            else:
+                amplitude = element.amplitude
+            stage_rng = element._resolve_rng(rng)
+            noise = None
+            if params.noise_sigma > 0:
+                noise = band_limited_noise(
+                    n, params.noise_sigma, params.noise_bandwidth, dt,
+                    stage_rng,
+                )
+            tau = bandwidth_to_time_constant(params.bandwidth)
+            b, a = bilinear_lowpass_coefficients(dt, tau)
+            stages.append(
+                CascadeStage(
+                    amplitude=np.asarray(amplitude, dtype=np.float64),
+                    amplitude_min=params.amplitude_min,
+                    v_linear=params.v_linear,
+                    max_step=params.slew_rate * dt,
+                    corner=params.compression_corner,
+                    order=params.compression_order,
+                    b=b,
+                    a=a,
+                    zi_unit=lowpass_zi_unit(dt, tau),
+                    noise=noise,
+                )
+            )
+            t_acc = t_acc + params.propagation_delay
+        return stages, t_acc
+
+    def _cascade_plan_batch(
+        self,
+        batch: WaveformBatch,
+        rngs: Sequence[np.random.Generator],
+        vctrls: Optional[np.ndarray],
+    ) -> Tuple[List[CascadeStage], np.ndarray]:
+        """Batched :meth:`_cascade_plan`: lane-aware amplitudes and noise.
+
+        Amplitude columns are normalised exactly as the per-stage batch
+        path does (scalar stays 0-d, per-lane becomes ``(n_lanes, 1)``),
+        and lane ``i``'s noise is drawn from ``rngs[i]`` only, in stage
+        order.
+        """
+        dt = batch.dt
+        n = batch.n_samples
+        n_lanes = batch.n_lanes
+        t_acc = batch.t0
+        stages: List[CascadeStage] = []
+        for element in self._elements():
+            params = element.params
+            if isinstance(element, VariableGainBuffer):
+                vctrl = vctrls if vctrls is not None else element.vctrl
+                if isinstance(vctrl, Waveform):
+                    amplitude = np.stack(
+                        [
+                            params.amplitude_from_vctrl(
+                                vctrl.value_at(
+                                    t_acc[lane] + dt * np.arange(n)
+                                )
+                            )
+                            for lane in range(n_lanes)
+                        ]
+                    )
+                else:
+                    amplitude = params.amplitude_from_vctrl(
+                        np.asarray(vctrl, dtype=np.float64)
+                    )
+            else:
+                amplitude = element.amplitude
+            amplitude = np.asarray(amplitude, dtype=np.float64)
+            if amplitude.ndim == 1:
+                amplitude = amplitude[:, None]
+            noise = None
+            if params.noise_sigma > 0:
+                noise = band_limited_noise_batch(
+                    n_lanes, n, params.noise_sigma, params.noise_bandwidth,
+                    dt, rngs,
+                )
+            tau = bandwidth_to_time_constant(params.bandwidth)
+            b, a = bilinear_lowpass_coefficients(dt, tau)
+            stages.append(
+                CascadeStage(
+                    amplitude=amplitude,
+                    amplitude_min=params.amplitude_min,
+                    v_linear=params.v_linear,
+                    max_step=params.slew_rate * dt,
+                    corner=params.compression_corner,
+                    order=params.compression_order,
+                    b=b,
+                    a=a,
+                    zi_unit=lowpass_zi_unit(dt, tau),
+                    noise=noise,
+                )
+            )
+            t_acc = t_acc + np.asarray(params.propagation_delay)
+        return stages, t_acc
+
     def process(
         self, waveform: Waveform, rng: Optional[np.random.Generator] = None
     ) -> Waveform:
+        if fusion_enabled():
+            with instrument.span("fine_delay"):
+                instrument.count("fine_delay.fused_calls")
+                stages, t_out = self._cascade_plan(waveform, rng)
+                samples = kernels.fine_delay_cascade(
+                    waveform.values, stages, waveform.dt
+                )
+                return Waveform(samples, waveform.dt, t_out)
         with instrument.span("fine_delay"):
+            instrument.count("fine_delay.unfused_calls")
             result = waveform
             for index, stage in enumerate(self._stages):
                 with instrument.span(f"stage{index}"):
@@ -148,7 +297,18 @@ class FineDelayLine(CircuitElement):
         on the python kernel backend.
         """
         rngs = self._resolve_lane_rngs(rngs, waveforms.n_lanes)
+        if fusion_enabled():
+            with instrument.span("fine_delay"):
+                instrument.count("fine_delay.fused_calls")
+                stages, t_out = self._cascade_plan_batch(
+                    waveforms, rngs, vctrls
+                )
+                samples = kernels.fine_delay_cascade_batch(
+                    waveforms.values, stages, waveforms.dt
+                )
+                return WaveformBatch(samples, waveforms.dt, t_out)
         with instrument.span("fine_delay"):
+            instrument.count("fine_delay.unfused_calls")
             result = waveforms
             for index, stage in enumerate(self._stages):
                 with instrument.span(f"stage{index}"):

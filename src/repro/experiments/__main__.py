@@ -29,7 +29,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-from .. import instrument
+from .. import instrument, parallel
 from ..kernels import active_backend
 from . import RUNNERS
 from .common import call_instrumented
@@ -48,6 +48,13 @@ def _run_by_name(name: str, fast: bool, collect: bool = False):
     return call_instrumented(
         runner, fast=fast, collect=collect, span=f"experiment.{name}"
     )
+
+
+def _run_for_pool(name: str, fast: bool, collect: bool = False):
+    """Worker-side :func:`_run_by_name` whose result crosses the process
+    boundary shm-encoded: waveform samples (if any experiment returns
+    them) ride shared memory, not the result pickle."""
+    return parallel.encode_payload(_run_by_name(name, fast, collect))
 
 
 def _unknown_experiment_message(unknown) -> str:
@@ -129,11 +136,14 @@ def main(argv=None) -> int:
         # snapshots — the cross-process aggregation path.
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             futures = {
-                name: pool.submit(_run_by_name, name, args.fast, collect)
+                name: pool.submit(_run_for_pool, name, args.fast, collect)
                 for name in selected
             }
             for name in selected:
-                result, duration, snapshot = futures[name].result()
+                with instrument.span("ipc.decode"):
+                    result, duration, snapshot = parallel.decode_payload(
+                        futures[name].result()
+                    )
                 results.append(result)
                 durations[name] = duration
                 if snapshot is not None:

@@ -33,6 +33,15 @@ import numpy as np
 
 from .. import instrument
 from ..errors import CircuitError
+from .cascade import (
+    CascadeStage,
+    fusion_enabled,
+    reset_fusion,
+    set_fusion,
+    typical_crossing_interval,
+    typical_crossing_interval_batch,
+    use_fusion,
+)
 from .dispatch import (
     BACKEND_NAMES,
     active_backend,
@@ -51,6 +60,13 @@ __all__ = [
     "reset_backend",
     "set_backend",
     "use_backend",
+    "CascadeStage",
+    "fusion_enabled",
+    "set_fusion",
+    "reset_fusion",
+    "use_fusion",
+    "typical_crossing_interval",
+    "typical_crossing_interval_batch",
     "slew_limit",
     "compressive_slew_limit",
     "match_edges",
@@ -60,6 +76,8 @@ __all__ = [
     "compressive_slew_limit_batch",
     "match_edges_batch",
     "hysteresis_crossings_batch",
+    "fine_delay_cascade",
+    "fine_delay_cascade_batch",
 ]
 
 PerLane = Union[float, Sequence[float], np.ndarray]
@@ -345,5 +363,49 @@ def hysteresis_crossings_batch(
         v.size,
         lambda: get_backend().hysteresis_crossings_batch(
             v, _per_lane(hysteresis, v.shape[0], "hysteresis")
+        ),
+    )
+
+
+def fine_delay_cascade(
+    values: np.ndarray,
+    stages: Sequence[CascadeStage],
+    dt: float,
+) -> np.ndarray:
+    """Run a whole N-stage buffer cascade over *values* in one kernel call.
+
+    *stages* is a pre-built plan (see :class:`CascadeStage`): amplitude
+    targets already resolved from control voltages, noise already drawn
+    in stage order, filters already discretised.  Stage semantics are
+    identical to :func:`repro.circuits.vga_buffer.limiting_stage`
+    chained N times, minus the per-stage Waveform round-trips.
+    """
+    values = _as_float_array(values)
+    return _run(
+        "fine_delay_cascade",
+        values.size * max(1, len(stages)),
+        lambda: get_backend().fine_delay_cascade(
+            values, list(stages), float(dt)
+        ),
+    )
+
+
+def fine_delay_cascade_batch(
+    values: np.ndarray,
+    stages: Sequence[CascadeStage],
+    dt: float,
+) -> np.ndarray:
+    """Batched :func:`fine_delay_cascade` over a ``(lanes, samples)`` record.
+
+    Each plan stage carries lane-aware parameters (``(n_lanes, 1)``
+    amplitude columns, ``(n_lanes, n)`` noise), so lane ``i`` of the
+    result matches the scalar cascade run on lane ``i`` alone.
+    """
+    values = _as_float_matrix(values, "values")
+    return _run(
+        "fine_delay_cascade_batch",
+        values.size * max(1, len(stages)),
+        lambda: get_backend().fine_delay_cascade_batch(
+            values, list(stages), float(dt)
         ),
     )

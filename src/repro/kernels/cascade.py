@@ -1,0 +1,185 @@
+"""Shared plumbing for the fused buffer-cascade kernels.
+
+The fine delay line is an N-stage cascade of identical limiting-buffer
+stages (slew-limit -> one-pole filter -> noise -> next stage).  Running
+it stage by stage through :class:`~repro.signals.waveform.Waveform`
+objects costs ~2(N+1) full-record allocations plus per-stage dispatch,
+filter-state solves and validation passes — overhead that dominates the
+cascade's runtime for typical record lengths.  The fused kernels
+(``fine_delay_cascade`` / ``fine_delay_cascade_batch`` in each backend)
+take the raw input samples plus a pre-built per-stage parameter plan
+and run the whole chain in one call.
+
+This module holds what the three backends and the plan builder share:
+
+* :class:`CascadeStage` — the per-stage parameter record of the plan
+  (amplitude target, slew step, compression law, filter coefficients,
+  pre-generated noise);
+* :func:`typical_crossing_interval` — the compression-state seeding
+  helper, moved here from ``repro.circuits.vga_buffer`` so backends can
+  use it without importing the circuit layer;
+* the ``REPRO_FUSION`` switch (:func:`fusion_enabled` /
+  :func:`set_fusion` / :func:`reset_fusion` / :func:`use_fusion`) — the
+  escape hatch back to the per-stage reference path.
+
+Equivalence contract (asserted by ``tests/kernels/test_fusion.py``):
+fused output is **bit-exact** against the per-stage path on the python
+backend, and within 0.01 ps of measured delay on numpy/numba.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "CascadeStage",
+    "typical_crossing_interval",
+    "typical_crossing_interval_batch",
+    "fusion_enabled",
+    "set_fusion",
+    "reset_fusion",
+    "use_fusion",
+]
+
+_ENV_VAR = "REPRO_FUSION"
+_OFF_VALUES = frozenset({"0", "off", "false", "no"})
+_ON_VALUES = frozenset({"", "1", "on", "true", "yes"})
+
+_enabled: Optional[bool] = None
+
+
+def reset_fusion() -> bool:
+    """Re-apply the ``REPRO_FUSION`` environment selection (default: on).
+
+    Unrecognised values degrade to the default with a warning, so a CI
+    matrix can export the variable unconditionally.
+    """
+    global _enabled
+    requested = os.environ.get(_ENV_VAR, "").strip().lower()
+    if requested in _OFF_VALUES:
+        _enabled = False
+    else:
+        if requested not in _ON_VALUES:
+            warnings.warn(
+                f"{_ENV_VAR}={requested!r} is not one of "
+                f"{sorted(_ON_VALUES | _OFF_VALUES)}; fusion stays on",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        _enabled = True
+    return _enabled
+
+
+def fusion_enabled() -> bool:
+    """True when the cascade runs through the fused kernels."""
+    if _enabled is None:
+        return reset_fusion()
+    return _enabled
+
+
+def set_fusion(enabled: bool) -> None:
+    """Programmatically force fusion on or off."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextmanager
+def use_fusion(enabled: bool) -> Iterator[bool]:
+    """Temporarily force fusion on or off (tests, benchmarks)."""
+    previous = fusion_enabled()
+    set_fusion(enabled)
+    try:
+        yield bool(enabled)
+    finally:
+        set_fusion(previous)
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One stage of a fused cascade plan.
+
+    Everything here is resolved *before* the kernel call: control
+    voltages are already mapped to amplitude targets, noise is already
+    drawn (in stage order, so the fused and per-stage paths consume
+    identical generator streams), and the one-pole filter is already
+    discretised.  The kernel itself is then a pure array computation.
+
+    Attributes
+    ----------
+    amplitude:
+        Programmed amplitude target, volts — a 0-d array (static
+        control), a per-sample array (time-varying Vctrl, i.e. jitter
+        injection), or for batch plans ``(n_lanes, 1)`` / per-lane
+        per-sample ``(n_lanes, n)`` arrays.
+    amplitude_min:
+        The part's minimum swing, volts (the uncompressible floor).
+    v_linear:
+        Input linear range of the limiting transconductor, volts.
+    max_step:
+        Slew limit per sample, volts (``slew_rate * dt``).
+    corner:
+        Gain-compression corner, Hz (``inf`` disables compression).
+    order:
+        Compression-law steepness exponent.
+    b, a:
+        Bilinear one-pole low-pass coefficients for the stage bandwidth.
+    zi_unit:
+        ``scipy.signal.lfilter_zi(b, a)`` — the settled filter state for
+        a unit input, scaled by the first slewed sample at run time.
+    noise:
+        Pre-generated band-limited input noise (same shape as the
+        record), or ``None`` for a noiseless stage.
+    """
+
+    amplitude: Union[float, np.ndarray]
+    amplitude_min: float
+    v_linear: float
+    max_step: float
+    corner: float
+    order: int
+    b: np.ndarray
+    a: np.ndarray
+    zi_unit: np.ndarray
+    noise: Optional[np.ndarray] = None
+
+
+def typical_crossing_interval(v_in: np.ndarray, dt: float) -> float:
+    """Median interval between zero crossings of *v_in*, seconds.
+
+    Used to initialise the compression state at the start of a record
+    (the record models a snapshot of a signal that has been running at
+    its own rate forever).  Returns a long interval (no compression)
+    when the record has fewer than two crossings.
+    """
+    sign = v_in > 0.0
+    changes = np.flatnonzero(sign[1:] != sign[:-1])
+    if changes.size < 2:
+        return 1.0
+    # Median via direct partition: same value as np.median (middle
+    # element, or the mean of the two middle elements), without the
+    # dispatch overhead — this runs once per lane per stage.
+    intervals = np.diff(changes)
+    half = intervals.size // 2
+    if intervals.size % 2:
+        median = float(np.partition(intervals, half)[half])
+    else:
+        middle = np.partition(intervals, (half - 1, half))
+        median = (float(middle[half - 1]) + float(middle[half])) / 2.0
+    return median * dt
+
+
+def typical_crossing_interval_batch(
+    v_in: np.ndarray, dt: float
+) -> np.ndarray:
+    """Per-lane :func:`typical_crossing_interval` of a ``(lanes, n)`` batch."""
+    n_lanes = v_in.shape[0]
+    intervals = np.empty(n_lanes)
+    for lane in range(n_lanes):
+        intervals[lane] = typical_crossing_interval(v_in[lane], dt)
+    return intervals

@@ -17,6 +17,9 @@ factor of hand-written C, typically 20-80x the interpreted loops.
 from __future__ import annotations
 
 import numpy as np
+from scipy import signal as _scipy_signal
+
+from .cascade import typical_crossing_interval, typical_crossing_interval_batch
 
 try:
     from numba import njit, prange
@@ -44,6 +47,8 @@ __all__ = [
     "compressive_slew_limit_batch",
     "match_edges_batch",
     "hysteresis_crossings_batch",
+    "fine_delay_cascade",
+    "fine_delay_cascade_batch",
 ]
 
 _JIT_OPTIONS = {"cache": True, "nogil": True, "fastmath": False}
@@ -355,6 +360,88 @@ def hysteresis_crossings_batch(v, hysteresis):
         hysteresis_crossings(v[lane], float(hysteresis[lane]))
         for lane in range(v.shape[0])
     ]
+
+
+def fine_delay_cascade(values, stages, dt):
+    """Fused buffer cascade: numpy preprocessing + jitted slew loops.
+
+    The element-wise stage work (noise add, limiting tanh, comparator
+    band) is cheap array math; the per-sample recurrences run through
+    the jitted single-lane loops, which are line-for-line transcriptions
+    of the reference — so the fused result is bit-exact against the
+    python backend's fused (and per-stage) path.
+    """
+    x = values
+    for stage in stages:
+        v_in = x
+        if stage.noise is not None:
+            v_in = v_in + stage.noise
+        limited = np.tanh(v_in / stage.v_linear)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            swing = np.percentile(v_in, 98) - np.percentile(v_in, 2)
+            hysteresis = 0.3 * (swing / 2.0)
+            slewed = _compressive_slew_limit(
+                np.ascontiguousarray(v_in),
+                np.ascontiguousarray(floor * limited),
+                np.ascontiguousarray(extra * limited),
+                stage.max_step,
+                dt,
+                float(hysteresis),
+                stage.corner,
+                stage.order,
+                typical_crossing_interval(v_in, dt),
+            )
+        else:
+            target = np.ascontiguousarray(amplitude * limited)
+            slewed = _slew_limit(target, stage.max_step, float(target[0]))
+        zi = stage.zi_unit * slewed[0]
+        x, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+    return x
+
+
+def fine_delay_cascade_batch(values, stages, dt):
+    """Fused cascade over a batch: jitted ``prange`` lane loops inside."""
+    x = values
+    n_lanes = x.shape[0]
+    for stage in stages:
+        v_in = x
+        if stage.noise is not None:
+            v_in = v_in + stage.noise
+        limited = np.tanh(v_in / stage.v_linear)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            upper, lower = np.percentile(v_in, (98.0, 2.0), axis=1)
+            hysteresis = 0.3 * ((upper - lower) / 2.0)
+            slewed = _compressive_slew_limit_batch(
+                np.ascontiguousarray(v_in),
+                np.ascontiguousarray(
+                    np.broadcast_to(floor * limited, limited.shape)
+                ),
+                np.ascontiguousarray(
+                    np.broadcast_to(extra * limited, limited.shape)
+                ),
+                stage.max_step,
+                dt,
+                np.ascontiguousarray(hysteresis),
+                stage.corner,
+                stage.order,
+                typical_crossing_interval_batch(v_in, dt),
+            )
+        else:
+            target = np.ascontiguousarray(amplitude * limited)
+            slewed = _slew_limit_batch(
+                target,
+                stage.max_step,
+                np.ascontiguousarray(target[:, 0]),
+            )
+        zi = stage.zi_unit[None, :] * slewed[:, :1]
+        x, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, axis=1, zi=zi)
+    return x
 
 
 @njit(**_JIT_OPTIONS)

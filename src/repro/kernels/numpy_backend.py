@@ -26,6 +26,9 @@ sweep is three array operations shared by every lane in the batch.
 from __future__ import annotations
 
 import numpy as np
+from scipy import signal as _scipy_signal
+
+from .cascade import typical_crossing_interval, typical_crossing_interval_batch
 
 __all__ = [
     "slew_limit",
@@ -37,6 +40,8 @@ __all__ = [
     "compressive_slew_limit_batch",
     "match_edges_batch",
     "hysteresis_crossings_batch",
+    "fine_delay_cascade",
+    "fine_delay_cascade_batch",
 ]
 
 
@@ -138,15 +143,16 @@ def _compressive_target(
     corner: float,
     order: int,
     initial_interval: float,
-) -> "tuple[np.ndarray, float]":
-    """Per-sample slew target and initial level of one compressive lane.
+) -> "tuple[np.ndarray, float, int]":
+    """Per-sample slew target, initial level and flip count of one lane.
 
     The comparator flips are pure functions of *v_in* and the
     hysteresis band, so the per-half-cycle excursion scales can be
     computed for all flips at once and expanded to a per-sample target
     with :func:`numpy.repeat`.  Shared by the single-lane kernel and
     the batched kernel (which stacks these per-lane targets, so the
-    two paths feed bit-identical targets to their slew stages).
+    two paths feed bit-identical targets to their slew stages).  The
+    flip count feeds the fused cascade's walk-vs-relax cost model.
     """
     n = len(target_extra)
     tri = np.zeros(n, dtype=np.int8)
@@ -164,7 +170,7 @@ def _compressive_target(
     fill_index = np.maximum.accumulate(fill_index)
     filled = prefixed[fill_index]
     flips = np.flatnonzero(filled[1:] != filled[:-1])  # sample indices
-    return _scaled_target(
+    target, y0 = _scaled_target(
         flips,
         target_floor,
         target_extra,
@@ -173,6 +179,7 @@ def _compressive_target(
         order,
         initial_interval,
     )
+    return target, y0, int(flips.size)
 
 
 def _scaled_target(
@@ -223,7 +230,7 @@ def compressive_slew_limit(
     The per-sample target comes from :func:`_compressive_target`; the
     result then runs through the event-vectorised :func:`slew_limit`.
     """
-    target, y0 = _compressive_target(
+    target, y0, _flips = _compressive_target(
         v_in,
         target_floor,
         target_extra,
@@ -483,6 +490,136 @@ def compressive_slew_limit_batch(
     target = target_floor + scale * target_extra
     y0 = target_floor[:, 0] + scale0 * target_extra[:, 0]
     return _slew_limit_relax(target, max_step, y0)
+
+
+# Calibrated per-stage cost model for the fused cascade's slew step.
+# Both strategies are exact (the relaxation's stale-lane fallback is the
+# walk itself), so the choice only affects speed: the event walk costs
+# one Python-level iteration per comparator flip, each touching O(n)
+# precomputed keys; a relaxation sweep is three array passes shared by
+# the whole record but must run once per sample of the longest ramp.
+# Constants were measured on the development host; they only need to
+# rank the two strategies, not predict absolute times.
+_WALK_COST_PER_EVENT = 4e-6
+_WALK_COST_PER_EVENT_SAMPLE = 0.45e-9
+_RELAX_COST_PER_SWEEP_SAMPLE = 2.1e-9
+_RELAX_COST_FIXED = 2e-5
+
+
+def _cascade_slew(
+    target: np.ndarray, max_step: float, y0: float, n_events: int
+) -> np.ndarray:
+    """Slew-limit one lane, choosing the cheaper exact strategy."""
+    n = target.size
+    span = float(target.max()) - float(target.min())
+    sweeps = min(n, _RELAX_MAX_SWEEPS, int(span / max_step) + 2)
+    relax_cost = sweeps * n * _RELAX_COST_PER_SWEEP_SAMPLE + _RELAX_COST_FIXED
+    walk_cost = (n_events + 1) * (
+        _WALK_COST_PER_EVENT + _WALK_COST_PER_EVENT_SAMPLE * n
+    )
+    if relax_cost < walk_cost:
+        return _slew_limit_relax(
+            target[None, :], max_step, np.array([y0])
+        )[0]
+    return slew_limit(target, max_step, y0)
+
+
+def fine_delay_cascade(values: np.ndarray, stages, dt: float) -> np.ndarray:
+    """Fused buffer cascade: the whole N-stage chain in one call.
+
+    Per-stage element-wise work (noise add, limiting tanh) runs in-place
+    in a scratch buffer owned by the kernel; the compressed slew target
+    comes from the shared :func:`_compressive_target` decomposition and
+    is slewed by whichever exact strategy the cost model prefers for the
+    record (:func:`_cascade_slew`); the stage filter uses the plan's
+    precomputed settled state instead of re-solving ``lfilter_zi`` per
+    stage.  Agrees with the per-stage path to floating-point rounding
+    (delay impact far below the 0.01 ps contract).
+    """
+    x = values.copy()
+    scratch = np.empty_like(x)
+    for stage in stages:
+        if stage.noise is not None:
+            np.add(x, stage.noise, out=x)
+        v_in = x
+        np.divide(v_in, stage.v_linear, out=scratch)
+        limited = np.tanh(scratch, out=scratch)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            upper, lower = np.percentile(v_in, (98.0, 2.0))
+            hysteresis = 0.3 * ((upper - lower) / 2.0)
+            target, y0, n_flips = _compressive_target(
+                v_in,
+                floor * limited,
+                extra * limited,
+                dt,
+                float(hysteresis),
+                stage.corner,
+                stage.order,
+                typical_crossing_interval(v_in, dt),
+            )
+            slewed = _cascade_slew(target, stage.max_step, y0, n_flips)
+        else:
+            target = amplitude * limited
+            sign = np.signbit(target)
+            n_events = int(np.count_nonzero(sign[1:] != sign[:-1]))
+            slewed = _cascade_slew(
+                target, stage.max_step, float(target[0]), n_events
+            )
+        zi = stage.zi_unit * slewed[0]
+        filtered, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+        x = filtered
+    return x
+
+
+def fine_delay_cascade_batch(
+    values: np.ndarray, stages, dt: float
+) -> np.ndarray:
+    """Fused cascade over a ``(lanes, samples)`` batch.
+
+    The per-stage work reuses the batched kernels (pooled-flips
+    compression decomposition + lane-parallel Jacobi relaxation), with
+    the stage filter applied across the whole batch from the plan's
+    precomputed settled state.
+    """
+    x = values.copy()
+    scratch = np.empty_like(x)
+    for stage in stages:
+        if stage.noise is not None:
+            np.add(x, stage.noise, out=x)
+        v_in = x
+        np.divide(v_in, stage.v_linear, out=scratch)
+        limited = np.tanh(scratch, out=scratch)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            upper, lower = np.percentile(v_in, (98.0, 2.0), axis=1)
+            hysteresis = 0.3 * ((upper - lower) / 2.0)
+            slewed = compressive_slew_limit_batch(
+                v_in,
+                np.broadcast_to(floor * limited, limited.shape),
+                np.broadcast_to(extra * limited, limited.shape),
+                stage.max_step,
+                dt,
+                hysteresis,
+                stage.corner,
+                stage.order,
+                typical_crossing_interval_batch(v_in, dt),
+            )
+        else:
+            target = amplitude * limited
+            slewed = _slew_limit_relax(
+                target, stage.max_step, np.ascontiguousarray(target[:, 0])
+            )
+        zi = stage.zi_unit[None, :] * slewed[:, :1]
+        filtered, _ = _scipy_signal.lfilter(
+            stage.b, stage.a, slewed, axis=1, zi=zi
+        )
+        x = filtered
+    return x
 
 
 def match_edges_batch(

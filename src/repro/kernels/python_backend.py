@@ -17,6 +17,9 @@ from __future__ import annotations
 import math
 
 import numpy as np
+from scipy import signal as _scipy_signal
+
+from .cascade import typical_crossing_interval, typical_crossing_interval_batch
 
 __all__ = [
     "slew_limit",
@@ -28,6 +31,8 @@ __all__ = [
     "compressive_slew_limit_batch",
     "match_edges_batch",
     "hysteresis_crossings_batch",
+    "fine_delay_cascade",
+    "fine_delay_cascade_batch",
 ]
 
 
@@ -281,6 +286,90 @@ def hysteresis_crossings_batch(v: np.ndarray, hysteresis: np.ndarray) -> list:
         hysteresis_crossings(v[lane], float(hysteresis[lane]))
         for lane in range(v.shape[0])
     ]
+
+
+def fine_delay_cascade(values: np.ndarray, stages, dt: float) -> np.ndarray:
+    """Reference fused buffer cascade: the per-stage recipe, inlined.
+
+    Runs the whole N-stage chain (noise add -> limiting tanh ->
+    [compressive] slew limit -> one-pole filter) in one call, stage by
+    stage, using this module's own loop kernels.  Every arithmetic step
+    matches :func:`repro.circuits.vga_buffer.limiting_stage` operation
+    for operation — including the two separate percentile calls and the
+    ``float`` narrowing the dispatch wrappers apply — so the fused path
+    is **bit-exact** against the per-stage reference path.
+    """
+    x = values
+    for stage in stages:
+        v_in = x
+        if stage.noise is not None:
+            v_in = v_in + stage.noise
+        limited = np.tanh(v_in / stage.v_linear)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            swing = np.percentile(v_in, 98) - np.percentile(v_in, 2)
+            hysteresis = 0.3 * (swing / 2.0)
+            slewed = compressive_slew_limit(
+                v_in,
+                np.broadcast_to(floor * limited, limited.shape),
+                np.broadcast_to(extra * limited, limited.shape),
+                stage.max_step,
+                dt,
+                float(hysteresis),
+                stage.corner,
+                stage.order,
+                typical_crossing_interval(v_in, dt),
+            )
+        else:
+            target = amplitude * limited
+            slewed = slew_limit(target, stage.max_step, float(target[0]))
+        zi = stage.zi_unit * slewed[0]
+        x, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+    return x
+
+
+def fine_delay_cascade_batch(
+    values: np.ndarray, stages, dt: float
+) -> np.ndarray:
+    """Reference fused cascade over a ``(lanes, samples)`` batch.
+
+    Lane semantics follow
+    :func:`repro.circuits.vga_buffer.limiting_stage_batch` exactly
+    (axis percentiles, per-lane compression seeding, per-lane loop
+    kernels), so the fused batch is bit-exact against the per-stage
+    batched path — and, transitively, against per-lane scalar calls.
+    """
+    x = values
+    for stage in stages:
+        v_in = x
+        if stage.noise is not None:
+            v_in = v_in + stage.noise
+        limited = np.tanh(v_in / stage.v_linear)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            upper, lower = np.percentile(v_in, (98.0, 2.0), axis=1)
+            hysteresis = 0.3 * ((upper - lower) / 2.0)
+            slewed = compressive_slew_limit_batch(
+                v_in,
+                np.broadcast_to(floor * limited, limited.shape),
+                np.broadcast_to(extra * limited, limited.shape),
+                stage.max_step,
+                dt,
+                hysteresis,
+                stage.corner,
+                stage.order,
+                typical_crossing_interval_batch(v_in, dt),
+            )
+        else:
+            target = amplitude * limited
+            slewed = slew_limit_batch(target, stage.max_step, target[:, 0])
+        zi = stage.zi_unit[None, :] * slewed[:, :1]
+        x, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, axis=1, zi=zi)
+    return x
 
 
 def nearest_edge_margin(

@@ -12,6 +12,7 @@ from .patterns import (
     PRBS_TAPS,
     prbs_sequence,
     prbs_period,
+    clear_prbs_cache,
     clock_bits,
     alternating_bits,
     k28_5_bits,
@@ -58,6 +59,7 @@ __all__ = [
     "PRBS_TAPS",
     "prbs_sequence",
     "prbs_period",
+    "clear_prbs_cache",
     "clock_bits",
     "alternating_bits",
     "k28_5_bits",

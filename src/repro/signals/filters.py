@@ -16,6 +16,7 @@ first edges of a record too).
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -32,6 +33,7 @@ __all__ = [
     "moving_average",
     "bandwidth_to_time_constant",
     "bilinear_lowpass_coefficients",
+    "lowpass_zi_unit",
     "rise_time_to_bandwidth",
     "bandwidth_to_rise_time",
 ]
@@ -82,6 +84,23 @@ def bilinear_lowpass_coefficients(dt: float, tau: float) -> tuple:
     b = np.array([b0, b0])
     a = np.array([1.0, (1.0 - k) / (1.0 + k)])
     return b, a
+
+
+@lru_cache(maxsize=256)
+def lowpass_zi_unit(dt: float, tau: float) -> np.ndarray:
+    """Settled ``lfilter`` state for a unit input, cached per ``(dt, tau)``.
+
+    ``scipy.signal.lfilter_zi`` solves a small linear system each call;
+    inside the fused cascade that solve would repeat for every stage of
+    every record even though a given stage geometry only ever has a
+    handful of distinct ``(dt, tau)`` pairs.  The returned array is
+    marked read-only because callers scale it (``zi_unit * y0``) rather
+    than mutate it.
+    """
+    b, a = bilinear_lowpass_coefficients(dt, tau)
+    zi = _scipy_signal.lfilter_zi(b, a)
+    zi.setflags(write=False)
+    return zi
 
 
 def single_pole_lowpass(waveform: Waveform, bandwidth_3db: float) -> Waveform:

@@ -21,12 +21,14 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from .. import instrument
 from ..errors import PatternError
 
 __all__ = [
     "PRBS_TAPS",
     "prbs_sequence",
     "prbs_period",
+    "clear_prbs_cache",
     "clock_bits",
     "alternating_bits",
     "k28_5_bits",
@@ -55,6 +57,47 @@ def prbs_period(order: int) -> int:
             f"unsupported PRBS order {order}; choose from {sorted(PRBS_TAPS)}"
         )
     return (1 << order) - 1
+
+
+# PRBS core cache: (order, lfsr_state) -> longest core generated so far.
+# Campaigns re-render the same stimulus pattern for every sweep point, so
+# the pure-python LFSR walk (up to 2**order - 1 steps) repeats with
+# identical arguments thousands of times; caching the core makes repeat
+# generation a slice-and-copy.  Bounded FIFO, ~one period per entry.
+_PRBS_CACHE: "Dict[Tuple[int, int], np.ndarray]" = {}
+_PRBS_CACHE_MAX = 32
+
+
+def clear_prbs_cache() -> None:
+    """Drop all memoized PRBS cores (tests, memory pressure)."""
+    _PRBS_CACHE.clear()
+
+
+def _prbs_core(order: int, state: int, n_core: int) -> np.ndarray:
+    """Return the first *n_core* LFSR output bits, memoized per state.
+
+    The cache stores the longest core ever generated for ``(order,
+    state)``; shorter requests slice it.  Callers receive a fresh copy
+    so cached bits can never be mutated from outside.
+    """
+    key = (order, state)
+    cached = _PRBS_CACHE.get(key)
+    if cached is not None and cached.size >= n_core:
+        instrument.count("patterns.prbs_cache_hits")
+        return cached[:n_core].copy()
+    instrument.count("patterns.prbs_cache_misses")
+    tap_a, tap_b = PRBS_TAPS[order]
+    shift_a = order - tap_a  # == 0 for the standard polynomials
+    shift_b = order - tap_b
+    core = np.empty(n_core, dtype=np.uint8)
+    for i in range(n_core):
+        feedback = ((state >> shift_a) ^ (state >> shift_b)) & 1
+        core[i] = state & 1
+        state = (state >> 1) | (feedback << (order - 1))
+    if len(_PRBS_CACHE) >= _PRBS_CACHE_MAX and key not in _PRBS_CACHE:
+        _PRBS_CACHE.pop(next(iter(_PRBS_CACHE)))
+    _PRBS_CACHE[key] = core
+    return core.copy()
 
 
 def prbs_sequence(order: int, n_bits: int, seed: int = 1) -> np.ndarray:
@@ -86,19 +129,12 @@ def prbs_sequence(order: int, n_bits: int, seed: int = 1) -> np.ndarray:
     state = seed & mask
     if state == 0:
         raise PatternError("PRBS seed must be a non-zero LFSR state")
-    tap_a, tap_b = PRBS_TAPS[order]
     period = mask
 
     # Generate one full period (or fewer bits, if fewer are requested),
-    # then tile.  The LFSR inner loop runs at most 2**order - 1 times.
-    n_core = min(n_bits, period)
-    core = np.empty(n_core, dtype=np.uint8)
-    shift_a = order - tap_a  # == 0 for the standard polynomials
-    shift_b = order - tap_b
-    for i in range(n_core):
-        feedback = ((state >> shift_a) ^ (state >> shift_b)) & 1
-        core[i] = state & 1
-        state = (state >> 1) | (feedback << (order - 1))
+    # then tile.  The LFSR inner loop runs at most 2**order - 1 times,
+    # and only on a cache miss for this (order, state).
+    core = _prbs_core(order, state, min(n_bits, period))
     if n_bits <= period:
         return core
     reps = int(np.ceil(n_bits / period))

@@ -23,11 +23,36 @@ from typing import Callable, Iterable, List, Sequence, Union
 
 import numpy as np
 
+from .. import instrument
 from ..errors import SampleRateMismatchError, WaveformError
 
 __all__ = ["Waveform", "WaveformBatch", "DifferentialPair"]
 
 _Number = Union[int, float]
+
+
+def _audit_sample_dtype(values, where: str) -> None:
+    """Reject narrow-float sample arrays before they are silently up-cast.
+
+    Every waveform stores float64, so a float32/float16 input array is
+    converted losslessly — but the *producer* of that array already
+    threw away mantissa bits, and with picosecond-scale delays riding on
+    ~1e-9 s time records, float32's ~7 significant digits are not
+    enough.  A silent up-cast would bless the precision loss; failing
+    loudly at the boundary points at the producer instead.  Integer and
+    float64 inputs (and plain Python lists) are fine.
+    """
+    dtype = getattr(values, "dtype", None)
+    if (
+        dtype is not None
+        and np.issubdtype(dtype, np.floating)
+        and dtype.itemsize < np.dtype(np.float64).itemsize
+    ):
+        raise WaveformError(
+            f"{where} samples arrived as {dtype}; the producer already "
+            f"lost precision below float64 and picosecond timing cannot "
+            f"survive that — convert the source data, not the waveform"
+        )
 
 
 class Waveform:
@@ -53,6 +78,7 @@ class Waveform:
     __slots__ = ("_values", "_dt", "_t0")
 
     def __init__(self, values: Iterable[float], dt: float, t0: float = 0.0):
+        _audit_sample_dtype(values, "Waveform")
         array = np.asarray(values, dtype=np.float64)
         if array.ndim != 1:
             raise WaveformError(
@@ -106,6 +132,14 @@ class Waveform:
 
     def __len__(self) -> int:
         return len(self._values)
+
+    def __reduce__(self):
+        # Pickling a waveform serialises the whole sample record — the
+        # very thing the shared-memory IPC path (repro.parallel) exists
+        # to avoid.  Counting every pickle lets tests assert that the
+        # worker-pool paths move zero waveforms through pickle.
+        instrument.count("waveform.pickled")
+        return (Waveform, (self._values, self._dt, self._t0))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -352,6 +386,7 @@ class WaveformBatch:
         dt: float,
         t0: Union[float, Iterable[float]] = 0.0,
     ):
+        _audit_sample_dtype(values, "WaveformBatch")
         array = np.asarray(values, dtype=np.float64)
         if array.ndim != 2:
             raise WaveformError(
@@ -397,6 +432,12 @@ class WaveformBatch:
     def n_lanes(self) -> int:
         """Number of lanes in the batch."""
         return self._values.shape[0]
+
+    def __reduce__(self):
+        # See Waveform.__reduce__: counted so the zero-pickle contract
+        # of the shared-memory IPC path is testable.
+        instrument.count("waveform.pickled")
+        return (WaveformBatch, (self._values, self._dt, self._t0))
 
     @property
     def n_samples(self) -> int:

@@ -1,0 +1,249 @@
+"""Fused-vs-unfused cascade equivalence: the fusion contract.
+
+Contract (see DESIGN.md §"Pipeline fusion"):
+
+* On the **python** backend the fused cascade is **bit-exact** against
+  the per-stage path — identical samples, identical time axes, for
+  scalar and batch records, static and time-varying (jitter-injection)
+  control, any stage count.
+* On **numpy** (and **numba**, when installed) the fused path must land
+  within 0.01 ps of the per-stage path's measured delay.  (Empirically
+  both are bit-exact here too, but only the delay bound is contractual.)
+* The ``REPRO_FUSION`` switch selects the path, and the
+  ``fine_delay.fused_calls`` / ``fine_delay.unfused_calls`` counters
+  prove which one ran.
+"""
+
+import numpy as np
+import pytest
+
+from repro import instrument, kernels
+from repro.analysis import measure_delay
+from repro.core import FineDelayLine, calibration_stimulus
+from repro.kernels import numba_backend, python_backend
+from repro.kernels.cascade import (
+    fusion_enabled,
+    reset_fusion,
+    set_fusion,
+    use_fusion,
+)
+from repro.signals.waveform import Waveform, WaveformBatch
+
+DELAY_TOLERANCE = 0.01e-12
+
+ALL_BACKENDS = kernels.available_backends()
+STAGE_COUNTS = (1, 2, 3, 4, 5)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend_and_fusion():
+    backend = kernels.active_backend()
+    fusion = fusion_enabled()
+    yield
+    kernels.set_backend(backend)
+    set_fusion(fusion)
+
+
+def _stimulus(n_bits=63, dt=1e-12):
+    return calibration_stimulus(n_bits=n_bits, dt=dt)
+
+
+def _fused_and_unfused(line_seed, waveform, n_stages, rng_seed=None,
+                       vctrl=None):
+    """Run identical lines through both paths; return both outputs."""
+    outputs = []
+    for enabled in (True, False):
+        line = FineDelayLine(n_stages=n_stages, seed=line_seed)
+        if vctrl is not None:
+            line.vctrl = vctrl
+        rng = None if rng_seed is None else np.random.default_rng(rng_seed)
+        with use_fusion(enabled):
+            outputs.append(line.process(waveform, rng))
+    return outputs
+
+
+def _fused_and_unfused_batch(line_seed, batch, n_stages, vctrls=None):
+    outputs = []
+    for enabled in (True, False):
+        line = FineDelayLine(n_stages=n_stages, seed=line_seed)
+        rngs = [np.random.default_rng(100 + i) for i in range(batch.n_lanes)]
+        with use_fusion(enabled):
+            outputs.append(line.process_batch(batch, rngs, vctrls=vctrls))
+    return outputs
+
+
+def _assert_equivalent(fused, unfused, backend):
+    """Bit-exact on python; within the delay tolerance elsewhere."""
+    assert fused.values.shape == unfused.values.shape
+    if backend == "python":
+        assert np.array_equal(fused.values, unfused.values)
+    else:
+        stimulus = _stimulus()
+        d_fused = measure_delay(stimulus, fused).delay
+        d_unfused = measure_delay(stimulus, unfused).delay
+        assert abs(d_fused - d_unfused) < DELAY_TOLERANCE
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("n_stages", STAGE_COUNTS)
+def test_scalar_equivalence(backend, n_stages):
+    """Fused == unfused for every backend and stage count (shared rng)."""
+    kernels.set_backend(backend)
+    stimulus = _stimulus()
+    fused, unfused = _fused_and_unfused(
+        42, stimulus, n_stages, rng_seed=7
+    )
+    assert fused.t0 == unfused.t0
+    assert fused.dt == unfused.dt
+    _assert_equivalent(fused, unfused, backend)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_scalar_equivalence_private_rngs(backend):
+    """With rng=None each stage draws from its own generator — the fused
+    plan must consume the same per-stage streams in the same order."""
+    kernels.set_backend(backend)
+    stimulus = _stimulus()
+    fused, unfused = _fused_and_unfused(99, stimulus, 4, rng_seed=None)
+    _assert_equivalent(fused, unfused, backend)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("n_stages", (1, 3, 4))
+def test_batch_equivalence(backend, n_stages):
+    kernels.set_backend(backend)
+    stimulus = _stimulus()
+    batch = WaveformBatch(
+        np.stack([stimulus.values, -stimulus.values, 0.9 * stimulus.values]),
+        stimulus.dt,
+        np.array([0.0, 25e-12, 50e-12]),
+    )
+    fused, unfused = _fused_and_unfused_batch(11, batch, n_stages)
+    assert np.array_equal(fused.t0, unfused.t0)
+    if backend == "python":
+        assert np.array_equal(fused.values, unfused.values)
+    else:
+        for lane in range(batch.n_lanes):
+            d_f = measure_delay(stimulus, fused.lane(lane)).delay
+            d_u = measure_delay(stimulus, unfused.lane(lane)).delay
+            assert abs(d_f - d_u) < DELAY_TOLERANCE
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_batch_equivalence_per_lane_vctrls(backend):
+    """A calibration sweep collapsed to one batch: per-lane control."""
+    kernels.set_backend(backend)
+    stimulus = _stimulus()
+    batch = WaveformBatch(
+        np.stack([stimulus.values] * 4),
+        stimulus.dt,
+        np.zeros(4),
+    )
+    vctrls = np.array([0.2, 0.6, 1.0, 1.4])
+    fused, unfused = _fused_and_unfused_batch(5, batch, 4, vctrls=vctrls)
+    if backend == "python":
+        assert np.array_equal(fused.values, unfused.values)
+    else:
+        for lane in range(4):
+            d_f = measure_delay(stimulus, fused.lane(lane)).delay
+            d_u = measure_delay(stimulus, unfused.lane(lane)).delay
+            assert abs(d_f - d_u) < DELAY_TOLERANCE
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_jitter_injection_vctrl_waveform(backend):
+    """Time-varying Vctrl (the paper's Sec. 5 jitter-injection mode):
+    the fused plan evaluates the control waveform on each stage's own
+    delayed time grid, exactly as the per-stage path does."""
+    kernels.set_backend(backend)
+    stimulus = _stimulus()
+    t = stimulus.times()
+    vwave = Waveform(
+        0.75 + 0.35 * np.sin(2 * np.pi * t / 2e-9),
+        stimulus.dt,
+        stimulus.t0,
+    )
+    fused, unfused = _fused_and_unfused(
+        3, stimulus, 2, rng_seed=5, vctrl=vwave
+    )
+    _assert_equivalent(fused, unfused, backend)
+
+
+def test_numba_module_bit_exact_against_python():
+    """The numba fused kernels are transcriptions of the reference: run
+    the module's functions directly (undecorated when numba is absent)
+    and demand bit-exactness against the python backend."""
+    stimulus = _stimulus()
+    samples = stimulus.values
+
+    def plan(seed, rng_seed):
+        line = FineDelayLine(n_stages=4, seed=seed)
+        return line._cascade_plan(stimulus, np.random.default_rng(rng_seed))
+
+    stages_a, _ = plan(42, 9)
+    stages_b, _ = plan(42, 9)
+    out_py = python_backend.fine_delay_cascade(samples, stages_a, stimulus.dt)
+    out_nb = numba_backend.fine_delay_cascade(samples, stages_b, stimulus.dt)
+    assert np.array_equal(out_py, out_nb)
+
+
+def test_numba_module_batch_bit_exact_against_python():
+    stimulus = _stimulus()
+    values = np.stack([stimulus.values, -stimulus.values])
+    batch = WaveformBatch(values, stimulus.dt, np.array([0.0, 1e-10]))
+
+    def plan(seed):
+        line = FineDelayLine(n_stages=3, seed=seed)
+        rngs = [np.random.default_rng(i) for i in range(2)]
+        return line._cascade_plan_batch(batch, rngs, None)
+
+    stages_a, _ = plan(1)
+    stages_b, _ = plan(1)
+    out_py = python_backend.fine_delay_cascade_batch(
+        values, stages_a, batch.dt
+    )
+    out_nb = numba_backend.fine_delay_cascade_batch(
+        values, stages_b, batch.dt
+    )
+    assert np.array_equal(out_py, out_nb)
+
+
+# -- the switch and its observability ---------------------------------------
+
+
+def test_env_switch(monkeypatch):
+    monkeypatch.setenv("REPRO_FUSION", "off")
+    assert reset_fusion() is False
+    monkeypatch.setenv("REPRO_FUSION", "on")
+    assert reset_fusion() is True
+    monkeypatch.delenv("REPRO_FUSION")
+    assert reset_fusion() is True  # default on
+
+
+def test_env_switch_unrecognised_value_warns(monkeypatch):
+    monkeypatch.setenv("REPRO_FUSION", "sideways")
+    with pytest.warns(RuntimeWarning):
+        assert reset_fusion() is True
+
+
+def test_counters_distinguish_fused_from_unfused():
+    stimulus = _stimulus(n_bits=16)
+    line = FineDelayLine(n_stages=2, seed=0)
+    with instrument.enabled_scope(reset=True) as registry:
+        with use_fusion(True):
+            line.process(stimulus, np.random.default_rng(0))
+        with use_fusion(False):
+            line.process(stimulus, np.random.default_rng(0))
+        counters = registry.snapshot()["counters"]
+    assert counters["fine_delay.fused_calls"] == 1
+    assert counters["fine_delay.unfused_calls"] == 1
+
+
+def test_fused_path_records_cascade_kernel_op():
+    stimulus = _stimulus(n_bits=16)
+    line = FineDelayLine(n_stages=2, seed=0)
+    with instrument.enabled_scope(reset=True) as registry:
+        with use_fusion(True):
+            line.process(stimulus, np.random.default_rng(0))
+        counters = registry.snapshot()["counters"]
+    assert counters.get("kernels.fine_delay_cascade.calls", 0) >= 1

@@ -209,3 +209,57 @@ class TestRunLengths:
     @settings(max_examples=50, deadline=None)
     def test_run_lengths_sum_to_total(self, bits):
         assert run_lengths(bits).sum() == len(bits)
+
+
+class TestPrbsCache:
+    """The PRBS core memoization: same bits, LFSR walked once."""
+
+    def test_repeat_generation_hits_cache(self):
+        from repro import instrument
+        from repro.signals import clear_prbs_cache
+
+        clear_prbs_cache()
+        with instrument.enabled_scope(reset=True) as registry:
+            first = prbs_sequence(9, 511)
+            second = prbs_sequence(9, 511)
+            counters = registry.snapshot()["counters"]
+        np.testing.assert_array_equal(first, second)
+        assert counters["patterns.prbs_cache_misses"] == 1
+        assert counters["patterns.prbs_cache_hits"] == 1
+
+    def test_cached_results_are_independent_copies(self):
+        from repro.signals import clear_prbs_cache
+
+        clear_prbs_cache()
+        first = prbs_sequence(7, 127)
+        first[:] = 9  # vandalise the returned array
+        second = prbs_sequence(7, 127)
+        assert set(np.unique(second)) <= {0, 1}
+
+    def test_shorter_request_slices_longer_core(self):
+        from repro.signals import clear_prbs_cache
+
+        clear_prbs_cache()
+        full = prbs_sequence(7, 127)
+        head = prbs_sequence(7, 10)
+        np.testing.assert_array_equal(head, full[:10])
+
+    def test_longer_request_after_short_regenerates(self):
+        from repro.signals import clear_prbs_cache
+
+        clear_prbs_cache()
+        head = prbs_sequence(7, 10)
+        full = prbs_sequence(7, 127)
+        np.testing.assert_array_equal(head, full[:10])
+        assert full.size == 127
+
+    def test_distinct_seeds_are_distinct_entries(self):
+        from repro.signals import clear_prbs_cache
+
+        clear_prbs_cache()
+        a = prbs_sequence(7, 127, seed=1)
+        b = prbs_sequence(7, 127, seed=2)
+        assert not np.array_equal(a, b)
+        # and the cache returns the right one afterwards
+        np.testing.assert_array_equal(prbs_sequence(7, 127, seed=1), a)
+        np.testing.assert_array_equal(prbs_sequence(7, 127, seed=2), b)

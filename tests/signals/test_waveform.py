@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SampleRateMismatchError, WaveformError
-from repro.signals import Waveform, DifferentialPair
+from repro.signals import Waveform, WaveformBatch, DifferentialPair
 
 
 def ramp(n=101, dt=1e-12, t0=0.0):
@@ -301,3 +301,27 @@ class TestPersistence:
         wf.save(path)
         with np.load(path) as archive:
             assert set(archive.files) == {"values", "dt", "t0"}
+
+
+class TestDtypeAudit:
+    """Narrow-float sample arrays must be rejected, not silently up-cast."""
+
+    def test_float32_array_rejected(self):
+        with pytest.raises(WaveformError, match="float32"):
+            Waveform(np.zeros(8, dtype=np.float32), 1e-12)
+
+    def test_float16_array_rejected(self):
+        with pytest.raises(WaveformError, match="float16"):
+            Waveform(np.zeros(8, dtype=np.float16), 1e-12)
+
+    def test_batch_float32_rejected(self):
+        with pytest.raises(WaveformError, match="float32"):
+            WaveformBatch(np.zeros((2, 8), dtype=np.float32), 1e-12)
+
+    def test_float64_and_integer_arrays_pass(self):
+        Waveform(np.zeros(8), 1e-12)
+        Waveform(np.arange(8), 1e-12)
+        WaveformBatch(np.zeros((2, 8), dtype=np.int32), 1e-12)
+
+    def test_plain_lists_pass(self):
+        Waveform([0.0, 1.0, 0.5], 1e-12)
