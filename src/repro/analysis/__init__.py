@@ -16,7 +16,12 @@ from .measurements import (
 )
 from .eye import EyeDiagram, EyeMetrics
 from .histogram import Histogram, build_histogram
-from .bathtub import BathtubCurve, bathtub_from_dual_dirac, eye_opening_at_ber
+from .bathtub import (
+    BathtubAccumulator,
+    BathtubCurve,
+    bathtub_from_dual_dirac,
+    eye_opening_at_ber,
+)
 from .raster import EyeRaster, rasterize_eye, ascii_eye, mask_hits
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "EyeMetrics",
     "Histogram",
     "build_histogram",
+    "BathtubAccumulator",
     "BathtubCurve",
     "bathtub_from_dual_dirac",
     "eye_opening_at_ber",

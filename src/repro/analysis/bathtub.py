@@ -18,12 +18,30 @@ from scipy import special as _special
 from ..errors import MeasurementError
 from ..jitter.decomposition import DualDiracModel, q_ber
 
-__all__ = ["BathtubCurve", "bathtub_from_dual_dirac", "eye_opening_at_ber"]
+__all__ = [
+    "BathtubCurve",
+    "BathtubAccumulator",
+    "bathtub_from_dual_dirac",
+    "eye_opening_at_ber",
+]
 
 
 def _gaussian_tail(x: np.ndarray) -> np.ndarray:
     """One-sided Gaussian tail probability Q(x)."""
     return 0.5 * _special.erfc(x / math.sqrt(2.0))
+
+
+def _widest_true_run(mask: np.ndarray) -> tuple:
+    """Return (start, end) indices of the widest contiguous True run.
+
+    Ties go to the earliest run.  *mask* must contain at least one True.
+    """
+    padded = np.concatenate([[False], mask, [False]])
+    edges = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1) - 1  # inclusive
+    widest = int(np.argmax(ends - starts))
+    return int(starts[widest]), int(ends[widest])
 
 
 @dataclass(frozen=True)
@@ -45,9 +63,16 @@ class BathtubCurve:
     unit_interval: float
 
     def opening(self, target_ber: float = 1e-12) -> float:
-        """Width of the region where BER stays below *target_ber*.
+        """Width of the widest contiguous region below *target_ber*.
 
         Returns 0 if the eye is closed at the target BER.
+
+        A measured (non-monotone) curve can dip below the target at
+        stray positions outside the eye — a noise notch near a crossing,
+        or a zero-error cell that simply saw too few bits.  Spanning the
+        first and last below-target indices would count the closed
+        region between such outliers as open; only the widest contiguous
+        below-target run is the eye.
         """
         if not 0.0 < target_ber < 0.5:
             raise MeasurementError(
@@ -56,20 +81,16 @@ class BathtubCurve:
         below = self.ber < target_ber
         if not np.any(below):
             return 0.0
-        indices = np.flatnonzero(below)
-        return float(
-            self.positions[indices[-1]] - self.positions[indices[0]]
-        )
+        start, end = _widest_true_run(below)
+        return float(self.positions[end] - self.positions[start])
 
     def centre(self, target_ber: float = 1e-12) -> float:
-        """Optimal sampling instant (middle of the open region)."""
+        """Optimal sampling instant (middle of the widest open run)."""
         below = self.ber < target_ber
         if not np.any(below):
             raise MeasurementError("eye is closed at the target BER")
-        indices = np.flatnonzero(below)
-        return float(
-            (self.positions[indices[0]] + self.positions[indices[-1]]) / 2.0
-        )
+        start, end = _widest_true_run(below)
+        return float((self.positions[start] + self.positions[end]) / 2.0)
 
 
 def bathtub_from_dual_dirac(
@@ -115,6 +136,66 @@ def bathtub_from_dual_dirac(
     )
     ber = transition_density * (left + right)
     return BathtubCurve(positions=x, ber=ber, unit_interval=unit_interval)
+
+
+class BathtubAccumulator:
+    """Fold per-chunk error counts into a measured bathtub curve.
+
+    Streaming BERT runs cannot hold a billion sampled bits; this
+    accumulator keeps only two ``int64`` tallies per sampling position
+    (bits counted, errors seen), so a 1e9-bit bathtub costs a few
+    hundred bytes regardless of run length.  Chunk results from
+    different workers can be combined with :meth:`merge`.
+    """
+
+    def __init__(self, positions: np.ndarray, unit_interval: float):
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.size == 0:
+            raise MeasurementError("need at least one sampling position")
+        if unit_interval <= 0:
+            raise MeasurementError(
+                f"unit interval must be positive: {unit_interval}"
+            )
+        self.positions = positions
+        self.unit_interval = float(unit_interval)
+        self.bits = np.zeros(positions.size, dtype=np.int64)
+        self.errors = np.zeros(positions.size, dtype=np.int64)
+
+    def add(self, position_index: int, n_bits: int, n_errors: int) -> None:
+        """Fold one chunk's tally at one sampling position."""
+        if n_bits < 0 or n_errors < 0 or n_errors > n_bits:
+            raise MeasurementError(
+                f"invalid chunk tally: {n_errors} errors in {n_bits} bits"
+            )
+        self.bits[position_index] += n_bits
+        self.errors[position_index] += n_errors
+
+    def merge(self, other: "BathtubAccumulator") -> None:
+        """Fold another accumulator (e.g. from a parallel worker)."""
+        if not np.array_equal(other.positions, self.positions):
+            raise MeasurementError(
+                "cannot merge accumulators with different position grids"
+            )
+        self.bits += other.bits
+        self.errors += other.errors
+
+    @property
+    def total_bits(self) -> int:
+        return int(self.bits.sum())
+
+    def curve(self) -> BathtubCurve:
+        """Snapshot the accumulated tallies as a :class:`BathtubCurve`.
+
+        Positions that saw no bits report BER 1.0 (pessimistic: an
+        unmeasured position is not evidence of an open eye).
+        """
+        ber = np.ones(self.positions.size, dtype=np.float64)
+        np.divide(self.errors, self.bits, out=ber, where=self.bits > 0)
+        return BathtubCurve(
+            positions=self.positions.copy(),
+            ber=ber,
+            unit_interval=self.unit_interval,
+        )
 
 
 def eye_opening_at_ber(

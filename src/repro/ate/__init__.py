@@ -10,7 +10,13 @@ from .channel import ATEChannel
 from .bus import ParallelBus
 from .deskew import DeskewController, DeskewReport
 from .dut import ClockedReceiver, SampleResult, bus_eye_width
-from .bert import BertResult, BitErrorRateTester, align_pattern
+from .bert import (
+    BertResult,
+    BitErrorRateTester,
+    ErrorCounter,
+    StreamingBitSampler,
+    align_pattern,
+)
 from .shmoo import ShmooResult, timing_shmoo
 from .source_sync import AlignmentReport, SourceSynchronousLink, worst_edge_margin
 
@@ -24,6 +30,8 @@ __all__ = [
     "bus_eye_width",
     "BertResult",
     "BitErrorRateTester",
+    "ErrorCounter",
+    "StreamingBitSampler",
     "align_pattern",
     "ShmooResult",
     "timing_shmoo",

@@ -17,8 +17,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import MeasurementError
+from ..signals.waveform import Waveform
 
-__all__ = ["BertResult", "align_pattern", "BitErrorRateTester"]
+__all__ = [
+    "BertResult",
+    "align_pattern",
+    "BitErrorRateTester",
+    "ErrorCounter",
+    "StreamingBitSampler",
+]
 
 
 @dataclass(frozen=True)
@@ -152,3 +159,133 @@ class BitErrorRateTester:
         return BertResult(
             n_bits=int(received.size), n_errors=errors, alignment=offset
         )
+
+
+class ErrorCounter:
+    """Chunk-folding error counter for streamed BERT runs.
+
+    Feeds like :meth:`BitErrorRateTester.measure`, but accepts the
+    received stream in arbitrary chunks and accumulates counts in O(1)
+    memory — the path that lets a 1e9-bit run complete without ever
+    materialising the bit stream.  The reference for global bit *i* is
+    ``pattern[(offset + i) % len(pattern)]``, identical to the
+    monolithic ``np.resize(np.roll(pattern, -offset), n)`` reference,
+    so folding chunk results reproduces the monolithic counts exactly
+    for any split.
+
+    With *auto_align* the pattern offset is locked from the **first
+    chunk** (a hardware BERT synchronises once at the start of a run);
+    make the first chunk at least one pattern period long for a
+    reliable lock.
+    """
+
+    def __init__(self, pattern: Sequence[int], auto_align: bool = True):
+        self.pattern = np.asarray(pattern, dtype=np.uint8)
+        if self.pattern.size == 0:
+            raise MeasurementError("pattern must not be empty")
+        if set(np.unique(self.pattern)) - {0, 1}:
+            raise MeasurementError("pattern must contain only bits")
+        self.auto_align = bool(auto_align)
+        self._offset: Optional[int] = None
+        self._n_bits = 0
+        self._n_errors = 0
+
+    @property
+    def n_bits(self) -> int:
+        """Bits folded in so far."""
+        return self._n_bits
+
+    @property
+    def n_errors(self) -> int:
+        """Errors counted so far."""
+        return self._n_errors
+
+    def add(self, received: Sequence[int]) -> int:
+        """Fold one chunk of received bits; returns its error count."""
+        received = np.asarray(received, dtype=np.uint8)
+        if received.size == 0:
+            return 0
+        if self._offset is None:
+            self._offset = (
+                align_pattern(received, self.pattern)
+                if self.auto_align
+                else 0
+            )
+        period = self.pattern.size
+        indices = (
+            self._offset + self._n_bits + np.arange(received.size)
+        ) % period
+        errors = int(np.sum(received != self.pattern[indices]))
+        self._n_bits += int(received.size)
+        self._n_errors += errors
+        return errors
+
+    def result(self) -> BertResult:
+        """The accumulated measurement."""
+        if self._n_bits == 0:
+            raise MeasurementError("no bits were compared")
+        return BertResult(
+            n_bits=self._n_bits,
+            n_errors=self._n_errors,
+            alignment=int(self._offset or 0),
+        )
+
+
+class StreamingBitSampler:
+    """Recover bit decisions from successive waveform chunks.
+
+    Samples the stream at decision instants ``t_start + k * UI``
+    (k = 0, 1, ...), carrying the seam between chunks: an instant that
+    falls between the last sample of one chunk and the first sample of
+    the next interpolates across the boundary exactly as a monolithic
+    record would.  Instants beyond the current chunk are deferred to
+    the next one.
+    """
+
+    def __init__(
+        self, unit_interval: float, t_start: float, threshold: float = 0.0
+    ):
+        if unit_interval <= 0:
+            raise MeasurementError(
+                f"unit interval must be positive: {unit_interval}"
+            )
+        self.unit_interval = float(unit_interval)
+        self.t_start = float(t_start)
+        self.threshold = float(threshold)
+        self._next_k = 0
+        self._carry: Optional[float] = None
+
+    @property
+    def bits_sampled(self) -> int:
+        """Decision instants resolved so far."""
+        return self._next_k
+
+    def push(self, chunk: Waveform) -> np.ndarray:
+        """Sample every decision instant covered by *chunk* (plus the
+        carried seam sample); returns the recovered bits (may be empty)."""
+        if len(chunk) == 0:
+            raise MeasurementError("chunks must be non-empty")
+        if self._carry is not None:
+            values = np.concatenate([[self._carry], chunk.values])
+            extended = Waveform(values, chunk.dt, chunk.t0 - chunk.dt)
+        else:
+            extended = chunk
+        t_end = extended.t_end
+        k_last = int(
+            math.floor((t_end - self.t_start) / self.unit_interval)
+        )
+        if k_last >= self._next_k:
+            ks = np.arange(self._next_k, k_last + 1)
+            instants = self.t_start + ks * self.unit_interval
+            if instants[0] < extended.t0 - 0.5 * chunk.dt:
+                raise MeasurementError(
+                    f"decision instant {instants[0]} precedes the "
+                    f"stream (chunk starts at {extended.t0})"
+                )
+            samples = extended.value_at(np.minimum(instants, t_end))
+            bits = (samples > self.threshold).astype(np.uint8)
+            self._next_k = k_last + 1
+        else:
+            bits = np.empty(0, dtype=np.uint8)
+        self._carry = float(chunk.values[-1])
+        return bits

@@ -226,6 +226,31 @@ class ParallelBus:
             results.append(edges)
         return results
 
+    def stream_channel(
+        self,
+        index: int,
+        chunks,
+        rng: Optional[np.random.Generator] = None,
+        prime: Optional[Waveform] = None,
+    ):
+        """Stream chunked stimulus through one channel's delay circuit.
+
+        Yields the delay circuit's output chunk for each input chunk —
+        the bounded-memory path for billion-bit BERT runs (the channel
+        driver is bypassed: the caller supplies already-rendered
+        stimulus chunks, e.g. from a chunked NRZ source).  See
+        :meth:`repro.core.combined.CombinedDelayLine.open_stream`.
+        """
+        if self.delay_lines is None:
+            raise CircuitError("bus was built without delay circuits")
+        if not 0 <= index < self.n_channels:
+            raise CircuitError(
+                f"channel {index} out of range 0..{self.n_channels - 1}"
+            )
+        yield from self.delay_lines[index].process_stream(
+            chunks, rng=rng, prime=prime
+        )
+
     def calibrate_delay_lines(
         self,
         stimulus: Optional[Waveform] = None,

@@ -29,6 +29,7 @@ from .calibration import (
 )
 from .jitter_injector import JitterInjector
 from .event_model import EventDelayModel
+from .streaming import StreamProcessor
 
 __all__ = [
     "FOUR_STAGE_BUFFER",
@@ -51,4 +52,5 @@ __all__ = [
     "CombinedDelaySolver",
     "JitterInjector",
     "EventDelayModel",
+    "StreamProcessor",
 ]

@@ -143,6 +143,41 @@ class CombinedDelayLine(CircuitElement):
                 result = self.coarse.process(waveform, rng)
             return self.fine.process(result, rng)
 
+    def open_stream(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        prime: Optional[Waveform] = None,
+    ):
+        """Build a chunked streaming processor for the combined path.
+
+        The coarse tap selection and mux programming are captured at
+        build time.  Unlike :meth:`FineDelayLine.open_stream`, a noisy
+        streamed run is *not* bit-exact against :meth:`process` (the
+        monolithic path shares one generator across the coarse and fine
+        sections, which a chunked run cannot reproduce); it is
+        deterministic, split-invariant, and bit-exact in the noiseless
+        case.  See :mod:`repro.core.streaming`.
+        """
+        from .streaming import StreamProcessor
+
+        processor = StreamProcessor.for_combined(
+            self.coarse, self.fine._elements(), rng
+        )
+        if prime is not None:
+            processor.prime(prime)
+        return processor
+
+    def process_stream(
+        self,
+        chunks,
+        rng: Optional[np.random.Generator] = None,
+        prime: Optional[Waveform] = None,
+    ):
+        """Yield the combined output chunk by chunk (see :meth:`open_stream`)."""
+        processor = self.open_stream(rng=rng, prime=prime)
+        for chunk in chunks:
+            yield processor.push(chunk)
+
     def process_batch(
         self,
         waveforms: WaveformBatch,

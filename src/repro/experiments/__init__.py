@@ -19,6 +19,7 @@ Registry
 ``fig17``                 injected jitter vs noise amplitude
 ``app_deskew``            8-channel bus deskew vs ATE-only baseline
 ``app_resolution``        sub-ps resolution through the 12-bit DAC
+``stream_bert``           chunked bounded-memory BERT through the fine line
 ``ablation_stages``       range/jitter vs cascade length
 ``ablation_coarse_step``  coarse step size vs coverage
 ``ablation_model``        waveform vs event model fidelity/speed
@@ -51,6 +52,7 @@ from . import (
     fig15_range_vs_freq,
     fig16_injection_eye,
     fig17_jitter_vs_noise,
+    stream_bert,
 )
 
 #: Experiment id -> runner.  The benchmark suite iterates this table.
@@ -65,6 +67,7 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig15": fig15_range_vs_freq.run,
     "fig16": fig16_injection_eye.run,
     "fig17": fig17_jitter_vs_noise.run,
+    "stream_bert": stream_bert.run,
     "app_deskew": app_deskew.run,
     "app_resolution": app_resolution.run,
     "ablation_stages": ablation_stages.run,

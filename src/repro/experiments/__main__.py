@@ -19,6 +19,11 @@ Options
 ``--profile``
     Enable instrumentation and print a sorted hot-spot table (stage
     spans, then kernel ops) after the result tables.
+``--stream [--chunk-bits N] [--total-bits N] [--rss-limit-mb N]``
+    Skip the figure registry and run the chunked streaming BERT loop
+    (:mod:`repro.experiments.stream_bert`) at an explicit size — the
+    entry point the CI streaming job drives at 1e8 bits with an RSS
+    ceiling assertion.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from .. import instrument, parallel
 from ..kernels import active_backend
-from . import RUNNERS
+from . import RUNNERS, stream_bert
 from .common import call_instrumented
 
 
@@ -66,6 +71,61 @@ def _unknown_experiment_message(unknown) -> str:
         lines.append(f"unknown experiment id {name!r}{hint}")
     lines.append("valid ids: " + ", ".join(sorted(RUNNERS)))
     return "\n".join(lines)
+
+
+def _main_stream(args) -> int:
+    """The ``--stream`` entry point: one chunked BERT run, sized by the
+    command line, with the usual table/markdown/metrics plumbing."""
+    if args.only:
+        raise SystemExit("--only and --stream are mutually exclusive")
+    collect = bool(args.metrics_json or args.profile)
+    previously_enabled = instrument.enabled()
+    if collect:
+        instrument.get_registry().reset()
+        instrument.enable()
+
+    t0 = time.perf_counter()
+    with instrument.span("experiment.stream_bert"):
+        result = stream_bert.run(
+            fast=args.fast,
+            total_bits=args.total_bits,
+            chunk_bits=args.chunk_bits,
+            rss_limit_mb=args.rss_limit_mb,
+        )
+    duration = time.perf_counter() - t0
+
+    if args.markdown:
+        print(result.format_markdown())
+    else:
+        print(result.format_table())
+        print()
+
+    if collect:
+        snapshot = instrument.get_registry().snapshot()
+        if args.profile:
+            print(instrument.profile_table(snapshot))
+        if args.metrics_json:
+            manifest = instrument.build_manifest(
+                [
+                    {
+                        "id": result.experiment,
+                        "title": result.title,
+                        "duration_s": duration,
+                        "checks_passed": result.all_checks_pass,
+                        "failed_checks": result.failed_checks(),
+                        "n_rows": len(result.rows),
+                    }
+                ],
+                fast=args.fast,
+                jobs=1,
+                backend=active_backend(),
+                snapshot=snapshot,
+                duration_s=duration,
+            )
+            instrument.write_manifest(args.metrics_json, manifest)
+        if not previously_enabled:
+            instrument.disable()
+    return 0 if result.all_checks_pass else 1
 
 
 def main(argv=None) -> int:
@@ -104,9 +164,45 @@ def main(argv=None) -> int:
         action="store_true",
         help="print a sorted hot-spot table after the result tables",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the chunked streaming BERT loop instead of the registry",
+    )
+    parser.add_argument(
+        "--chunk-bits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bits per streamed chunk (with --stream; default 4096)",
+    )
+    parser.add_argument(
+        "--total-bits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total bits to stream (with --stream; default 200000)",
+    )
+    parser.add_argument(
+        "--rss-limit-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="fail unless peak RSS stays under MB MiB (with --stream)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if not args.stream:
+        for flag, value in (
+            ("--chunk-bits", args.chunk_bits),
+            ("--total-bits", args.total_bits),
+            ("--rss-limit-mb", args.rss_limit_mb),
+        ):
+            if value is not None:
+                parser.error(f"{flag} requires --stream")
+    if args.stream:
+        return _main_stream(args)
 
     if args.only:
         wanted = [

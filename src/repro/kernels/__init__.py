@@ -35,6 +35,8 @@ from .. import instrument
 from ..errors import CircuitError
 from .cascade import (
     CascadeStage,
+    CascadeStageState,
+    fresh_cascade_state,
     fusion_enabled,
     reset_fusion,
     set_fusion,
@@ -61,6 +63,8 @@ __all__ = [
     "set_backend",
     "use_backend",
     "CascadeStage",
+    "CascadeStageState",
+    "fresh_cascade_state",
     "fusion_enabled",
     "set_fusion",
     "reset_fusion",
@@ -78,6 +82,7 @@ __all__ = [
     "hysteresis_crossings_batch",
     "fine_delay_cascade",
     "fine_delay_cascade_batch",
+    "fine_delay_cascade_stream",
 ]
 
 PerLane = Union[float, Sequence[float], np.ndarray]
@@ -386,6 +391,36 @@ def fine_delay_cascade(
         values.size * max(1, len(stages)),
         lambda: get_backend().fine_delay_cascade(
             values, list(stages), float(dt)
+        ),
+    )
+
+
+def fine_delay_cascade_stream(
+    values: np.ndarray,
+    stages: Sequence[CascadeStage],
+    dt: float,
+    states: Sequence[CascadeStageState],
+) -> np.ndarray:
+    """Run one chunk of a cascade, carrying per-stage state in *states*.
+
+    The stateful variant of :func:`fine_delay_cascade`: *states* (one
+    :class:`CascadeStageState` per stage, mutated in place) threads the
+    comparator, compression, slew-tracker, filter and frozen-statistics
+    state across successive calls, so feeding the chunks of a split
+    record through this kernel reproduces the monolithic run — see
+    :mod:`repro.core.streaming` for the chunk invariants.
+    """
+    if len(stages) != len(states):
+        raise CircuitError(
+            f"need one carry state per stage: {len(stages)} stages, "
+            f"{len(states)} states"
+        )
+    values = _as_float_array(values)
+    return _run(
+        "fine_delay_cascade_stream",
+        values.size * max(1, len(stages)),
+        lambda: get_backend().fine_delay_cascade_stream(
+            values, list(stages), float(dt), list(states)
         ),
     )
 

@@ -39,6 +39,8 @@ import numpy as np
 
 __all__ = [
     "CascadeStage",
+    "CascadeStageState",
+    "fresh_cascade_state",
     "typical_crossing_interval",
     "typical_crossing_interval_batch",
     "fusion_enabled",
@@ -147,6 +149,66 @@ class CascadeStage:
     a: np.ndarray
     zi_unit: np.ndarray
     noise: Optional[np.ndarray] = None
+
+
+@dataclass
+class CascadeStageState:
+    """Carried state of one cascade stage across chunk boundaries.
+
+    The streaming kernels (``fine_delay_cascade_stream``) thread one of
+    these per stage through successive calls, so a chunked run continues
+    the per-sample recurrences — comparator flips, compression-scale
+    decay, slew tracking, filter memory — exactly where the previous
+    chunk left them.
+
+    Two kinds of members live here:
+
+    * **Frozen whole-record statistics** (``hysteresis``,
+      ``initial_interval``): the monolithic path derives these from the
+      full record (a percentile swing estimate and the median crossing
+      interval).  A stream cannot see the full record, so they are
+      frozen once — by a priming pass, or from the first chunk — and
+      reused for every subsequent chunk.
+    * **Dynamic recurrence state** (``comp_state``, ``elapsed``,
+      ``scale``, ``slew_y``, ``filter_zi``): read at the top of each
+      kernel call and written back at the bottom.
+
+    ``primed`` distinguishes a fresh state (kernel performs the
+    monolithic first-sample initialisation) from a carried one.
+    """
+
+    hysteresis: Optional[float] = None
+    initial_interval: Optional[float] = None
+    comp_state: int = 0  # +1/-1 comparator state; 0 = unprimed
+    elapsed: float = 0.0
+    scale: float = 1.0
+    slew_y: float = 0.0
+    filter_zi: Optional[np.ndarray] = None
+    primed: bool = False
+
+    def freeze_stats(self, hysteresis: float, initial_interval: float) -> None:
+        """Pin the whole-record statistics without touching dynamics."""
+        self.hysteresis = float(hysteresis)
+        self.initial_interval = float(initial_interval)
+
+    def rearm(self) -> None:
+        """Reset the dynamic recurrences, keeping any frozen statistics.
+
+        Used after a priming pass: the stream keeps the statistics the
+        prime established but must re-run the first-sample
+        initialisation on the first real data chunk.
+        """
+        self.comp_state = 0
+        self.elapsed = 0.0
+        self.scale = 1.0
+        self.slew_y = 0.0
+        self.filter_zi = None
+        self.primed = False
+
+
+def fresh_cascade_state(n_stages: int) -> "list[CascadeStageState]":
+    """Return unprimed carry states for an *n_stages* cascade."""
+    return [CascadeStageState() for _ in range(n_stages)]
 
 
 def typical_crossing_interval(v_in: np.ndarray, dt: float) -> float:

@@ -49,6 +49,7 @@ __all__ = [
     "hysteresis_crossings_batch",
     "fine_delay_cascade",
     "fine_delay_cascade_batch",
+    "fine_delay_cascade_stream",
 ]
 
 _JIT_OPTIONS = {"cache": True, "nogil": True, "fastmath": False}
@@ -346,6 +347,56 @@ def compressive_slew_limit_batch(
     )
 
 
+@njit(**_JIT_OPTIONS)
+def _compressive_slew_limit_carry(  # pragma: no cover - compiled
+    v_in,
+    target_floor,
+    target_extra,
+    max_step,
+    dt,
+    hysteresis,
+    corner,
+    order,
+    initial_interval,
+    comp_state,
+    elapsed,
+    scale,
+    y,
+    primed,
+):
+    n = target_extra.shape[0]
+    out = np.empty(n)
+    inv_2corner = 1.0 / (2.0 * corner)
+    if not primed:
+        comp_state = 1 if v_in[0] > 0.0 else -1
+        elapsed = initial_interval
+        scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        y = target_floor[0] + scale * target_extra[0]
+    state = comp_state
+    up = max_step
+    down = -max_step
+    for i in range(n):
+        v = v_in[i]
+        if state > 0:
+            if v < -hysteresis:
+                state = -1
+                scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+                elapsed = 0.0
+        elif v > hysteresis:
+            state = 1
+            scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+            elapsed = 0.0
+        elapsed += dt
+        dv = target_floor[i] + scale * target_extra[i] - y
+        if dv > up:
+            dv = up
+        elif dv < down:
+            dv = down
+        y += dv
+        out[i] = y
+    return out, state, elapsed, scale, y
+
+
 def match_edges_batch(ref_edges, out_edges, coarse, max_edge_offset):
     # Ragged per-lane edge lists: loop at Python level over the jitted
     # single-lane kernel (the per-lane work releases the GIL).
@@ -399,6 +450,71 @@ def fine_delay_cascade(values, stages, dt):
             slewed = _slew_limit(target, stage.max_step, float(target[0]))
         zi = stage.zi_unit * slewed[0]
         x, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+    return x
+
+
+def fine_delay_cascade_stream(values, stages, dt, states):
+    """Fused cascade over one chunk, with carried per-stage state.
+
+    Same structure as :func:`fine_delay_cascade` with the slew
+    recurrences routed through the jitted carry loop — a line-for-line
+    transcription of the reference carry kernel, so streaming through
+    this backend is bit-exact against the python backend's stream.
+    """
+    x = values
+    for stage, carry in zip(stages, states):
+        v_in = x
+        if stage.noise is not None:
+            v_in = v_in + stage.noise
+        limited = np.tanh(v_in / stage.v_linear)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            if carry.hysteresis is None or carry.initial_interval is None:
+                swing = np.percentile(v_in, 98) - np.percentile(v_in, 2)
+                carry.freeze_stats(
+                    float(0.3 * (swing / 2.0)),
+                    typical_crossing_interval(v_in, dt),
+                )
+            slewed, comp_state, elapsed, scale, y = (
+                _compressive_slew_limit_carry(
+                    np.ascontiguousarray(v_in),
+                    np.ascontiguousarray(
+                        np.broadcast_to(floor * limited, limited.shape)
+                    ),
+                    np.ascontiguousarray(
+                        np.broadcast_to(extra * limited, limited.shape)
+                    ),
+                    stage.max_step,
+                    dt,
+                    float(carry.hysteresis),
+                    stage.corner,
+                    stage.order,
+                    float(carry.initial_interval),
+                    carry.comp_state,
+                    carry.elapsed,
+                    carry.scale,
+                    carry.slew_y,
+                    carry.primed,
+                )
+            )
+            carry.comp_state = int(comp_state)
+            carry.elapsed = float(elapsed)
+            carry.scale = float(scale)
+            carry.slew_y = float(y)
+        else:
+            target = np.ascontiguousarray(amplitude * limited)
+            initial = carry.slew_y if carry.primed else float(target[0])
+            slewed = _slew_limit(target, stage.max_step, initial)
+            carry.slew_y = float(slewed[-1])
+        if carry.filter_zi is None:
+            zi = stage.zi_unit * slewed[0]
+        else:
+            zi = carry.filter_zi
+        x, zf = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+        carry.filter_zi = zf
+        carry.primed = True
     return x
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "hysteresis_crossings_batch",
     "fine_delay_cascade",
     "fine_delay_cascade_batch",
+    "fine_delay_cascade_stream",
 ]
 
 
@@ -212,6 +213,76 @@ def _scaled_target(
     target = target_floor + scale * target_extra
     y0 = float(target_floor[0]) + scale0 * float(target_extra[0])
     return target, y0
+
+
+def _compressive_target_carry(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    dt: float,
+    hysteresis: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+    comp_state: int,
+    elapsed_in: float,
+    scale_in: float,
+    primed: bool,
+) -> "tuple[np.ndarray, float, int, int, float, float]":
+    """:func:`_compressive_target` with carried comparator state.
+
+    Fresh (unprimed) calls reproduce :func:`_compressive_target`
+    bit-for-bit and additionally report the outgoing carry; primed
+    calls seed the forward fill with the carried comparator state, time
+    the first flip from the carried half-cycle age, and hold the carried
+    compression scale until that flip.
+
+    The outgoing ``elapsed`` is computed as ``(n - last_flip) * dt``
+    rather than by the reference loop's repeated ``+= dt`` — the same
+    quantity up to float rounding, which is within this backend's
+    documented tolerance (the python backend carries the exact value).
+
+    Returns ``(target, y0, n_flips, comp_state, elapsed, scale)``.
+    """
+    n = len(target_extra)
+    inv_2corner = 1.0 / (2.0 * corner)
+    if not primed:
+        comp_state = 1 if v_in[0] > 0.0 else -1
+        elapsed_in = initial_interval
+        scale_in = 1.0 / (1.0 + (inv_2corner / initial_interval) ** order)
+    tri = np.zeros(n, dtype=np.int8)
+    tri[v_in > hysteresis] = 1
+    tri[v_in < -hysteresis] = -1
+    prefixed = np.empty(n + 1, dtype=np.int8)
+    prefixed[0] = comp_state
+    prefixed[1:] = tri
+    fill_index = np.zeros(n + 1, dtype=np.int64)
+    decided = np.flatnonzero(prefixed)
+    fill_index[decided] = decided
+    fill_index = np.maximum.accumulate(fill_index)
+    filled = prefixed[fill_index]
+    flips = np.flatnonzero(filled[1:] != filled[:-1])  # sample indices
+    if flips.size == 0:
+        scale = np.full(n, scale_in)
+        elapsed_out = elapsed_in + n * dt
+        scale_out = scale_in
+    else:
+        elapsed = np.empty(flips.size)
+        elapsed[0] = elapsed_in + flips[0] * dt
+        elapsed[1:] = np.diff(flips) * dt
+        flip_scales = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        lengths = np.empty(flips.size + 1, dtype=np.int64)
+        lengths[0] = flips[0]
+        lengths[1:-1] = np.diff(flips)
+        lengths[-1] = n - flips[-1]
+        scale = np.repeat(
+            np.concatenate([[scale_in], flip_scales]), lengths
+        )
+        elapsed_out = float((n - flips[-1]) * dt)
+        scale_out = float(flip_scales[-1])
+    target = target_floor + scale * target_extra
+    y0 = float(target_floor[0]) + scale_in * float(target_extra[0])
+    return target, y0, int(flips.size), int(filled[-1]), elapsed_out, scale_out
 
 
 def compressive_slew_limit(
@@ -570,6 +641,78 @@ def fine_delay_cascade(values: np.ndarray, stages, dt: float) -> np.ndarray:
             )
         zi = stage.zi_unit * slewed[0]
         filtered, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+        x = filtered
+    return x
+
+
+def fine_delay_cascade_stream(
+    values: np.ndarray, stages, dt: float, states
+) -> np.ndarray:
+    """Fused cascade over one chunk, with carried per-stage state.
+
+    Mirrors the reference streaming semantics (see
+    ``python_backend.fine_delay_cascade_stream``) with this backend's
+    vectorised machinery: the carry-aware comparator decomposition
+    (:func:`_compressive_target_carry`), the cost-model slew strategy
+    from the carried tracker level, and ``lfilter`` with the carried
+    filter state.  A single unprimed call agrees with
+    :func:`fine_delay_cascade` bit-for-bit; chunked runs agree with the
+    monolithic path to floating-point rounding (within the 0.01 ps
+    delay contract).
+    """
+    x = values.copy()
+    scratch = np.empty_like(x)
+    for stage, carry in zip(stages, states):
+        if stage.noise is not None:
+            np.add(x, stage.noise, out=x)
+        v_in = x
+        np.divide(v_in, stage.v_linear, out=scratch)
+        limited = np.tanh(scratch, out=scratch)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            if carry.hysteresis is None or carry.initial_interval is None:
+                upper, lower = np.percentile(v_in, (98.0, 2.0))
+                carry.freeze_stats(
+                    float(0.3 * ((upper - lower) / 2.0)),
+                    typical_crossing_interval(v_in, dt),
+                )
+            target, y0, n_flips, comp_state, elapsed, scale = (
+                _compressive_target_carry(
+                    v_in,
+                    floor * limited,
+                    extra * limited,
+                    dt,
+                    float(carry.hysteresis),
+                    stage.corner,
+                    stage.order,
+                    float(carry.initial_interval),
+                    carry.comp_state,
+                    carry.elapsed,
+                    carry.scale,
+                    carry.primed,
+                )
+            )
+            y_start = carry.slew_y if carry.primed else y0
+            slewed = _cascade_slew(target, stage.max_step, y_start, n_flips)
+            carry.comp_state = comp_state
+            carry.elapsed = elapsed
+            carry.scale = scale
+        else:
+            target = amplitude * limited
+            sign = np.signbit(target)
+            n_events = int(np.count_nonzero(sign[1:] != sign[:-1]))
+            y_start = carry.slew_y if carry.primed else float(target[0])
+            slewed = _cascade_slew(target, stage.max_step, y_start, n_events)
+        carry.slew_y = float(slewed[-1])
+        if carry.filter_zi is None:
+            zi = stage.zi_unit * slewed[0]
+        else:
+            zi = carry.filter_zi
+        filtered, zf = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+        carry.filter_zi = zf
+        carry.primed = True
         x = filtered
     return x
 

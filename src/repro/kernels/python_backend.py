@@ -24,6 +24,7 @@ from .cascade import typical_crossing_interval, typical_crossing_interval_batch
 __all__ = [
     "slew_limit",
     "compressive_slew_limit",
+    "compressive_slew_limit_carry",
     "match_edges",
     "hysteresis_crossings",
     "nearest_edge_margin",
@@ -33,6 +34,7 @@ __all__ = [
     "hysteresis_crossings_batch",
     "fine_delay_cascade",
     "fine_delay_cascade_batch",
+    "fine_delay_cascade_stream",
 ]
 
 
@@ -104,6 +106,69 @@ def compressive_slew_limit(
         y += dv
         out[i] = y
     return out
+
+
+def compressive_slew_limit_carry(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+    comp_state: int,
+    elapsed: float,
+    scale: float,
+    y: float,
+    primed: bool,
+) -> "tuple[np.ndarray, int, float, float, float]":
+    """:func:`compressive_slew_limit` with carried recurrence state.
+
+    When *primed* is False the comparator/compression/tracker state is
+    initialised exactly as the monolithic kernel does from this chunk's
+    first sample; when True, (*comp_state*, *elapsed*, *scale*, *y*)
+    continue the loop where the previous chunk stopped.  Running the
+    chunks of a split record through this kernel is therefore bit-exact
+    against one monolithic :func:`compressive_slew_limit` call.
+
+    Returns ``(out, comp_state, elapsed, scale, y)``.
+    """
+    n = len(target_extra)
+    out = np.empty(n)
+    v_list = v_in.tolist()
+    floor_list = target_floor.tolist()
+    extra_list = target_extra.tolist()
+    inv_2corner = 1.0 / (2.0 * corner)
+    if not primed:
+        comp_state = 1 if v_list[0] > 0.0 else -1
+        elapsed = initial_interval
+        scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        y = float(floor_list[0]) + scale * float(extra_list[0])
+    state = comp_state
+    up = max_step
+    down = -max_step
+    for i in range(n):
+        v = v_list[i]
+        if state > 0:
+            if v < -hysteresis:
+                state = -1
+                scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+                elapsed = 0.0
+        elif v > hysteresis:
+            state = 1
+            scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+            elapsed = 0.0
+        elapsed += dt
+        dv = floor_list[i] + scale * extra_list[i] - y
+        if dv > up:
+            dv = up
+        elif dv < down:
+            dv = down
+        y += dv
+        out[i] = y
+    return out, state, elapsed, scale, y
 
 
 def match_edges(
@@ -327,6 +392,74 @@ def fine_delay_cascade(values: np.ndarray, stages, dt: float) -> np.ndarray:
             slewed = slew_limit(target, stage.max_step, float(target[0]))
         zi = stage.zi_unit * slewed[0]
         x, _ = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+    return x
+
+
+def fine_delay_cascade_stream(
+    values: np.ndarray, stages, dt: float, states
+) -> np.ndarray:
+    """Reference fused cascade over one chunk, with carried stage state.
+
+    *states* is one :class:`~repro.kernels.cascade.CascadeStageState`
+    per stage, mutated in place.  An unprimed state performs the exact
+    monolithic initialisation from this chunk (percentile hysteresis,
+    crossing-interval seeding, first-sample tracker and filter state);
+    a primed state continues the recurrences across the chunk boundary.
+    A single call on unprimed states is therefore bit-exact against
+    :func:`fine_delay_cascade`, and chunked calls are bit-exact against
+    the monolithic run whenever the frozen statistics match (see
+    ``repro.core.streaming`` for how the priming pass arranges that).
+    """
+    x = values
+    for stage, carry in zip(stages, states):
+        v_in = x
+        if stage.noise is not None:
+            v_in = v_in + stage.noise
+        limited = np.tanh(v_in / stage.v_linear)
+        amplitude = stage.amplitude
+        if np.isfinite(stage.corner):
+            floor = np.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            if carry.hysteresis is None or carry.initial_interval is None:
+                swing = np.percentile(v_in, 98) - np.percentile(v_in, 2)
+                carry.freeze_stats(
+                    float(0.3 * (swing / 2.0)),
+                    typical_crossing_interval(v_in, dt),
+                )
+            slewed, comp_state, elapsed, scale, y = (
+                compressive_slew_limit_carry(
+                    v_in,
+                    np.broadcast_to(floor * limited, limited.shape),
+                    np.broadcast_to(extra * limited, limited.shape),
+                    stage.max_step,
+                    dt,
+                    float(carry.hysteresis),
+                    stage.corner,
+                    stage.order,
+                    float(carry.initial_interval),
+                    carry.comp_state,
+                    carry.elapsed,
+                    carry.scale,
+                    carry.slew_y,
+                    carry.primed,
+                )
+            )
+            carry.comp_state = comp_state
+            carry.elapsed = elapsed
+            carry.scale = scale
+            carry.slew_y = y
+        else:
+            target = amplitude * limited
+            initial = carry.slew_y if carry.primed else float(target[0])
+            slewed = slew_limit(target, stage.max_step, initial)
+            carry.slew_y = float(slewed[-1])
+        if carry.filter_zi is None:
+            zi = stage.zi_unit * slewed[0]
+        else:
+            zi = carry.filter_zi
+        x, zf = _scipy_signal.lfilter(stage.b, stage.a, slewed, zi=zi)
+        carry.filter_zi = zf
+        carry.primed = True
     return x
 
 

@@ -134,12 +134,48 @@ def _claim_array(token: ShmArray) -> np.ndarray:
         )
         array = np.array(view)  # own the data before the block dies
     finally:
-        block.close()
         try:
-            block.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+            block.close()
+        finally:
+            # Unlink even when close() itself raises — the backing
+            # segment must not outlive a failed claim.
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
     return array
+
+
+def _release_tokens(obj: Any) -> None:
+    """Best-effort unlink of every shm block still referenced in *obj*.
+
+    Called when a decode fails partway: blocks already claimed are gone,
+    but every token not yet visited still owns a segment that nothing
+    else will ever free.  Attach-and-unlink each one; blocks that no
+    longer exist are skipped.
+    """
+    if isinstance(obj, ShmWaveform) or isinstance(obj, ShmWaveformBatch):
+        _release_tokens(obj.samples)
+        return
+    if isinstance(obj, ShmArray):
+        try:
+            block = shared_memory.SharedMemory(name=obj.name)
+        except FileNotFoundError:
+            return  # already claimed or released
+        try:
+            block.close()
+        finally:
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        return
+    if isinstance(obj, dict):
+        for value in obj.values():
+            _release_tokens(value)
+    elif isinstance(obj, (tuple, list)):
+        for item in obj:
+            _release_tokens(item)
 
 
 def encode_payload(obj: Any, min_bytes: int = MIN_SHM_BYTES) -> Any:
@@ -177,12 +213,8 @@ def encode_payload(obj: Any, min_bytes: int = MIN_SHM_BYTES) -> Any:
     return obj
 
 
-def decode_payload(obj: Any) -> Any:
-    """Inverse of :func:`encode_payload`: claim tokens, rebuild values.
-
-    Call in the parent, on the object received from the worker.  Safe
-    on payloads that were never encoded (no tokens → identity walk).
-    """
+def _decode(obj: Any) -> Any:
+    """Recursive decode walk (may raise mid-payload)."""
     if isinstance(obj, ShmWaveform):
         return Waveform(_claim_array(obj.samples), obj.dt, obj.t0)
     if isinstance(obj, ShmWaveformBatch):
@@ -192,12 +224,30 @@ def decode_payload(obj: Any) -> Any:
     if isinstance(obj, ShmArray):
         return _claim_array(obj)
     if isinstance(obj, dict):
-        return {key: decode_payload(value) for key, value in obj.items()}
+        return {key: _decode(value) for key, value in obj.items()}
     if isinstance(obj, tuple):
-        return tuple(decode_payload(item) for item in obj)
+        return tuple(_decode(item) for item in obj)
     if isinstance(obj, list):
-        return [decode_payload(item) for item in obj]
+        return [_decode(item) for item in obj]
     return obj
+
+
+def decode_payload(obj: Any) -> Any:
+    """Inverse of :func:`encode_payload`: claim tokens, rebuild values.
+
+    Call in the parent, on the object received from the worker.  Safe
+    on payloads that were never encoded (no tokens → identity walk).
+
+    If attaching or rebuilding any block raises partway through a
+    multi-block payload, the blocks not yet claimed are unlinked before
+    the exception propagates — otherwise each one would leak a
+    /dev/shm segment that survives the process.
+    """
+    try:
+        return _decode(obj)
+    except Exception:
+        _release_tokens(obj)
+        raise
 
 
 def payload_nbytes(obj: Any) -> int:

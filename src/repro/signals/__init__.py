@@ -10,6 +10,7 @@ back out of simulated traces.
 from .waveform import Waveform, WaveformBatch, DifferentialPair
 from .patterns import (
     PRBS_TAPS,
+    PRBSGenerator,
     prbs_sequence,
     prbs_period,
     clear_prbs_cache,
@@ -23,6 +24,7 @@ from .patterns import (
 )
 from .nrz import (
     GAUSSIAN_RISE_SIGMA_RATIO,
+    NRZStreamSource,
     transition_times_from_bits,
     render_transitions,
     synthesize_nrz,
@@ -57,6 +59,7 @@ __all__ = [
     "WaveformBatch",
     "DifferentialPair",
     "PRBS_TAPS",
+    "PRBSGenerator",
     "prbs_sequence",
     "prbs_period",
     "clear_prbs_cache",
@@ -68,6 +71,7 @@ __all__ = [
     "repeat_to_length",
     "run_lengths",
     "GAUSSIAN_RISE_SIGMA_RATIO",
+    "NRZStreamSource",
     "transition_times_from_bits",
     "render_transitions",
     "synthesize_nrz",

@@ -28,6 +28,7 @@ __all__ = [
     "transition_times_from_bits",
     "render_transitions",
     "synthesize_nrz",
+    "NRZStreamSource",
     "synthesize_clock",
     "synthesize_rz_clock",
     "synthesize_step",
@@ -244,6 +245,259 @@ def synthesize_nrz(
         rise_time=rise_time,
         t0=record_start,
     )
+
+
+class NRZStreamSource:
+    """Chunked NRZ synthesis: :func:`synthesize_nrz` in bounded memory.
+
+    Renders the same record :func:`synthesize_nrz` would produce for the
+    full bit sequence, but emits it as successive sample chunks, pulling
+    bits lazily — so a billion-bit stimulus never exists as one array.
+    Each chunk is rendered over a guard-banded window (one Gaussian
+    half-width of context on each side) at the *global* sample indices,
+    so the emitted samples are sample-for-sample identical to the
+    monolithic record for any chunk size.
+
+    Parameters
+    ----------
+    bits:
+        Either the full bit sequence, or a callable ``take(count)``
+        returning the next *count* bits (e.g. the bound method of a
+        resumable :class:`~repro.signals.patterns.PRBSGenerator`), in
+        which case *n_bits* is required.
+    n_bits:
+        Total pattern length in bits (inferred when *bits* is a
+        sequence).
+    chunk_samples:
+        Samples per emitted chunk (the last chunk may be shorter).
+    Remaining parameters match :func:`synthesize_nrz` (*edge_jitter* is
+    not supported in streaming mode).
+
+    Notes
+    -----
+    One degenerate corner differs from the monolithic path: a pattern
+    with *no transitions at all* whose bits equal ``initial_bit == 1``
+    renders at ``+amplitude`` here but ``-amplitude`` monolithically
+    (the monolithic default inspects the never-taken first transition).
+    """
+
+    def __init__(
+        self,
+        bits,
+        bit_rate: float,
+        dt: float,
+        chunk_samples: int,
+        n_bits: Optional[int] = None,
+        amplitude: float = 0.4,
+        rise_time: float = 30e-12,
+        t0: float = 0.0,
+        pad_ui: float = 2.0,
+        lead_ui: float = 2.0,
+        initial_bit: int = 0,
+    ):
+        if bit_rate <= 0:
+            raise PatternError(f"bit rate must be positive: {bit_rate}")
+        if dt <= 0:
+            raise WaveformError(f"sample interval must be positive: {dt}")
+        if chunk_samples < 1:
+            raise WaveformError(
+                f"chunk_samples must be >= 1, got {chunk_samples}"
+            )
+        if lead_ui < 0:
+            raise PatternError(f"lead_ui must be >= 0, got {lead_ui}")
+        if callable(bits):
+            if n_bits is None:
+                raise PatternError(
+                    "n_bits is required when bits is a callable source"
+                )
+            self._take = bits
+        else:
+            array = np.asarray(bits, dtype=np.int64)
+            if n_bits is None:
+                n_bits = array.size
+            elif n_bits > array.size:
+                raise PatternError(
+                    f"n_bits {n_bits} exceeds the {array.size} bits given"
+                )
+            self._take = _SequenceTake(array).take
+        if n_bits < 1:
+            raise PatternError("bit sequence must not be empty")
+        self.n_bits = int(n_bits)
+        self.unit_interval = 1.0 / bit_rate
+        self.dt = float(dt)
+        self.chunk_samples = int(chunk_samples)
+        self.amplitude = float(amplitude)
+        self.t_first_bit = float(t0)
+        self.record_start = t0 - lead_ui * self.unit_interval
+        duration = (self.n_bits + pad_ui + lead_ui) * self.unit_interval
+        self.n_samples_total = int(round(duration / self.dt)) + 1
+        if self.n_samples_total < 2:
+            raise WaveformError("record must contain at least two samples")
+        if rise_time > 0.0:
+            sigma_samples = (rise_time / GAUSSIAN_RISE_SIGMA_RATIO) / dt
+            self._half_width = max(1, int(math.ceil(4.0 * sigma_samples)))
+            x = np.arange(
+                -self._half_width, self._half_width + 1, dtype=np.float64
+            )
+            kernel = np.exp(-0.5 * (x / sigma_samples) ** 2)
+            self._kernel = kernel / kernel.sum()
+        else:
+            self._half_width = 0
+            self._kernel = None
+        self._prev_bit = int(initial_bit)
+        self._bits_pulled = 0
+        # Pending transitions: (nearest sample index, fractional index,
+        # target level), in time order, not yet behind the render window.
+        self._transitions: list = []
+        self._level_before = (
+            self.amplitude if int(initial_bit) == 1 else -self.amplitude
+        )
+        self._emitted = 0
+
+    # -- bit pulling -------------------------------------------------------
+
+    def _nearest_index(self, bit_index: int) -> int:
+        instant = self.t_first_bit + bit_index * self.unit_interval
+        return int(
+            math.floor((instant - self.record_start) / self.dt + 0.5)
+        )
+
+    def _pull_bits_until(self, window_end: int) -> None:
+        """Pull bits until every transition landing before *window_end*
+        (in samples) is known."""
+        while (
+            self._bits_pulled < self.n_bits
+            and self._nearest_index(self._bits_pulled) < window_end
+        ):
+            count = min(4096, self.n_bits - self._bits_pulled)
+            block = np.asarray(self._take(count), dtype=np.int64)
+            if block.size != count:
+                raise PatternError(
+                    f"bit source returned {block.size} bits, wanted {count}"
+                )
+            changes = np.flatnonzero(
+                block
+                != np.concatenate([[self._prev_bit], block[:-1]])
+            )
+            if changes.size:
+                bit_indices = self._bits_pulled + changes
+                instants = (
+                    self.t_first_bit + bit_indices * self.unit_interval
+                )
+                index_float = (instants - self.record_start) / self.dt
+                nearest = np.floor(index_float + 0.5).astype(np.int64)
+                levels = np.where(
+                    block[changes] == 1, self.amplitude, -self.amplitude
+                )
+                # Transitions land in bit order, so any that round to
+                # before the record form a prefix; the last one sets
+                # the level the record opens on.
+                before = np.flatnonzero(nearest < 0)
+                if before.size:
+                    self._level_before = float(levels[before[-1]])
+                keep = (nearest >= 0) & (nearest < self.n_samples_total)
+                self._transitions.extend(
+                    zip(
+                        nearest[keep].tolist(),
+                        index_float[keep].tolist(),
+                        levels[keep].tolist(),
+                    )
+                )
+            if block.size:
+                self._prev_bit = int(block[-1])
+            self._bits_pulled += count
+
+    # -- rendering ---------------------------------------------------------
+
+    def _render_window(self, w0: int, w1: int) -> np.ndarray:
+        """Piecewise levels over global samples ``[w0, w1)``, exactly as
+        :func:`render_transitions` computes them there."""
+        # Retire transitions fully behind the window: a transition at
+        # `nearest` drives every sample from nearest+1 on, so anything
+        # with nearest <= w0 - 1 collapses into the starting level.
+        keep = 0
+        for nearest, _, level in self._transitions:
+            if nearest <= w0 - 1:
+                self._level_before = level
+                keep += 1
+            else:
+                break
+        if keep:
+            del self._transitions[:keep]
+        n_in = 0
+        for nearest, _, _ in self._transitions:
+            if nearest >= w1:
+                break
+            n_in += 1
+        if n_in == 0:
+            return np.full(w1 - w0, self._level_before)
+        window = self._transitions[:n_in]
+        nearests = np.array([t[0] for t in window], dtype=np.int64)
+        fracs = np.array([t[1] for t in window]) - nearests
+        levels = np.array([t[2] for t in window])
+        if bool(np.all(np.diff(nearests) > 0)):
+            # The piecewise-constant fill as one np.repeat instead of a
+            # suffix assignment per transition (that scalar pass is
+            # O(transitions * window) — quadratic in the chunk size).
+            bounds = np.concatenate([[w0], nearests + 1, [w1]])
+            seg_levels = np.concatenate([[self._level_before], levels])
+            values = np.repeat(seg_levels, np.diff(bounds))
+            prev = seg_levels[:-1]
+            values[nearests - w0] = prev + (0.5 - fracs) * (levels - prev)
+            return values
+        # Colliding sample indices (UI < dt): later transitions must
+        # overwrite earlier ones in order, as render_transitions does.
+        values = np.full(w1 - w0, self._level_before)
+        current = self._level_before
+        for nearest, index_float, level in window:
+            delta = index_float - nearest
+            values[nearest - w0 + 1 :] = level
+            values[nearest - w0] = current + (0.5 - delta) * (
+                level - current
+            )
+            current = level
+        return values
+
+    def __iter__(self) -> "NRZStreamSource":
+        return self
+
+    def __next__(self) -> Waveform:
+        s0 = self._emitted
+        if s0 >= self.n_samples_total:
+            raise StopIteration
+        s1 = min(s0 + self.chunk_samples, self.n_samples_total)
+        half = self._half_width
+        w0 = max(0, s0 - half)
+        w1 = min(self.n_samples_total, s1 + half)
+        self._pull_bits_until(w1)
+        values = self._render_window(w0, w1)
+        if self._kernel is not None:
+            # The monolithic path edge-pads with the record's first and
+            # last sample; interior chunks use real neighbours instead,
+            # which is exactly what the monolithic convolution sees.
+            left = np.full(half - (s0 - w0), values[0])
+            right = np.full(half - (w1 - s1), values[-1])
+            padded = np.concatenate([left, values, right])
+            values = np.convolve(padded, self._kernel, mode="valid")
+        else:
+            values = values[s0 - w0 : s0 - w0 + (s1 - s0)]
+        self._emitted = s1
+        return Waveform(
+            values, self.dt, self.record_start + self.dt * s0
+        )
+
+
+class _SequenceTake:
+    """Adapter presenting a stored bit array as a ``take(count)`` source."""
+
+    def __init__(self, bits: np.ndarray):
+        self._bits = bits
+        self._cursor = 0
+
+    def take(self, count: int) -> np.ndarray:
+        block = self._bits[self._cursor : self._cursor + count]
+        self._cursor += count
+        return block
 
 
 def synthesize_clock(

@@ -17,6 +17,7 @@ polynomial, and so on).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +29,7 @@ __all__ = [
     "PRBS_TAPS",
     "prbs_sequence",
     "prbs_period",
+    "PRBSGenerator",
     "clear_prbs_cache",
     "clock_bits",
     "alternating_bits",
@@ -64,13 +66,37 @@ def prbs_period(order: int) -> int:
 # the pure-python LFSR walk (up to 2**order - 1 steps) repeats with
 # identical arguments thousands of times; caching the core makes repeat
 # generation a slice-and-copy.  Bounded FIFO, ~one period per entry.
+# All cache access goes through ``_PRBS_LOCK``: campaign workers and
+# streaming stimulus sources generate patterns from threads, and an
+# unguarded dict mutation can race ``clear_prbs_cache`` or the FIFO
+# eviction mid-resize.
 _PRBS_CACHE: "Dict[Tuple[int, int], np.ndarray]" = {}
 _PRBS_CACHE_MAX = 32
+_PRBS_LOCK = threading.Lock()
 
 
 def clear_prbs_cache() -> None:
     """Drop all memoized PRBS cores (tests, memory pressure)."""
-    _PRBS_CACHE.clear()
+    with _PRBS_LOCK:
+        _PRBS_CACHE.clear()
+
+
+def _lfsr_walk(order: int, state: int, n_bits: int) -> Tuple[np.ndarray, int]:
+    """Advance the LFSR *n_bits* steps; return (bits, new_state).
+
+    This is the raw Fibonacci LFSR recurrence with no memoization — the
+    building block under both the cached :func:`_prbs_core` and the
+    resumable :class:`PRBSGenerator` walk path.
+    """
+    tap_a, tap_b = PRBS_TAPS[order]
+    shift_a = order - tap_a  # == 0 for the standard polynomials
+    shift_b = order - tap_b
+    bits = np.empty(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        feedback = ((state >> shift_a) ^ (state >> shift_b)) & 1
+        bits[i] = state & 1
+        state = (state >> 1) | (feedback << (order - 1))
+    return bits, state
 
 
 def _prbs_core(order: int, state: int, n_core: int) -> np.ndarray:
@@ -81,22 +107,23 @@ def _prbs_core(order: int, state: int, n_core: int) -> np.ndarray:
     so cached bits can never be mutated from outside.
     """
     key = (order, state)
-    cached = _PRBS_CACHE.get(key)
-    if cached is not None and cached.size >= n_core:
-        instrument.count("patterns.prbs_cache_hits")
-        return cached[:n_core].copy()
+    with _PRBS_LOCK:
+        cached = _PRBS_CACHE.get(key)
+        if cached is not None and cached.size >= n_core:
+            instrument.count("patterns.prbs_cache_hits")
+            return cached[:n_core].copy()
+    # The LFSR walk is the slow part; run it outside the lock.  Two
+    # threads missing on the same key both compute, and the second
+    # insert wins — wasteful but correct, and far cheaper than holding
+    # the lock across a multi-million-step walk.
     instrument.count("patterns.prbs_cache_misses")
-    tap_a, tap_b = PRBS_TAPS[order]
-    shift_a = order - tap_a  # == 0 for the standard polynomials
-    shift_b = order - tap_b
-    core = np.empty(n_core, dtype=np.uint8)
-    for i in range(n_core):
-        feedback = ((state >> shift_a) ^ (state >> shift_b)) & 1
-        core[i] = state & 1
-        state = (state >> 1) | (feedback << (order - 1))
-    if len(_PRBS_CACHE) >= _PRBS_CACHE_MAX and key not in _PRBS_CACHE:
-        _PRBS_CACHE.pop(next(iter(_PRBS_CACHE)))
-    _PRBS_CACHE[key] = core
+    core, _ = _lfsr_walk(order, state, n_core)
+    with _PRBS_LOCK:
+        existing = _PRBS_CACHE.get(key)
+        if existing is None or existing.size < n_core:
+            if len(_PRBS_CACHE) >= _PRBS_CACHE_MAX and key not in _PRBS_CACHE:
+                _PRBS_CACHE.pop(next(iter(_PRBS_CACHE)))
+            _PRBS_CACHE[key] = core
     return core.copy()
 
 
@@ -139,6 +166,72 @@ def prbs_sequence(order: int, n_bits: int, seed: int = 1) -> np.ndarray:
         return core
     reps = int(np.ceil(n_bits / period))
     return np.tile(core, reps)[:n_bits]
+
+
+# PRBS orders up to this value memoize one full period (<= 32767 bits)
+# and serve chunks by modular slicing; larger orders walk the carried
+# LFSR state instead of caching multi-megabit cores.
+_PRBS_SLICE_MAX_ORDER = 15
+
+
+class PRBSGenerator:
+    """Resumable PRBS source: chunked draws concatenate to the exact
+    :func:`prbs_sequence` bit stream.
+
+    Streaming BERT runs draw stimulus in chunks; the generator carries
+    the LFSR phase across :meth:`take` calls so
+
+    ``concat(gen.take(n1), gen.take(n2), ...) ==
+    prbs_sequence(order, n1 + n2 + ..., seed)``
+
+    holds for any split.  Small orders (``<= 15``) slice a memoized
+    full-period core by phase; PRBS-23/31 walk the carried LFSR state so
+    no multi-megabit core is ever materialised.
+    """
+
+    def __init__(self, order: int, seed: int = 1):
+        if order not in PRBS_TAPS:
+            raise PatternError(
+                f"unsupported PRBS order {order}; "
+                f"choose from {sorted(PRBS_TAPS)}"
+            )
+        mask = (1 << order) - 1
+        state = seed & mask
+        if state == 0:
+            raise PatternError("PRBS seed must be a non-zero LFSR state")
+        self.order = order
+        self.period = mask
+        self._initial_state = state
+        self._state = state
+        self._phase = 0  # bits emitted, modulo the period
+        self.bits_emitted = 0
+
+    def take(self, n_bits: int) -> np.ndarray:
+        """Emit the next *n_bits* of the sequence."""
+        if n_bits < 0:
+            raise PatternError(f"n_bits must be non-negative, got {n_bits}")
+        if n_bits == 0:
+            return np.empty(0, dtype=np.uint8)
+        if self.order <= _PRBS_SLICE_MAX_ORDER:
+            core = _prbs_core(self.order, self._initial_state, self.period)
+            indices = (self._phase + np.arange(n_bits)) % self.period
+            bits = core[indices]
+        else:
+            bits, self._state = _lfsr_walk(self.order, self._state, n_bits)
+        self._phase = (self._phase + n_bits) % self.period
+        self.bits_emitted += n_bits
+        return bits
+
+    @property
+    def phase(self) -> int:
+        """Current position within the PRBS period."""
+        return self._phase
+
+    def reset(self) -> None:
+        """Rewind to the initial seed state."""
+        self._state = self._initial_state
+        self._phase = 0
+        self.bits_emitted = 0
 
 
 def clock_bits(n_cycles: int) -> np.ndarray:

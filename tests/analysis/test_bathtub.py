@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
+    BathtubAccumulator,
     BathtubCurve,
     bathtub_from_dual_dirac,
     eye_opening_at_ber,
@@ -103,3 +104,94 @@ class TestOpening:
         assert eye_opening_at_ber(mixed_model, UI, 1e-12) == pytest.approx(
             expected
         )
+
+
+class TestOutlierRobustness:
+    """Regression: a measured curve with a stray below-target dip
+    outside the eye.  The old first-to-last-index span counted the
+    closed region between the outlier and the real eye as open; the
+    widest-contiguous-run rule must not."""
+
+    def _curve_with_outlier(self):
+        positions = np.linspace(0.0, UI, 101)
+        ber = np.full(101, 0.3)
+        ber[40:61] = 1e-15  # the real eye: 20 steps wide
+        ber[3] = 1e-15  # a zero-error cell near the left crossing
+        return BathtubCurve(
+            positions=positions, ber=ber, unit_interval=UI
+        )
+
+    def test_opening_ignores_stray_outlier(self):
+        curve = self._curve_with_outlier()
+        step = UI / 100
+        assert curve.opening(1e-12) == pytest.approx(20 * step)
+        # The buggy span (index 3 .. index 60) would have been ~3x wider.
+        assert curve.opening(1e-12) < 30 * step
+
+    def test_centre_ignores_stray_outlier(self):
+        curve = self._curve_with_outlier()
+        assert curve.centre(1e-12) == pytest.approx(UI / 2, rel=0.01)
+
+    def test_tie_goes_to_earliest_run(self):
+        positions = np.linspace(0.0, UI, 11)
+        ber = np.full(11, 0.3)
+        ber[1:3] = 1e-15
+        ber[7:9] = 1e-15
+        curve = BathtubCurve(positions=positions, ber=ber, unit_interval=UI)
+        assert curve.centre(1e-12) == pytest.approx(
+            (positions[1] + positions[2]) / 2
+        )
+
+
+class TestAccumulator:
+    def test_fold_matches_single_shot(self):
+        positions = np.linspace(0.0, UI, 5)
+        chunked = BathtubAccumulator(positions, UI)
+        whole = BathtubAccumulator(positions, UI)
+        tallies = [(0, 100, 30), (0, 50, 20), (2, 1000, 0), (4, 10, 5)]
+        for index, bits, errors in tallies:
+            chunked.add(index, bits, errors)
+        whole.add(0, 150, 50)
+        whole.add(2, 1000, 0)
+        whole.add(4, 10, 5)
+        np.testing.assert_array_equal(
+            chunked.curve().ber, whole.curve().ber
+        )
+        assert chunked.total_bits == 1160
+
+    def test_merge_combines_workers(self):
+        positions = np.linspace(0.0, UI, 3)
+        a = BathtubAccumulator(positions, UI)
+        b = BathtubAccumulator(positions, UI)
+        a.add(0, 100, 1)
+        b.add(0, 100, 3)
+        b.add(1, 40, 0)
+        a.merge(b)
+        curve = a.curve()
+        assert curve.ber[0] == pytest.approx(4 / 200)
+        assert curve.ber[1] == 0.0
+
+    def test_merge_rejects_mismatched_grid(self):
+        a = BathtubAccumulator(np.linspace(0.0, UI, 3), UI)
+        b = BathtubAccumulator(np.linspace(0.0, UI, 5), UI)
+        with pytest.raises(MeasurementError):
+            a.merge(b)
+
+    def test_unmeasured_positions_report_ber_one(self):
+        acc = BathtubAccumulator(np.linspace(0.0, UI, 4), UI)
+        acc.add(1, 10, 0)
+        ber = acc.curve().ber
+        assert ber[0] == 1.0
+        assert ber[1] == 0.0
+        assert ber[2] == 1.0
+
+    def test_rejects_invalid_tallies(self):
+        acc = BathtubAccumulator(np.linspace(0.0, UI, 4), UI)
+        with pytest.raises(MeasurementError):
+            acc.add(0, 10, 11)
+        with pytest.raises(MeasurementError):
+            acc.add(0, -1, 0)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(MeasurementError):
+            BathtubAccumulator(np.empty(0), UI)

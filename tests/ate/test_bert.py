@@ -5,9 +5,16 @@ import math
 import numpy as np
 import pytest
 
-from repro.ate import BertResult, BitErrorRateTester, align_pattern
+from repro.ate import (
+    BertResult,
+    BitErrorRateTester,
+    ErrorCounter,
+    StreamingBitSampler,
+    align_pattern,
+)
 from repro.errors import MeasurementError
-from repro.signals import prbs_sequence
+from repro.signals import prbs_sequence, synthesize_nrz
+from repro.signals.waveform import Waveform
 
 
 class TestAlignPattern:
@@ -144,3 +151,150 @@ class TestBerStatistics:
         result = BertResult(n_bits=0, n_errors=0, alignment=0)
         with pytest.raises(MeasurementError):
             _ = result.ber
+
+
+class TestErrorCounter:
+    def _received(self, n=600, offset=0, error_at=()):
+        pattern = prbs_sequence(7, 127)
+        received = np.resize(np.roll(pattern, -offset), n)
+        for index in error_at:
+            received[index] ^= 1
+        return pattern, received
+
+    @pytest.mark.parametrize(
+        "splits",
+        [(600,), (127, 473), (127, 1, 1, 471), (200, 200, 200)],
+    )
+    def test_fold_matches_monolithic_measure(self, splits):
+        pattern, received = self._received(
+            offset=13, error_at=(5, 250, 599)
+        )
+        mono = BitErrorRateTester(pattern).measure(received)
+        counter = ErrorCounter(pattern)
+        cursor = 0
+        for size in splits:
+            counter.add(received[cursor : cursor + size])
+            cursor += size
+        folded = counter.result()
+        assert folded.n_bits == mono.n_bits
+        assert folded.n_errors == mono.n_errors
+        assert folded.alignment == mono.alignment
+
+    def test_alignment_locks_on_first_chunk(self):
+        pattern, received = self._received(offset=40)
+        counter = ErrorCounter(pattern)
+        counter.add(received[:127])
+        assert counter.add(received[127:]) == 0
+        assert counter.result().alignment == 40
+
+    def test_chunk_error_count_is_returned(self):
+        pattern, received = self._received(error_at=(150,))
+        counter = ErrorCounter(pattern)
+        assert counter.add(received[:100]) == 0
+        assert counter.add(received[100:200]) == 1
+        assert counter.n_errors == 1
+        assert counter.n_bits == 200
+
+    def test_empty_chunk_is_a_noop(self):
+        pattern, received = self._received()
+        counter = ErrorCounter(pattern)
+        counter.add(received[:127])
+        assert counter.add(np.empty(0, dtype=np.uint8)) == 0
+        assert counter.n_bits == 127
+
+    def test_no_auto_align(self):
+        pattern, received = self._received(offset=0)
+        counter = ErrorCounter(pattern, auto_align=False)
+        counter.add(received)
+        assert counter.result().n_errors == 0
+
+    def test_result_without_bits_raises(self):
+        pattern, _ = self._received()
+        with pytest.raises(MeasurementError):
+            ErrorCounter(pattern).result()
+
+    def test_rejects_non_binary_pattern(self):
+        with pytest.raises(MeasurementError):
+            ErrorCounter(np.array([0, 1, 2]))
+
+
+class TestStreamingBitSampler:
+    BIT_RATE = 1e9
+
+    def _waveform(self, bits, dt=10e-12):
+        return synthesize_nrz(bits, self.BIT_RATE, dt)
+
+    def _sample_monolithic(self, waveform, t_start, n_bits):
+        instants = t_start + np.arange(n_bits) / self.BIT_RATE
+        return (waveform.value_at(instants) > 0.0).astype(np.uint8)
+
+    def _chunks(self, waveform, sizes):
+        out, cursor = [], 0
+        for size in sizes:
+            out.append(
+                Waveform(
+                    waveform.values[cursor : cursor + size].copy(),
+                    waveform.dt,
+                    waveform.t0 + waveform.dt * cursor,
+                )
+            )
+            cursor += size
+        if cursor < len(waveform):
+            out.append(
+                Waveform(
+                    waveform.values[cursor:].copy(),
+                    waveform.dt,
+                    waveform.t0 + waveform.dt * cursor,
+                )
+            )
+        return out
+
+    @pytest.mark.parametrize("sizes", [(500,), (33, 47, 100), (1, 1, 1)])
+    def test_chunked_equals_monolithic_sampling(self, sizes):
+        bits = prbs_sequence(7, 127)
+        waveform = self._waveform(bits)
+        ui = 1.0 / self.BIT_RATE
+        t_start = 0.5 * ui
+        expected = self._sample_monolithic(waveform, t_start, 127)
+        sampler = StreamingBitSampler(ui, t_start)
+        recovered = np.concatenate(
+            [sampler.push(c) for c in self._chunks(waveform, sizes)]
+        )
+        np.testing.assert_array_equal(recovered[:127], expected)
+
+    def test_recovers_transmitted_bits(self):
+        bits = prbs_sequence(7, 127)
+        waveform = self._waveform(bits)
+        ui = 1.0 / self.BIT_RATE
+        sampler = StreamingBitSampler(ui, 0.5 * ui)
+        recovered = np.concatenate(
+            [sampler.push(c) for c in self._chunks(waveform, (400, 700))]
+        )
+        np.testing.assert_array_equal(recovered[:127], bits)
+
+    def test_seam_instant_interpolates_across_chunks(self):
+        # A decision instant landing strictly between the last sample of
+        # one chunk and the first of the next: the carried sample must
+        # reproduce the monolithic interpolation bit for bit.
+        values = np.linspace(-0.4, 0.4, 100)
+        waveform = Waveform(values, 1e-12, 0.0)
+        ui = 7.3e-12
+        t_start = 0.45e-12
+        mono = StreamingBitSampler(ui, t_start)
+        expected = mono.push(waveform)
+        chunked = StreamingBitSampler(ui, t_start)
+        got = np.concatenate(
+            [chunked.push(c) for c in self._chunks(waveform, (51,))]
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert chunked.bits_sampled == mono.bits_sampled
+
+    def test_instant_before_stream_raises(self):
+        waveform = Waveform(np.ones(50), 1e-12, 1e-9)
+        sampler = StreamingBitSampler(10e-12, 0.0)
+        with pytest.raises(MeasurementError):
+            sampler.push(waveform)
+
+    def test_rejects_bad_unit_interval(self):
+        with pytest.raises(MeasurementError):
+            StreamingBitSampler(0.0, 0.0)

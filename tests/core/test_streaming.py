@@ -1,0 +1,187 @@
+"""Streaming at the pipeline level: combined line, bus, observability.
+
+The kernel-level contract lives in ``tests/kernels/test_streaming.py``;
+here we cover the pipeline wiring above it: the combined
+coarse+fine stream (dispersion filter state, mux skew, tap selection),
+the ParallelBus delegation, and the ``stream.*`` counters and spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro import instrument, kernels
+from repro.ate import ParallelBus
+from repro.core import CombinedDelayLine, FineDelayLine, calibration_stimulus
+from repro.errors import CircuitError
+from repro.signals.waveform import Waveform
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    backend = kernels.active_backend()
+    yield
+    kernels.set_backend(backend)
+
+
+def _stimulus(n_bits=63, dt=1e-12):
+    return calibration_stimulus(n_bits=n_bits, dt=dt)
+
+
+def _chunks(waveform, fractions):
+    n = len(waveform)
+    bounds = [0] + [int(f * n) for f in fractions] + [n]
+    return [
+        Waveform(
+            waveform.values[a:b].copy(),
+            waveform.dt,
+            waveform.t0 + waveform.dt * a,
+        )
+        for a, b in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def _silence_noise(line: CombinedDelayLine) -> None:
+    """Zero every noise source in the combined pipeline — including the
+    fine line's output stage, which carries its own noise parameters."""
+    elements = [line.coarse.fanout, line.coarse.mux] + line.fine._elements()
+    for element in elements:
+        element.params = element.params.with_updates(noise_sigma=0.0)
+
+
+# -- combined pipeline -------------------------------------------------------
+
+
+@pytest.mark.parametrize("tap", (0, 2))
+def test_combined_noiseless_stream_bit_exact(tap):
+    """With every noise source silenced the streamed combined pipeline
+    (fanout -> tap line -> mux -> fine cascade) is bit-exact against the
+    monolithic path, dispersion filter state and all."""
+    kernels.set_backend("python")
+    stimulus = _stimulus()
+
+    mono_line = CombinedDelayLine(seed=4)
+    mono_line.select = tap
+    _silence_noise(mono_line)
+    mono = mono_line.process(stimulus)
+
+    line = CombinedDelayLine(seed=4)
+    line.select = tap
+    _silence_noise(line)
+    processor = line.open_stream()
+    processor.prime(stimulus)
+    outs = [processor.push(c) for c in _chunks(stimulus, (0.2, 0.55))]
+    values = np.concatenate([o.values for o in outs])
+    assert np.array_equal(values, mono.values)
+    assert outs[0].t0 == mono.t0
+
+
+def test_combined_noisy_primed_stream_split_invariant():
+    """With noise on, the streamed combined output cannot reproduce the
+    monolithic shared-generator draw order, but two different splits of
+    the same record must agree exactly when both are primed."""
+    kernels.set_backend("python")
+    stimulus = _stimulus()
+
+    def run(fractions):
+        line = CombinedDelayLine(seed=17)
+        line.select = 1
+        processor = line.open_stream()
+        processor.prime(stimulus)
+        outs = [processor.push(c) for c in _chunks(stimulus, fractions)]
+        return np.concatenate([o.values for o in outs])
+
+    assert np.array_equal(run((0.5,)), run((0.11, 0.42, 0.9)))
+
+
+def test_combined_stream_is_deterministic():
+    kernels.set_backend("python")
+    stimulus = _stimulus()
+
+    def run():
+        line = CombinedDelayLine(seed=23)
+        return np.concatenate(
+            [
+                o.values
+                for o in line.process_stream(_chunks(stimulus, (0.5,)))
+            ]
+        )
+
+    assert np.array_equal(run(), run())
+
+
+def test_combined_stream_applies_mux_port_skew():
+    """The output time axis carries the selected tap's delay and the
+    mux port skew exactly as the monolithic path does."""
+    kernels.set_backend("python")
+    stimulus = _stimulus(n_bits=8, dt=10e-12)
+    for tap in (0, 3):
+        mono_line = CombinedDelayLine(seed=2)
+        mono_line.select = tap
+        _silence_noise(mono_line)
+        mono = mono_line.process(stimulus)
+        line = CombinedDelayLine(seed=2)
+        line.select = tap
+        _silence_noise(line)
+        out = line.open_stream().push(stimulus)
+        assert out.t0 == mono.t0
+
+
+# -- parallel bus ------------------------------------------------------------
+
+
+def test_bus_stream_channel_matches_direct_line_stream():
+    kernels.set_backend("python")
+    stimulus = _stimulus(n_bits=16, dt=4e-12)
+    bus = ParallelBus(n_channels=2, seed=6)
+    chunks = _chunks(stimulus, (0.5,))
+
+    via_bus = list(bus.stream_channel(1, iter(chunks)))
+    direct = list(
+        ParallelBus(n_channels=2, seed=6)
+        .delay_lines[1]
+        .process_stream(iter(chunks))
+    )
+    assert len(via_bus) == len(direct)
+    for a, b in zip(via_bus, direct):
+        assert np.array_equal(a.values, b.values)
+
+
+def test_bus_stream_channel_requires_delay_lines():
+    bus = ParallelBus(n_channels=2, with_delay_circuits=False, seed=1)
+    with pytest.raises(CircuitError):
+        list(bus.stream_channel(0, iter([])))
+
+
+def test_bus_stream_channel_validates_index():
+    bus = ParallelBus(n_channels=2, seed=1)
+    with pytest.raises(CircuitError):
+        list(bus.stream_channel(5, iter([])))
+
+
+# -- observability -----------------------------------------------------------
+
+
+def test_stream_counters_and_spans():
+    stimulus = _stimulus(n_bits=16, dt=4e-12)
+    chunks = _chunks(stimulus, (0.3, 0.7))
+    line = FineDelayLine(n_stages=2, seed=0)
+    with instrument.enabled_scope(reset=True) as registry:
+        for _ in line.process_stream(iter(chunks)):
+            pass
+        snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    assert counters["stream.chunks"] == 3
+    assert counters["stream.samples"] == len(stimulus)
+    span_paths = set(snapshot["spans"])
+    assert any("stream.chunk" in path for path in span_paths)
+    assert any("stream.state_carry" in path for path in span_paths)
+
+
+def test_prime_records_span():
+    stimulus = _stimulus(n_bits=16, dt=4e-12)
+    line = FineDelayLine(n_stages=2, seed=0)
+    with instrument.enabled_scope(reset=True) as registry:
+        processor = line.open_stream()
+        processor.prime(stimulus)
+        snapshot = registry.snapshot()
+    assert any("stream.prime" in path for path in snapshot["spans"])

@@ -68,6 +68,59 @@ class TestMarkdownFlag:
         assert "- [x]" in captured.out
 
 
+class TestStreamFlag:
+    # One PRBS7 period per chunk and a handful of chunks keeps this a
+    # seconds-scale run while still exercising the real pipeline.
+    ARGS = ["--stream", "--chunk-bits", "500", "--total-bits", "2000"]
+
+    def test_stream_mode_runs_and_passes(self, capsys):
+        exit_code = main(self.ARGS + ["--rss-limit-mb", "4096"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "stream_bert" in captured.out
+        assert "peak RSS" in captured.out
+        assert "[PASS]" in captured.out
+        assert "[FAIL]" not in captured.out
+
+    def test_rss_ceiling_failure_sets_exit_code(self, capsys):
+        # An impossible ceiling: the check fails, the run exits 1.
+        exit_code = main(self.ARGS + ["--rss-limit-mb", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "[FAIL]" in captured.out
+
+    def test_stream_markdown_output(self, capsys):
+        exit_code = main(self.ARGS + ["--markdown"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "## `stream_bert`" in captured.out
+
+    def test_stream_metrics_manifest(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        exit_code = main(self.ARGS + ["--metrics-json", str(path)])
+        assert exit_code == 0
+        data = json.loads(path.read_text())
+        validate_manifest(data)
+        assert data["experiments"][0]["id"] == "stream_bert"
+        assert any("stream.chunk" in span for span in data["spans"])
+        assert not instrument.enabled()
+
+    def test_stream_rejects_only(self):
+        with pytest.raises(SystemExit):
+            main(["--stream", "--only", "fig09"])
+
+    def test_chunk_bits_requires_stream(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--chunk-bits", "1024"])
+        assert excinfo.value.code == 2
+
+    def test_registry_entry_runs_fast(self):
+        from repro.experiments import RUNNERS
+
+        result = RUNNERS["stream_bert"](fast=True)
+        assert result.all_checks_pass
+
+
 class TestMetricsFlags:
     def test_metrics_json_writes_valid_manifest(self, tmp_path):
         path = tmp_path / "metrics.json"

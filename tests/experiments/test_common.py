@@ -84,7 +84,7 @@ class TestRegistry:
             "ablation_coarse_step", "ablation_model", "ablation_tj_depth",
             "ext_sj", "ext_per_stage", "ext_drift",
             "ext_clock_centering", "ext_clock_only",
-            "ext_fast_deskew",
+            "ext_fast_deskew", "stream_bert",
         }
         assert expected == set(RUNNERS)
 

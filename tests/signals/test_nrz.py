@@ -238,3 +238,83 @@ class TestStep:
         wf = synthesize_step(1e-12, step_time=0.2e-9)
         edges = crossing_times(wf, 0.0, "rising")
         assert edges[0] == pytest.approx(0.2e-9, abs=0.1e-12)
+
+
+class TestNRZStreamSource:
+    BIT_RATE = 1e9
+
+    def _source(self, bits, chunk_samples, **kwargs):
+        from repro.signals import NRZStreamSource
+
+        return NRZStreamSource(
+            bits, self.BIT_RATE, 10e-12, chunk_samples, **kwargs
+        )
+
+    def _drain(self, source):
+        chunks = list(source)
+        return chunks, np.concatenate([c.values for c in chunks])
+
+    @pytest.mark.parametrize("chunk_samples", (1, 7, 100, 4096, 10**9))
+    def test_sample_exact_against_monolithic(self, chunk_samples):
+        from repro.signals import prbs_sequence
+
+        bits = prbs_sequence(7, 127)
+        mono = synthesize_nrz(bits, self.BIT_RATE, 10e-12)
+        source = self._source(bits, chunk_samples)
+        chunks, values = self._drain(source)
+        assert values.size == len(mono)
+        np.testing.assert_array_equal(values, mono.values)
+        assert chunks[0].t0 == mono.t0
+        assert source.n_samples_total == len(mono)
+
+    def test_chunk_time_axes_are_contiguous(self):
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        source = self._source(bits, 64)
+        chunks, _ = self._drain(source)
+        cursor = 0
+        for chunk in chunks:
+            assert chunk.t0 == pytest.approx(
+                chunks[0].t0 + 10e-12 * cursor, abs=1e-18
+            )
+            cursor += len(chunk)
+
+    def test_zero_rise_time_path(self):
+        bits = [0, 1, 0, 1, 1, 0]
+        mono = synthesize_nrz(bits, self.BIT_RATE, 10e-12, rise_time=0.0)
+        _, values = self._drain(self._source(bits, 33, rise_time=0.0))
+        np.testing.assert_array_equal(values, mono.values)
+
+    def test_callable_bit_source(self):
+        from repro.signals import PRBSGenerator, prbs_sequence
+
+        bits = prbs_sequence(7, 400)
+        mono = synthesize_nrz(bits, self.BIT_RATE, 10e-12)
+        source = self._source(
+            PRBSGenerator(7).take, 512, n_bits=400
+        )
+        _, values = self._drain(source)
+        np.testing.assert_array_equal(values, mono.values)
+
+    def test_callable_source_requires_n_bits(self):
+        with pytest.raises(PatternError):
+            self._source(lambda n: np.zeros(n, dtype=np.uint8), 64)
+
+    def test_short_bit_source_detected(self):
+        def starved(count):
+            return np.zeros(min(count, 3), dtype=np.uint8)
+
+        source = self._source(starved, 64, n_bits=5000)
+        with pytest.raises(PatternError):
+            self._drain(source)
+
+    def test_rejects_bad_chunk_samples(self):
+        with pytest.raises(WaveformError):
+            self._source([0, 1], 0)
+
+    def test_rejects_empty_bits(self):
+        with pytest.raises(PatternError):
+            self._source([], 64)
+
+    def test_rejects_n_bits_beyond_sequence(self):
+        with pytest.raises(PatternError):
+            self._source([0, 1, 1], 64, n_bits=10)

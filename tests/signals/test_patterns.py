@@ -263,3 +263,101 @@ class TestPrbsCache:
         # and the cache returns the right one afterwards
         np.testing.assert_array_equal(prbs_sequence(7, 127, seed=1), a)
         np.testing.assert_array_equal(prbs_sequence(7, 127, seed=2), b)
+
+
+class TestPrbsGenerator:
+    def _generator(self, order=7, seed=1):
+        from repro.signals import PRBSGenerator
+
+        return PRBSGenerator(order, seed=seed)
+
+    @pytest.mark.parametrize(
+        "splits",
+        [(300,), (127, 173), (1, 1, 298), (50, 50, 50, 150)],
+    )
+    def test_chunked_takes_concatenate_to_sequence(self, splits):
+        generator = self._generator()
+        chunks = [generator.take(n) for n in splits]
+        np.testing.assert_array_equal(
+            np.concatenate(chunks), prbs_sequence(7, 300)
+        )
+
+    def test_order23_walk_path_matches_sequence(self):
+        # Orders above the memoised-core threshold step the LFSR
+        # directly, carrying the register across takes.
+        generator = self._generator(order=23)
+        chunks = [generator.take(n) for n in (100, 1, 899)]
+        np.testing.assert_array_equal(
+            np.concatenate(chunks), prbs_sequence(23, 1000)
+        )
+
+    def test_phase_tracks_position(self):
+        generator = self._generator()
+        generator.take(130)
+        assert generator.phase == 130 % 127
+
+    def test_reset_rewinds_to_seed(self):
+        generator = self._generator()
+        first = generator.take(200)
+        generator.reset()
+        np.testing.assert_array_equal(generator.take(200), first)
+        assert generator.phase == 200 % 127
+
+    def test_zero_take_is_empty(self):
+        generator = self._generator()
+        assert generator.take(0).size == 0
+        np.testing.assert_array_equal(
+            generator.take(127), prbs_sequence(7, 127)
+        )
+
+    def test_negative_take_rejected(self):
+        with pytest.raises(PatternError):
+            self._generator().take(-1)
+
+    def test_seed_selects_phase(self):
+        a = self._generator(seed=1).take(127)
+        b = self._generator(seed=2).take(127)
+        assert not np.array_equal(a, b)
+
+
+class TestPrbsCacheThreadSafety:
+    def test_concurrent_mixed_requests_are_correct(self):
+        """Hammer the memoised core from many threads with different
+        (order, seed, length) mixes; every reply must equal a fresh
+        single-threaded generation.  Guards the lock added around the
+        cache's check-evict-insert sequence."""
+        import threading
+
+        from repro.signals import clear_prbs_cache
+
+        clear_prbs_cache()
+        expected = {
+            (order, seed): prbs_sequence(order, prbs_period(order), seed=seed)
+            for order in (7, 9)
+            for seed in (1, 2, 3)
+        }
+        clear_prbs_cache()
+        failures = []
+        barrier = threading.Barrier(8)
+
+        def worker(index):
+            barrier.wait()
+            for step in range(40):
+                order = (7, 9)[(index + step) % 2]
+                seed = 1 + (index + step) % 3
+                n = 10 + (index * 37 + step * 13) % (
+                    prbs_period(order) - 10
+                )
+                got = prbs_sequence(order, n, seed=seed)
+                want = expected[(order, seed)][:n]
+                if not np.array_equal(got, want):
+                    failures.append((index, step, order, seed, n))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures

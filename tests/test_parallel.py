@@ -128,3 +128,38 @@ def test_encode_falls_back_inline_when_blocks_unavailable(monkeypatch):
     assert isinstance(encoded["wave"], Waveform)
     decoded = parallel.decode_payload(encoded)
     _assert_roundtrip(original, decoded)
+
+
+@pytest.mark.skipif(not parallel.SHM_AVAILABLE, reason="no shared memory")
+def test_failed_decode_releases_remaining_blocks():
+    """Regression: a decode that raises mid-payload must unlink every
+    block it had not yet claimed.  Before the fix, the exception
+    propagated immediately and each unvisited token leaked a /dev/shm
+    segment for the life of the machine."""
+    from multiprocessing import shared_memory
+
+    encoded = parallel.encode_payload(
+        {
+            "a": np.zeros(300_000),
+            "poison": None,
+            "b": np.ones(300_000),
+            "wave": Waveform(np.full(300_000, 0.25), 1e-12, 0.0),
+        }
+    )
+    assert isinstance(encoded["a"], parallel.ShmArray)
+    live_tokens = [
+        encoded["b"],
+        encoded["wave"].samples,
+    ]
+    # Poison the payload: a token naming a block that does not exist
+    # makes _claim_array raise partway through the dict walk (dicts
+    # preserve insertion order, so "a" is claimed first).
+    encoded["poison"] = parallel.ShmArray("repro-no-such-block", (4,), "float64")
+
+    with pytest.raises(FileNotFoundError):
+        parallel.decode_payload(encoded)
+
+    # Every block after the poison must be gone, not leaked.
+    for token in live_tokens:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=token.name)
