@@ -1,0 +1,172 @@
+"""GPU backend benchmarks: whole-cascade batched execution on device.
+
+The gpu backend runs the fused N-stage cascade end-to-end on the
+array module picked by :mod:`repro.kernels.xp` — CuPy when a CUDA
+device is visible, numpy ("emulate mode") otherwise.  These rows
+track both regimes:
+
+* On a machine with a device, the 256-lane batched cascade must be
+  **>= 10x** faster than the numpy fused path (the tentpole
+  acceptance), and the device rows record absolute per-batch costs.
+* On CI machines without a device the device rows skip cleanly and
+  the emulate rows record numbers instead; emulate mode must stay
+  within **1.2x** of the numpy backend (it is the same code path on
+  host arrays, so anything slower than that is shim overhead).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core import FineDelayLine, calibrate_fine_delay
+from repro.kernels import xp as xp_shim
+from repro.kernels.cascade import use_fusion
+from repro.signals import prbs_sequence, synthesize_nrz
+from repro.signals.waveform import WaveformBatch
+
+DEVICE = xp_shim.device_available()
+
+device_only = pytest.mark.skipif(
+    not DEVICE, reason="no CUDA device: emulate rows record instead"
+)
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Smallest wall-clock of *repeats* calls (CI-noise-resistant).
+
+    Each timed call ends with :func:`xp_shim.synchronize` so queued
+    device work is charged to the call that launched it (a no-op in
+    emulate mode).
+    """
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        xp_shim.synchronize()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+@pytest.fixture(scope="module")
+def prbs7_stimulus():
+    """CI-sized record: PRBS7 at 4 Gbps, 8 samples per bit."""
+    return synthesize_nrz(prbs_sequence(7, 127), 4e9, 1.0 / (4e9 * 8))
+
+
+def _lane_batch(stimulus, lanes):
+    batch = WaveformBatch.tiled(stimulus, lanes)
+    rngs = [np.random.default_rng(1000 + lane) for lane in range(lanes)]
+    vctrls = np.linspace(0.2, 1.4, lanes)
+    return batch, rngs, vctrls
+
+
+@pytest.mark.parametrize("lanes", (64, 256, 1024))
+def test_perf_gpu_batched_cascade(benchmark, prbs7_stimulus, lanes):
+    """Absolute cost of the whole-cascade batched run on the gpu
+    backend, one row per lane count (device or emulate — the mode is
+    recorded in ``extra_info`` so artifact diffs compare like with
+    like)."""
+    batch, rngs, vctrls = _lane_batch(prbs7_stimulus, lanes)
+    with kernels.use_backend("gpu"):
+        line = FineDelayLine(n_stages=4, seed=7)
+        benchmark.extra_info["kernel_backend"] = "gpu"
+        benchmark.extra_info["xp_mode"] = xp_shim.mode()
+        benchmark.extra_info["lanes"] = lanes
+
+        def run():
+            with use_fusion(True):
+                out = line.process_batch(batch, rngs, vctrls=vctrls)
+            xp_shim.synchronize()
+            return out
+
+        if lanes >= 1024:
+            out = benchmark.pedantic(run, rounds=3, iterations=1)
+        else:
+            out = benchmark(run)
+    assert out.values.shape == batch.values.shape
+    assert out.values.dtype == np.float64
+
+
+def test_perf_gpu_calibration_grid(benchmark, prbs7_stimulus):
+    """Whole-Vctrl-grid calibration (Fig. 7 sweep) as one batched
+    device pass through the gpu backend."""
+    with kernels.use_backend("gpu"):
+        line = FineDelayLine(n_stages=4, seed=7)
+        benchmark.extra_info["kernel_backend"] = "gpu"
+        benchmark.extra_info["xp_mode"] = xp_shim.mode()
+
+        def run():
+            table = calibrate_fine_delay(
+                line,
+                stimulus=prbs7_stimulus,
+                n_points=13,
+                rng=np.random.default_rng(0xCA1),
+            )
+            xp_shim.synchronize()
+            return table
+
+        table = benchmark(run)
+    assert table.vctrls.size == 13
+    assert np.isfinite(table.delays).all()
+
+
+@device_only
+def test_perf_gpu_device_speedup_vs_numpy_fused(prbs7_stimulus):
+    """Tentpole acceptance: on a real device the 256-lane batched
+    cascade is >= 10x the numpy fused path."""
+    batch, rngs, vctrls = _lane_batch(prbs7_stimulus, 256)
+
+    def timed(backend):
+        with kernels.use_backend(backend):
+            line = FineDelayLine(n_stages=4, seed=7)
+
+            def run():
+                with use_fusion(True):
+                    line.process_batch(batch, rngs, vctrls=vctrls)
+
+            run()  # warm: JIT/device alloc/plan caches outside the clock
+            return _best_of(run)
+
+    gpu_time = timed("gpu")
+    numpy_time = timed("numpy")
+    speedup = numpy_time / gpu_time
+    print(
+        f"\n256-lane cascade: numpy {numpy_time * 1e3:.1f} ms, "
+        f"gpu {gpu_time * 1e3:.1f} ms, {speedup:.2f}x"
+    )
+    assert speedup >= 10.0, (
+        f"gpu batched cascade only {speedup:.2f}x faster than numpy "
+        f"fused ({gpu_time * 1e3:.1f} ms vs {numpy_time * 1e3:.1f} ms)"
+    )
+
+
+@pytest.mark.skipif(DEVICE, reason="parity bound applies to emulate mode")
+def test_perf_gpu_emulate_parity_with_numpy(prbs7_stimulus):
+    """Emulate mode is the numpy backend behind a thin shim; the shim
+    must cost <= 1.2x on the 64-lane batched cascade."""
+    batch, rngs, vctrls = _lane_batch(prbs7_stimulus, 64)
+
+    def timed(backend):
+        with kernels.use_backend(backend):
+            line = FineDelayLine(n_stages=4, seed=7)
+
+            def run():
+                with use_fusion(True):
+                    line.process_batch(batch, rngs, vctrls=vctrls)
+
+            run()
+            return _best_of(run)
+
+    gpu_time = timed("gpu")
+    numpy_time = timed("numpy")
+    ratio = gpu_time / numpy_time
+    print(
+        f"\n64-lane cascade: numpy {numpy_time * 1e3:.1f} ms, "
+        f"gpu-emulate {gpu_time * 1e3:.1f} ms, ratio {ratio:.2f}x"
+    )
+    assert ratio <= 1.2, (
+        f"gpu emulate mode {ratio:.2f}x slower than the numpy backend "
+        f"({gpu_time * 1e3:.1f} ms vs {numpy_time * 1e3:.1f} ms)"
+    )

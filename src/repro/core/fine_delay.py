@@ -26,11 +26,7 @@ from ..circuits.vga_buffer import (
 )
 from ..errors import CircuitError
 from ..kernels.cascade import CascadeStage, fusion_enabled
-from ..signals.filters import (
-    bandwidth_to_time_constant,
-    bilinear_lowpass_coefficients,
-    lowpass_zi_unit,
-)
+from ..signals.filters import bandwidth_to_time_constant, cascade_filter_plan
 from ..signals.waveform import Waveform, WaveformBatch
 from .params import DEFAULT_FINE_STAGES, FOUR_STAGE_BUFFER
 
@@ -175,7 +171,7 @@ class FineDelayLine(CircuitElement):
                     stage_rng,
                 )
             tau = bandwidth_to_time_constant(params.bandwidth)
-            b, a = bilinear_lowpass_coefficients(dt, tau)
+            b, a, zi_unit = cascade_filter_plan(dt, tau)
             stages.append(
                 CascadeStage(
                     amplitude=np.asarray(amplitude, dtype=np.float64),
@@ -186,7 +182,7 @@ class FineDelayLine(CircuitElement):
                     order=params.compression_order,
                     b=b,
                     a=a,
-                    zi_unit=lowpass_zi_unit(dt, tau),
+                    zi_unit=zi_unit,
                     noise=noise,
                 )
             )
@@ -242,7 +238,7 @@ class FineDelayLine(CircuitElement):
                     dt, rngs,
                 )
             tau = bandwidth_to_time_constant(params.bandwidth)
-            b, a = bilinear_lowpass_coefficients(dt, tau)
+            b, a, zi_unit = cascade_filter_plan(dt, tau)
             stages.append(
                 CascadeStage(
                     amplitude=amplitude,
@@ -253,7 +249,7 @@ class FineDelayLine(CircuitElement):
                     order=params.compression_order,
                     b=b,
                     a=a,
-                    zi_unit=lowpass_zi_unit(dt, tau),
+                    zi_unit=zi_unit,
                     noise=noise,
                 )
             )

@@ -74,7 +74,7 @@ from ..kernels.cascade import CascadeStage, CascadeStageState
 from ..signals.filters import (
     bandwidth_to_time_constant,
     bilinear_lowpass_coefficients,
-    lowpass_zi_unit,
+    cascade_filter_plan,
 )
 from ..signals.waveform import Waveform
 
@@ -167,8 +167,7 @@ class _StageOp:
         self.dt = dt
         self.t_base = t_base
         tau = bandwidth_to_time_constant(self.params.bandwidth)
-        self._b, self._a = bilinear_lowpass_coefficients(dt, tau)
-        self._zi_unit = lowpass_zi_unit(dt, tau)
+        self._b, self._a, self._zi_unit = cascade_filter_plan(dt, tau)
         self._max_step = self.params.slew_rate * dt
         if self.params.noise_sigma > 0:
             self.noise = _NoiseStream(

@@ -4,7 +4,7 @@ Every per-sample loop that dominates the simulator's wall-clock time —
 the slew-rate limiters inside each buffer stage, the edge-matching
 loop of the delay measurement, and the comparator walk of the
 hysteresis edge extractor — dispatches through this package to one of
-three interchangeable backends:
+four interchangeable backends:
 
 ``python``
     The original interpreted loops, kept as the bit-exact semantic
@@ -18,10 +18,18 @@ three interchangeable backends:
     Optional ``@njit`` transcriptions of the reference loops
     (``pip install repro[fast]``), bit-exact against ``python``.
     Falls back gracefully when numba is missing.
+``gpu``
+    CuPy transcription of the numpy backend's batched algebra running
+    the whole fused cascade on device (DESIGN.md §"GPU backend").
+    Without CuPy or a CUDA device it *emulates*: the identical code
+    path runs on numpy host arrays (one-time warning), so results and
+    tests are independent of whether a GPU is present.
 
 Select with the ``REPRO_KERNELS`` environment variable or
 :func:`set_backend` / :func:`use_backend`; the default (``auto``)
-prefers numba, then numpy.  See DESIGN.md §"Kernel layer".
+prefers numba, then numpy (never gpu — device transfers only pay off
+for batched workloads, so the gpu backend is strictly opt-in).  See
+DESIGN.md §"Kernel layer".
 """
 
 from __future__ import annotations

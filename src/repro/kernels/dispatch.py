@@ -2,19 +2,25 @@
 
 One dispatch point decides which implementation of the stateful inner
 loops runs: the pure-Python reference, the NumPy event-vectorised
-version, or the optional numba-compiled version.  Selection order:
+version, the optional numba-compiled version, or the CuPy-based gpu
+backend (which emulates on numpy when no device is present).
+Selection order:
 
 1. ``repro.kernels.set_backend(name)`` / ``use_backend(name)`` at
    runtime;
 2. the ``REPRO_KERNELS`` environment variable
-   (``python | numpy | numba | auto``), read at import and again by
-   :func:`reset_backend`;
-3. ``auto`` (the default): numba when importable, else numpy.
+   (``python | numpy | numba | gpu | auto``), read at import and again
+   by :func:`reset_backend`;
+3. ``auto`` (the default): numba when importable, else numpy.  The gpu
+   backend is never auto-selected — transfers only pay off for batched
+   workloads, so it is strictly opt-in.
 
 Requesting an unavailable backend programmatically raises
-:class:`~repro.errors.KernelError`; requesting it through the
-environment variable degrades gracefully with a warning, so a CI
-matrix can export ``REPRO_KERNELS=numba`` unconditionally.
+:class:`~repro.errors.KernelError`; requesting a *known* backend that
+is unavailable through the environment variable degrades gracefully
+with a warning, so a CI matrix can export ``REPRO_KERNELS=numba``
+unconditionally.  An unrecognised environment value raises — a typo
+should not silently select a different backend.
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ __all__ = [
     "reset_backend",
 ]
 
-BACKEND_NAMES: Tuple[str, ...] = ("python", "numpy", "numba")
+BACKEND_NAMES: Tuple[str, ...] = ("python", "numpy", "numba", "gpu")
 _AUTO_PREFERENCE: Tuple[str, ...] = ("numba", "numpy", "python")
 _ENV_VAR = "REPRO_KERNELS"
 
@@ -97,12 +103,30 @@ def set_backend(name: str) -> str:
             f"extra for numba"
         )
     _active_module, _active_name = module, name
+    on_selected = getattr(module, "on_selected", None)
+    if on_selected is not None:
+        # Lets a backend finish env-dependent setup at selection time
+        # (the gpu backend commits its device/emulate mode here, which
+        # emits its one-time emulate warning next to the selection).
+        on_selected()
     return name
 
 
 def reset_backend() -> str:
-    """Re-apply the ``REPRO_KERNELS`` environment selection (or auto)."""
+    """Re-apply the ``REPRO_KERNELS`` environment selection (or auto).
+
+    A *known* backend that is unavailable in this environment degrades
+    to ``auto`` with a warning (CI matrices export the variable
+    unconditionally); an unrecognised name raises a
+    :class:`KernelError` listing the valid choices, because a typo must
+    not silently run a different backend.
+    """
     requested = os.environ.get(_ENV_VAR, "").strip().lower() or "auto"
+    if requested != "auto" and requested not in BACKEND_NAMES:
+        raise KernelError(
+            f"{_ENV_VAR}={requested!r} is not a recognised kernel backend; "
+            f"valid values are {', '.join(BACKEND_NAMES)} or 'auto'"
+        )
     try:
         return set_backend(requested)
     except KernelError as exc:

@@ -1,0 +1,683 @@
+"""GPU kernels: the whole fused cascade batched on device via CuPy.
+
+Fourth kernel backend (``REPRO_KERNELS=gpu``).  The batched N-stage
+buffer cascade — noise add, limiting tanh, compression comparator
+decomposition, lane-parallel Jacobi slew relaxation, and the stage
+one-pole filter — executes on the GPU through the array-module shim in
+:mod:`repro.kernels.xp`, with one host-to-device transfer of the input
+at the top of a call and one device-to-host transfer of the result at
+the bottom (per-stage noise planned on host rides along with the
+plan).  When CuPy or a CUDA device is absent the shim resolves to
+numpy and the *identical* code path runs on host arrays ("emulate"
+mode), so CI machines exercise every line of this backend without a
+GPU.
+
+Strategy notes:
+
+* The slew recurrence always uses the Jacobi fixed-point relaxation
+  (the algebra of ``numpy_backend._slew_limit_relax``): its per-sweep
+  work is three whole-batch array operations, which is the shape a GPU
+  wants; the event walk's per-flip Python loop is not.  Convergence is
+  checked on device every fourth sweep — one boolean reduction is the
+  only synchronisation point inside the loop — and the rare lane that
+  has not settled by the sweep cap falls back to the exact host event
+  walk.  Converged lanes sit on the recurrence's unique fixed point,
+  so extra sweeps leave them bit-identical; per-lane results do not
+  depend on batch composition.
+* The compression comparator decomposition is the pooled-flips algebra
+  of the numpy backend, with ``np.repeat`` replaced by a searchsorted
+  segment expansion (:func:`_expand_segments`) — GPU-friendly and
+  value-identical.
+* In emulate mode the batched paths are bit-for-bit the numpy backend
+  (same operations in the same order); on device they agree to
+  floating-point rounding.  Both are far inside the 0.01 ps
+  cross-backend delay contract.
+
+All public functions accept and return **host** numpy float64 arrays —
+device residency is internal to a call — and every device array is
+held to the repo-wide float64 dtype audit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import instrument
+from . import numpy_backend as _np_backend
+from . import xp as _xp
+
+AVAILABLE = True  # emulate mode keeps this backend importable anywhere
+
+__all__ = [
+    "slew_limit",
+    "compressive_slew_limit",
+    "match_edges",
+    "hysteresis_crossings",
+    "nearest_edge_margin",
+    "slew_limit_batch",
+    "compressive_slew_limit_batch",
+    "match_edges_batch",
+    "hysteresis_crossings_batch",
+    "fine_delay_cascade",
+    "fine_delay_cascade_batch",
+    "fine_delay_cascade_stream",
+]
+
+#: Same sweep cap as the numpy backend (a sweep propagates the
+#: recurrence one sample; longer clamped runs fall back to the walk).
+_RELAX_MAX_SWEEPS = 192
+
+
+def on_selected() -> None:
+    """Dispatch hook: commit the device/emulate choice at selection time.
+
+    Resolving here (instead of lazily inside the first kernel call)
+    surfaces the one-time emulate warning next to the backend selection
+    that caused it.
+    """
+    _xp.resolve()
+
+
+# ---------------------------------------------------------------------------
+# device building blocks
+
+
+def _relax(xp_mod, targets, max_step: float, initials):
+    """Lane-parallel Jacobi slew relaxation on device.
+
+    Same algebra, sweep cap, convergence sampling and stale-lane
+    fallback as ``numpy_backend._slew_limit_relax`` (bit-identical in
+    emulate mode); the fallback walk runs on host for the lanes that
+    exceed the cap.
+    """
+    n_lanes, n = targets.shape
+    if n == 0:
+        return xp_mod.empty_like(targets)
+    current = xp_mod.empty((n_lanes, n + 1), dtype=xp_mod.float64)
+    proposed = xp_mod.empty((n_lanes, n + 1), dtype=xp_mod.float64)
+    current[:, 0] = initials
+    proposed[:, 0] = initials
+    current[:, 1:] = targets
+    delta = xp_mod.empty((n_lanes, n), dtype=xp_mod.float64)
+    max_sweeps = min(n, _RELAX_MAX_SWEEPS)
+    sweeps = 0
+    for sweep in range(max_sweeps):
+        xp_mod.subtract(targets, current[:, :-1], out=delta)
+        xp_mod.clip(delta, -max_step, max_step, out=delta)
+        xp_mod.add(current[:, :-1], delta, out=proposed[:, 1:])
+        sweeps += 1
+        # The equality reduction is the loop's only synchronisation
+        # point; sample it every fourth sweep like the numpy backend.
+        if (sweep & 3) == 3 and bool(
+            xp_mod.array_equal(current[:, 1:], proposed[:, 1:])
+        ):
+            instrument.count("kernels.gpu.relax_sweeps", sweeps)
+            return proposed[:, 1:]
+        current, proposed = proposed, current
+    instrument.count("kernels.gpu.relax_sweeps", sweeps)
+    if bool(xp_mod.array_equal(current[:, 1:], proposed[:, 1:])):
+        return current[:, 1:]
+    result = current[:, 1:].copy()
+    stale_mask = xp_mod.any(current[:, 1:] != proposed[:, 1:], axis=1)
+    stale = _xp.to_host(xp_mod.flatnonzero(stale_mask))
+    host_targets = _xp.to_host(targets)
+    host_initials = _xp.to_host(xp_mod.asarray(initials))
+    instrument.count("kernels.gpu.relax_fallback_lanes", int(stale.size))
+    for lane in stale.tolist():
+        result[lane] = _xp.to_device(
+            _np_backend.slew_limit(
+                host_targets[lane], max_step, float(host_initials[lane])
+            )
+        )
+    return result
+
+
+def _expand_segments(xp_mod, seg_values, seg_lengths, total: int):
+    """``np.repeat(seg_values, seg_lengths)`` without array repeats.
+
+    Each output position finds its segment by binary search over the
+    running segment starts — one fully parallel ``searchsorted`` plus a
+    gather, instead of the data-dependent scatter ``repeat`` needs.
+    Zero-length segments share their start with the following segment
+    and the right-sided search then skips them, exactly like
+    ``np.repeat``.
+    """
+    starts = xp_mod.cumsum(seg_lengths) - seg_lengths
+    positions = xp_mod.arange(total, dtype=xp_mod.int64)
+    segment = xp_mod.searchsorted(starts, positions, side="right") - 1
+    return seg_values[segment]
+
+
+def _typical_crossing_interval_batch(xp_mod, v_in, dt: float):
+    """Per-lane median zero-crossing interval, on device.
+
+    Value-identical to ``cascade.typical_crossing_interval`` (partition
+    median on host): crossing positions sort to the front of a
+    sentinel-filled row, interval gaps sort again, and the two middle
+    elements are gathered per lane — medians of integer gaps, so the
+    sort-based and partition-based evaluations agree bit-for-bit.
+    """
+    n_lanes, n = v_in.shape
+    if n < 3:
+        return xp_mod.full(n_lanes, 1.0, dtype=xp_mod.float64)
+    sign = v_in > 0.0
+    changes = sign[:, 1:] != sign[:, :-1]
+    counts = changes.sum(axis=1)  # crossings per lane
+    col = xp_mod.arange(n - 1, dtype=xp_mod.int64)
+    positions = xp_mod.where(changes, col[None, :], n)
+    positions = xp_mod.sort(positions, axis=1)
+    gaps = (positions[:, 1:] - positions[:, :-1]).astype(xp_mod.float64)
+    m = counts - 1  # intervals per lane (may be <= 0)
+    slot = xp_mod.arange(n - 2, dtype=xp_mod.int64)
+    valid = slot[None, :] < m[:, None]
+    gaps = xp_mod.sort(xp_mod.where(valid, gaps, np.inf), axis=1)
+    top = max(n - 3, 0)
+    lo = xp_mod.clip((m - 1) // 2, 0, top)[:, None]
+    hi = xp_mod.clip(m // 2, 0, top)[:, None]
+    median = (
+        xp_mod.take_along_axis(gaps, lo, axis=1)[:, 0]
+        + xp_mod.take_along_axis(gaps, hi, axis=1)[:, 0]
+    ) / 2.0
+    return xp_mod.where(counts < 2, 1.0, median * dt)
+
+
+def _compressive_target_batch(
+    xp_mod,
+    v_in,
+    target_floor,
+    target_extra,
+    dt: float,
+    hysteresis,
+    corner: float,
+    order: int,
+    initial_interval,
+):
+    """Pooled-flips compressed slew target of a device batch.
+
+    The algebra of ``numpy_backend.compressive_slew_limit_batch`` up to
+    (but not including) the slew stage, with the flat ``np.repeat``
+    replaced by :func:`_expand_segments`.  Returns ``(target, y0)``.
+    """
+    n_lanes, n = v_in.shape
+    band = hysteresis[:, None]
+    tri = xp_mod.zeros((n_lanes, n), dtype=xp_mod.int8)
+    tri[v_in > band] = 1
+    tri[v_in < -band] = -1
+    prefixed = xp_mod.empty((n_lanes, n + 1), dtype=xp_mod.int8)
+    prefixed[:, 0] = xp_mod.where(v_in[:, 0] > 0.0, 1, -1)
+    prefixed[:, 1:] = tri
+    col = xp_mod.arange(n + 1, dtype=xp_mod.int32)
+    fill_index = xp_mod.where(prefixed != 0, col[None, :], 0)
+    fill_index = _xp.maximum_accumulate(fill_index, axis=1)
+    filled = xp_mod.take_along_axis(prefixed, fill_index, axis=1)
+    flip_mask = filled[:, 1:] != filled[:, :-1]
+
+    inv_2corner = 1.0 / (2.0 * corner)
+    scale0 = 1.0 / (1.0 + (inv_2corner / initial_interval) ** order)
+    flip_lanes, flip_cols = xp_mod.nonzero(flip_mask)
+    total = int(flip_lanes.size)
+    if total == 0:
+        scale = xp_mod.broadcast_to(scale0[:, None], (n_lanes, n))
+    else:
+        is_first = xp_mod.empty(total, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = flip_lanes[1:] != flip_lanes[:-1]
+        prev_cols = xp_mod.empty(total, dtype=xp_mod.int64)
+        prev_cols[0] = 0
+        prev_cols[1:] = flip_cols[:-1]
+        elapsed = xp_mod.where(
+            is_first,
+            initial_interval[flip_lanes] + flip_cols * dt,
+            (flip_cols - prev_cols) * dt,
+        )
+        flip_scales = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        counts = xp_mod.bincount(flip_lanes, minlength=n_lanes)
+        starts = xp_mod.empty(n_lanes, dtype=xp_mod.int64)
+        starts[0] = 0
+        xp_mod.cumsum(counts[:-1] + 1, out=starts[1:])
+        seg_values = xp_mod.empty(total + n_lanes, dtype=xp_mod.float64)
+        seg_lengths = xp_mod.empty(total + n_lanes, dtype=xp_mod.int64)
+        flip_slots = xp_mod.ones(total + n_lanes, dtype=bool)
+        flip_slots[starts] = False
+        seg_values[starts] = scale0
+        seg_values[flip_slots] = flip_scales
+        lead = xp_mod.full(n_lanes, n, dtype=xp_mod.int64)
+        lead[flip_lanes[is_first]] = flip_cols[is_first]
+        is_last = xp_mod.empty(total, dtype=bool)
+        is_last[:-1] = is_first[1:]
+        is_last[-1] = True
+        next_cols = xp_mod.empty(total, dtype=xp_mod.int64)
+        next_cols[:-1] = flip_cols[1:]
+        next_cols[-1] = n
+        seg_lengths[starts] = lead
+        seg_lengths[flip_slots] = xp_mod.where(
+            is_last, n - flip_cols, next_cols - flip_cols
+        )
+        scale = _expand_segments(
+            xp_mod, seg_values, seg_lengths, n_lanes * n
+        ).reshape(n_lanes, n)
+    target = target_floor + scale * target_extra
+    y0 = target_floor[:, 0] + scale0 * target_extra[:, 0]
+    return target, y0
+
+
+def _compressive_target_carry(
+    xp_mod,
+    v_in,
+    target_floor,
+    target_extra,
+    dt: float,
+    hysteresis: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+    comp_state: int,
+    elapsed_in: float,
+    scale_in: float,
+    primed: bool,
+):
+    """Carry-aware single-lane compressed target on device (1-D arrays).
+
+    The algebra of ``numpy_backend._compressive_target_carry``; an
+    unprimed call produces the same target/level the batched
+    decomposition derives for that lane (so a single-chunk stream run
+    matches the monolithic kernel bit-for-bit in emulate mode).
+
+    Returns ``(target, y0, comp_state, elapsed, scale)``; the three
+    carry scalars come back as host values.
+    """
+    n = int(target_extra.shape[-1])
+    inv_2corner = 1.0 / (2.0 * corner)
+    if not primed:
+        comp_state = 1 if bool(v_in[0] > 0.0) else -1
+        elapsed_in = initial_interval
+        scale_in = 1.0 / (1.0 + (inv_2corner / initial_interval) ** order)
+    tri = xp_mod.zeros(n, dtype=xp_mod.int8)
+    tri[v_in > hysteresis] = 1
+    tri[v_in < -hysteresis] = -1
+    prefixed = xp_mod.empty(n + 1, dtype=xp_mod.int8)
+    prefixed[0] = comp_state
+    prefixed[1:] = tri
+    fill_index = xp_mod.zeros(n + 1, dtype=xp_mod.int64)
+    decided = xp_mod.flatnonzero(prefixed)
+    fill_index[decided] = decided
+    fill_index = _xp.maximum_accumulate(fill_index, axis=-1)
+    filled = prefixed[fill_index]
+    flips = xp_mod.flatnonzero(filled[1:] != filled[:-1])
+    n_flips = int(flips.size)
+    if n_flips == 0:
+        scale = xp_mod.full(n, scale_in, dtype=xp_mod.float64)
+        elapsed_out = elapsed_in + n * dt
+        scale_out = scale_in
+    else:
+        elapsed = xp_mod.empty(n_flips, dtype=xp_mod.float64)
+        elapsed[0] = elapsed_in + flips[0] * dt
+        elapsed[1:] = xp_mod.diff(flips) * dt
+        flip_scales = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        lengths = xp_mod.empty(n_flips + 1, dtype=xp_mod.int64)
+        lengths[0] = flips[0]
+        lengths[1:-1] = xp_mod.diff(flips)
+        lengths[-1] = n - flips[-1]
+        seg_values = xp_mod.empty(n_flips + 1, dtype=xp_mod.float64)
+        seg_values[0] = scale_in
+        seg_values[1:] = flip_scales
+        scale = _expand_segments(xp_mod, seg_values, lengths, n)
+        elapsed_out = float((n - flips[-1]) * dt)
+        scale_out = float(flip_scales[-1])
+    target = target_floor + scale * target_extra
+    y0 = float(target_floor[0]) + scale_in * float(target_extra[0])
+    return target, y0, int(filled[-1]), float(elapsed_out), float(scale_out)
+
+
+# ---------------------------------------------------------------------------
+# primitive kernels
+
+
+def slew_limit(values: np.ndarray, max_step: float, initial: float):
+    """Single-lane slew limiter (1-lane relaxation on device)."""
+    xp_mod, _ = _xp.resolve()
+    targets = _xp.to_device(values)[None, :]
+    initials = _xp.to_device(np.array([initial], dtype=np.float64))
+    return _xp.to_host(_relax(xp_mod, targets, max_step, initials)[0])
+
+
+def slew_limit_batch(values: np.ndarray, max_step: float, initials):
+    """Batched slew limiter by device Jacobi relaxation."""
+    xp_mod, _ = _xp.resolve()
+    targets = _xp.to_device(values)
+    init_dev = _xp.to_device(np.asarray(initials, dtype=np.float64))
+    return _xp.to_host(_relax(xp_mod, targets, max_step, init_dev))
+
+
+def compressive_slew_limit(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: float,
+    corner: float,
+    order: int,
+    initial_interval: float,
+) -> np.ndarray:
+    """Compression comparator + slew limiter, one lane on device."""
+    return compressive_slew_limit_batch(
+        v_in[None, :],
+        np.ascontiguousarray(target_floor)[None, :],
+        np.ascontiguousarray(target_extra)[None, :],
+        max_step,
+        dt,
+        np.array([hysteresis], dtype=np.float64),
+        corner,
+        order,
+        np.array([initial_interval], dtype=np.float64),
+    )[0]
+
+
+def compressive_slew_limit_batch(
+    v_in: np.ndarray,
+    target_floor: np.ndarray,
+    target_extra: np.ndarray,
+    max_step: float,
+    dt: float,
+    hysteresis: np.ndarray,
+    corner: float,
+    order: int,
+    initial_interval: np.ndarray,
+) -> np.ndarray:
+    """Batched compression comparators + one relaxed slew, on device."""
+    xp_mod, _ = _xp.resolve()
+    v_dev = _xp.to_device(v_in)
+    target, y0 = _compressive_target_batch(
+        xp_mod,
+        v_dev,
+        _xp.to_device(np.ascontiguousarray(target_floor)),
+        _xp.to_device(np.ascontiguousarray(target_extra)),
+        dt,
+        _xp.to_device(np.asarray(hysteresis, dtype=np.float64)),
+        corner,
+        order,
+        _xp.to_device(np.asarray(initial_interval, dtype=np.float64)),
+    )
+    return _xp.to_host(_relax(xp_mod, target, max_step, y0))
+
+
+def match_edges(
+    ref_edges: np.ndarray,
+    out_edges: np.ndarray,
+    coarse: float,
+    max_edge_offset: float,
+) -> np.ndarray:
+    """One-to-one greedy edge matching on device."""
+    n_ref = len(ref_edges)
+    n_out = len(out_edges)
+    if n_ref == 0 or n_out == 0:
+        return np.empty(0)
+    xp_mod, _ = _xp.resolve()
+    ref = _xp.to_device(ref_edges)
+    out = _xp.to_device(out_edges)
+    indices = xp_mod.searchsorted(out, ref + coarse)
+    left = xp_mod.clip(indices - 1, 0, n_out - 1)
+    right = xp_mod.clip(indices, 0, n_out - 1)
+    dev_left = xp_mod.abs(out[left] - ref - coarse)
+    dev_right = xp_mod.abs(out[right] - ref - coarse)
+    dev_left[indices - 1 < 0] = np.inf
+    dev_right[indices >= n_out] = np.inf
+    use_right = dev_right < dev_left  # ties go to the earlier edge
+    best = xp_mod.where(use_right, right, left)
+    best_dev = xp_mod.where(use_right, dev_right, dev_left)
+    valid = best_dev <= max_edge_offset
+    if not bool(valid.any()):
+        return np.empty(0)
+    ref_index = xp_mod.flatnonzero(valid)
+    best = best[valid]
+    best_dev = best_dev[valid]
+    order = _xp.stable_argsort(best_dev)
+    _, first = xp_mod.unique(best[order], return_index=True)
+    keep = xp_mod.sort(order[first])
+    return _xp.to_host(out[best[keep]] - ref[ref_index[keep]])
+
+
+def hysteresis_crossings(v: np.ndarray, hysteresis: float):
+    """Comparator-with-hysteresis switch locations on device."""
+    xp_mod, _ = _xp.resolve()
+    n = int(v.size)
+    empty = (np.empty(0), np.empty(0, dtype=np.bool_))
+    v_dev = _xp.to_device(v)
+    tri = xp_mod.zeros(n, dtype=xp_mod.int8)
+    tri[v_dev > hysteresis] = 1
+    tri[v_dev < -hysteresis] = -1
+    decided = xp_mod.flatnonzero(tri)
+    if int(decided.size) < 2:
+        return empty
+    fill_index = xp_mod.zeros(n, dtype=xp_mod.int64)
+    fill_index[decided] = decided
+    fill_index = _xp.maximum_accumulate(fill_index, axis=-1)
+    filled = tri[fill_index]
+    first_decided = int(decided[0])
+    filled[:first_decided] = tri[first_decided]
+    switches = xp_mod.flatnonzero(filled[1:] != filled[:-1]) + 1
+    if int(switches.size) == 0:
+        return empty
+    index = xp_mod.arange(n)
+    last_nonpos = _xp.maximum_accumulate(
+        xp_mod.where(v_dev <= 0.0, index, -1), axis=-1
+    )
+    last_nonneg = _xp.maximum_accumulate(
+        xp_mod.where(v_dev >= 0.0, index, -1), axis=-1
+    )
+    new_states = filled[switches]
+    k = xp_mod.where(
+        new_states > 0,
+        last_nonpos[switches - 1],
+        last_nonneg[switches - 1],
+    )
+    found = k >= 0
+    k = k[found]
+    rising = new_states[found] > 0
+    v0 = v_dev[k]
+    v1 = v_dev[k + 1]
+    denominator = v0 - v1
+    safe = xp_mod.where(denominator == 0.0, 1.0, denominator)
+    fraction = xp_mod.where(denominator == 0.0, 0.5, v0 / safe)
+    fraction = xp_mod.clip(fraction, 0.0, 1.0)
+    return _xp.to_host(k + fraction), _xp.to_host(rising)
+
+
+def nearest_edge_margin(
+    probe_edges: np.ndarray, data_edges: np.ndarray
+) -> float:
+    """Nearest-edge distance minimum on device."""
+    if probe_edges.size == 0 or data_edges.size == 0:
+        return float("inf")
+    xp_mod, _ = _xp.resolve()
+    probe = _xp.to_device(probe_edges)
+    data = _xp.to_device(data_edges)
+    n_data = len(data_edges)
+    indices = xp_mod.searchsorted(data, probe)
+    left = xp_mod.clip(indices - 1, 0, n_data - 1)
+    right = xp_mod.clip(indices, 0, n_data - 1)
+    dist_left = xp_mod.abs(probe - data[left])
+    dist_right = xp_mod.abs(data[right] - probe)
+    dist_left[indices - 1 < 0] = np.inf
+    dist_right[indices >= n_data] = np.inf
+    return float(xp_mod.minimum(dist_left, dist_right).min())
+
+
+def match_edges_batch(
+    ref_edges: np.ndarray,
+    out_edges: list,
+    coarse: np.ndarray,
+    max_edge_offset: float,
+) -> list:
+    """Match one shared reference edge list against many ragged lanes."""
+    return [
+        match_edges(ref_edges, lane_edges, float(coarse[lane]), max_edge_offset)
+        for lane, lane_edges in enumerate(out_edges)
+    ]
+
+
+def hysteresis_crossings_batch(v: np.ndarray, hysteresis: np.ndarray) -> list:
+    """Comparator switches for every lane (ragged per-lane results)."""
+    return [
+        hysteresis_crossings(v[lane], float(hysteresis[lane]))
+        for lane in range(v.shape[0])
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fused cascade
+
+
+def _cascade_batch_device(xp_mod, x, stages, dt: float):
+    """Run the whole batched cascade on already-device-resident ``x``."""
+    scratch = xp_mod.empty_like(x)
+    for stage in stages:
+        if stage.noise is not None:
+            xp_mod.add(x, _xp.to_device(stage.noise), out=x)
+        v_in = x
+        xp_mod.divide(v_in, stage.v_linear, out=scratch)
+        limited = xp_mod.tanh(scratch, out=scratch)
+        amplitude = _xp.to_device(np.asarray(stage.amplitude, dtype=np.float64))
+        if np.isfinite(stage.corner):
+            floor = xp_mod.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            pct = xp_mod.percentile(v_in, (98.0, 2.0), axis=1)
+            hysteresis = 0.3 * ((pct[0] - pct[1]) / 2.0)
+            target, y0 = _compressive_target_batch(
+                xp_mod,
+                v_in,
+                floor * limited,
+                extra * limited,
+                dt,
+                hysteresis,
+                stage.corner,
+                stage.order,
+                _typical_crossing_interval_batch(xp_mod, v_in, dt),
+            )
+            slewed = _relax(xp_mod, target, stage.max_step, y0)
+        else:
+            target = amplitude * limited
+            slewed = _relax(
+                xp_mod, target, stage.max_step, target[:, 0].copy()
+            )
+        zi = _xp.to_device(stage.zi_unit)[None, :] * slewed[:, :1]
+        x, _ = _xp.lfilter(stage.b, stage.a, slewed, axis=1, zi=zi)
+    return x
+
+
+def fine_delay_cascade_batch(
+    values: np.ndarray, stages, dt: float
+) -> np.ndarray:
+    """Fused cascade over a ``(lanes, samples)`` batch, on device.
+
+    One host-to-device transfer of the record at the top, one
+    device-to-host transfer of the result at the bottom; everything in
+    between stays device-resident.
+    """
+    xp_mod, chosen = _xp.resolve()
+    instrument.count(f"kernels.gpu.{chosen}_cascades")
+    if chosen == "device":
+        x = _xp.to_device(values)
+    else:
+        x = values.copy()
+    return _xp.to_host(_cascade_batch_device(xp_mod, x, stages, dt))
+
+
+def fine_delay_cascade(values: np.ndarray, stages, dt: float) -> np.ndarray:
+    """Fused single-lane cascade (runs as a one-lane device batch)."""
+    xp_mod, chosen = _xp.resolve()
+    instrument.count(f"kernels.gpu.{chosen}_cascades")
+    if chosen == "device":
+        x = _xp.to_device(values)[None, :]
+    else:
+        x = values.copy()[None, :]
+    return _xp.to_host(_cascade_batch_device(xp_mod, x, stages, dt))[0]
+
+
+def fine_delay_cascade_stream(
+    values: np.ndarray, stages, dt: float, states
+) -> np.ndarray:
+    """Fused cascade over one chunk with carried per-stage state.
+
+    Mirrors the numpy backend's streaming semantics on device: the
+    carry-aware comparator decomposition, relaxation slew continuing
+    from the carried tracker level, and the stage filter threaded
+    through the carried ``zi``.  Carry scalars live on host (they are
+    plain floats in :class:`~repro.kernels.cascade.CascadeStageState`),
+    so each stage costs a handful of scalar syncs per chunk on a real
+    device — negligible against the per-chunk array work.
+    """
+    xp_mod, chosen = _xp.resolve()
+    instrument.count(f"kernels.gpu.{chosen}_cascades")
+    if chosen == "device":
+        x = _xp.to_device(values)
+    else:
+        x = values.copy()
+    scratch = xp_mod.empty_like(x)
+    for stage, carry in zip(stages, states):
+        if stage.noise is not None:
+            xp_mod.add(x, _xp.to_device(stage.noise), out=x)
+        v_in = x
+        xp_mod.divide(v_in, stage.v_linear, out=scratch)
+        limited = xp_mod.tanh(scratch, out=scratch)
+        amplitude = _xp.to_device(np.asarray(stage.amplitude, dtype=np.float64))
+        if np.isfinite(stage.corner):
+            floor = xp_mod.minimum(amplitude, stage.amplitude_min)
+            extra = amplitude - floor
+            if carry.hysteresis is None or carry.initial_interval is None:
+                pct = xp_mod.percentile(v_in, (98.0, 2.0))
+                carry.freeze_stats(
+                    float(0.3 * ((pct[0] - pct[1]) / 2.0)),
+                    float(
+                        _typical_crossing_interval_batch(
+                            xp_mod, v_in[None, :], dt
+                        )[0]
+                    ),
+                )
+            target, y0, comp_state, elapsed, scale = (
+                _compressive_target_carry(
+                    xp_mod,
+                    v_in,
+                    floor * limited,
+                    extra * limited,
+                    dt,
+                    float(carry.hysteresis),
+                    stage.corner,
+                    stage.order,
+                    float(carry.initial_interval),
+                    carry.comp_state,
+                    carry.elapsed,
+                    carry.scale,
+                    carry.primed,
+                )
+            )
+            y_start = carry.slew_y if carry.primed else y0
+            slewed = _relax(
+                xp_mod,
+                target[None, :],
+                stage.max_step,
+                _xp.to_device(np.array([y_start], dtype=np.float64)),
+            )[0]
+            carry.comp_state = comp_state
+            carry.elapsed = elapsed
+            carry.scale = scale
+        else:
+            target = amplitude * limited
+            y_start = carry.slew_y if carry.primed else float(target[0])
+            slewed = _relax(
+                xp_mod,
+                target[None, :],
+                stage.max_step,
+                _xp.to_device(np.array([y_start], dtype=np.float64)),
+            )[0]
+        carry.slew_y = float(slewed[-1])
+        if carry.filter_zi is None:
+            zi = _xp.to_device(stage.zi_unit) * slewed[0]
+        else:
+            zi = _xp.to_device(np.asarray(carry.filter_zi, dtype=np.float64))
+        filtered, zf = _xp.lfilter(stage.b, stage.a, slewed, zi=zi)
+        carry.filter_zi = _xp.to_host(zf)
+        carry.primed = True
+        x = filtered
+    return _xp.to_host(x)

@@ -1,0 +1,249 @@
+"""Array-module shim behind the ``gpu`` kernel backend.
+
+The gpu backend (:mod:`repro.kernels.gpu_backend`) is written once
+against this module instead of importing ``numpy`` or ``cupy``
+directly.  :func:`resolve` picks the array namespace exactly once per
+process:
+
+``device``
+    CuPy imported successfully, ``cupyx.scipy.signal.lfilter`` is
+    present (the cascade's one-pole filter runs through it), at least
+    one CUDA device is visible, and a smoke allocation succeeded.
+
+``emulate``
+    Anything else — CuPy missing, no device, a broken driver, or the
+    ``REPRO_GPU_EMULATE=1`` override — falls back to numpy.  The gpu
+    backend then runs the *identical* code path on host arrays, which
+    is what CI machines without a GPU exercise.  The first resolve in
+    emulate mode emits a single :class:`RuntimeWarning` so a user who
+    asked for ``REPRO_KERNELS=gpu`` expecting a device learns they got
+    the emulation.
+
+Everything here is deliberately tiny: the helpers paper over the small
+set of API gaps between numpy and CuPy that the backend hits (stable
+argsort, ``maximum.accumulate``, ``lfilter`` with initial conditions)
+and meter host<->device traffic through :mod:`repro.instrument` so the
+"one transfer in, one transfer out" discipline is observable.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Optional, Tuple
+
+import numpy as np
+from scipy import signal as _scipy_signal
+
+from .. import instrument
+
+__all__ = [
+    "resolve",
+    "mode",
+    "device_available",
+    "reset",
+    "to_device",
+    "to_host",
+    "maximum_accumulate",
+    "stable_argsort",
+    "lfilter",
+    "synchronize",
+]
+
+#: Environment override: force emulate mode even when CuPy could work.
+_ENV_EMULATE = "REPRO_GPU_EMULATE"
+_EMULATE_VALUES = frozenset({"1", "on", "true", "yes"})
+
+# Probe state.  ``_probed`` caches the CuPy module (or None) without
+# committing to a mode; ``_resolved`` is the committed (module, mode)
+# pair and is what arms the one-time emulate warning.
+_probed: Optional[Tuple[Optional[Any], Optional[Any]]] = None
+_resolved: Optional[Tuple[Any, str]] = None
+_warned = False
+
+
+def _emulate_forced() -> bool:
+    return os.environ.get(_ENV_EMULATE, "").strip().lower() in _EMULATE_VALUES
+
+
+def _probe() -> Tuple[Optional[Any], Optional[Any]]:
+    """(cupy module, cupyx lfilter) if a usable device exists, else Nones."""
+    global _probed
+    if _probed is not None:
+        return _probed
+    cupy = cupyx_lfilter = None
+    if not _emulate_forced():
+        try:
+            import cupy as _cupy  # noqa: F401 -- optional dependency
+            from cupyx.scipy.signal import lfilter as _cupyx_lfilter
+
+            if int(_cupy.cuda.runtime.getDeviceCount()) >= 1:
+                # Smoke allocation: a visible device can still be
+                # unusable (driver/toolkit mismatch, exhausted memory).
+                _cupy.asarray(np.zeros(1, dtype=np.float64))
+                cupy, cupyx_lfilter = _cupy, _cupyx_lfilter
+        except Exception:
+            cupy = cupyx_lfilter = None
+    _probed = (cupy, cupyx_lfilter)
+    return _probed
+
+
+def device_available() -> bool:
+    """True when the gpu backend would run on a real CUDA device.
+
+    Probes (and caches) without committing a mode, so callers such as
+    benchmark skip conditions can test for a device without arming the
+    one-time emulate warning.
+    """
+    return _probe()[0] is not None
+
+
+def resolve() -> Tuple[Any, str]:
+    """Return the committed ``(array module, mode)`` pair.
+
+    ``mode`` is ``"device"`` (CuPy) or ``"emulate"`` (numpy).  The
+    first call that lands in emulate mode warns once per process.
+    """
+    global _resolved, _warned
+    if _resolved is None:
+        cupy, _ = _probe()
+        if cupy is not None:
+            _resolved = (cupy, "device")
+        else:
+            _resolved = (np, "emulate")
+            if not _warned:
+                _warned = True
+                warnings.warn(
+                    "gpu kernel backend: CuPy with a visible CUDA device is"
+                    " not available; running in emulate mode on numpy (the"
+                    " identical code path on host arrays)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+    return _resolved
+
+
+def mode() -> str:
+    """``"device"`` or ``"emulate"`` (commits the choice)."""
+    return resolve()[1]
+
+
+def reset() -> None:
+    """Forget the probe/mode and re-arm the one-time warning (tests)."""
+    global _probed, _resolved, _warned
+    _probed = None
+    _resolved = None
+    _warned = False
+
+
+def to_device(array: np.ndarray) -> Any:
+    """Copy a host array to the device (identity in emulate mode)."""
+    xp_mod, chosen = resolve()
+    if chosen == "device":
+        instrument.count("kernels.gpu.h2d_bytes", int(array.nbytes))
+        return xp_mod.asarray(array)
+    return array
+
+
+def to_host(array: Any) -> np.ndarray:
+    """Copy a device array back to host (identity in emulate mode)."""
+    xp_mod, chosen = resolve()
+    if chosen == "device" and isinstance(array, xp_mod.ndarray):
+        instrument.count("kernels.gpu.d2h_bytes", int(array.nbytes))
+        return xp_mod.asnumpy(array)
+    return np.asarray(array)
+
+
+def maximum_accumulate(array: Any, axis: int = -1) -> Any:
+    """Running maximum along ``axis`` (``np.maximum.accumulate``).
+
+    CuPy builds without ufunc ``accumulate`` fall back to a
+    Hillis-Steele doubling scan: ``ceil(log2 n)`` whole-array maximum
+    passes, each a single fused device kernel.
+    """
+    xp_mod, chosen = resolve()
+    if chosen == "emulate":
+        return np.maximum.accumulate(array, axis=axis)
+    accumulate = getattr(xp_mod.maximum, "accumulate", None)
+    if accumulate is not None:
+        try:
+            return accumulate(array, axis=axis)
+        except Exception:
+            pass
+    return _doubling_scan_max(xp_mod, array, axis)
+
+
+def _doubling_scan_max(xp_mod: Any, array: Any, axis: int) -> Any:
+    """Inclusive running-max via a Hillis-Steele doubling scan."""
+    out = xp_mod.moveaxis(array.copy(), axis, -1)
+    n = out.shape[-1]
+    shift = 1
+    while shift < n:
+        # The RHS materialises before assignment, so the overlapping
+        # in-place update is well defined.
+        out[..., shift:] = xp_mod.maximum(out[..., shift:], out[..., :-shift])
+        shift *= 2
+    return xp_mod.moveaxis(out, -1, axis)
+
+
+def stable_argsort(array: Any) -> Any:
+    """Stable 1-D argsort.
+
+    numpy exposes ``kind="stable"``; CuPy's radix/Thrust sort does not
+    take a ``kind`` argument, so the device path breaks ties explicitly
+    by sorting ``value * n + index`` ranks, which is stable for any
+    finite float keys.
+    """
+    xp_mod, chosen = resolve()
+    if chosen == "emulate":
+        return np.argsort(array, kind="stable")
+    return _device_stable_argsort(xp_mod, array)
+
+
+def _device_stable_argsort(xp_mod: Any, array: Any) -> Any:
+    """Stable argsort from an unstable one, by explicit tie-breaking."""
+    n = int(array.size)
+    if n <= 1:
+        return xp_mod.arange(n)
+    order = xp_mod.argsort(array)
+    values_sorted = array[order]
+    tie = xp_mod.empty(n, dtype=bool)
+    tie[0] = False
+    tie[1:] = values_sorted[1:] == values_sorted[:-1]
+    if not bool(tie.any()):
+        return order
+    # Ties exist: identify each run of equal values by the position of
+    # its first element (a running max over non-tie positions), then
+    # re-sort on (group id, original index) so equal keys come out in
+    # input order.
+    group = maximum_accumulate(
+        xp_mod.where(tie, -1, xp_mod.arange(n, dtype=xp_mod.int64)), axis=-1
+    )
+    composite = group * xp_mod.int64(n + 1) + order.astype(xp_mod.int64)
+    return order[xp_mod.argsort(composite)]
+
+
+def lfilter(
+    b: np.ndarray,
+    a: np.ndarray,
+    x: Any,
+    axis: int = -1,
+    zi: Optional[Any] = None,
+) -> Any:
+    """IIR filter on host (scipy) or device (cupyx) by array type."""
+    xp_mod, chosen = resolve()
+    if chosen == "device" and isinstance(x, xp_mod.ndarray):
+        _, cupyx_lfilter = _probe()
+        return cupyx_lfilter(
+            xp_mod.asarray(b), xp_mod.asarray(a), x, axis=axis, zi=zi
+        )
+    if zi is None:
+        return _scipy_signal.lfilter(b, a, x, axis=axis)
+    return _scipy_signal.lfilter(b, a, x, axis=axis, zi=zi)
+
+
+def synchronize() -> None:
+    """Block until queued device work finishes (no-op in emulate mode)."""
+    xp_mod, chosen = resolve()
+    if chosen == "device":
+        xp_mod.cuda.get_current_stream().synchronize()

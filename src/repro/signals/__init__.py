@@ -50,6 +50,9 @@ from .filters import (
     moving_average,
     bandwidth_to_time_constant,
     bilinear_lowpass_coefficients,
+    lowpass_zi_unit,
+    cascade_filter_plan,
+    clear_filter_caches,
     rise_time_to_bandwidth,
     bandwidth_to_rise_time,
 )
@@ -93,6 +96,9 @@ __all__ = [
     "moving_average",
     "bandwidth_to_time_constant",
     "bilinear_lowpass_coefficients",
+    "lowpass_zi_unit",
+    "cascade_filter_plan",
+    "clear_filter_caches",
     "rise_time_to_bandwidth",
     "bandwidth_to_rise_time",
 ]

@@ -16,12 +16,13 @@ first edges of a record too).
 from __future__ import annotations
 
 import math
-from functools import lru_cache
+import threading
 from typing import Optional
 
 import numpy as np
 from scipy import signal as _scipy_signal
 
+from .. import instrument
 from ..errors import WaveformError
 from .waveform import Waveform
 
@@ -34,6 +35,8 @@ __all__ = [
     "bandwidth_to_time_constant",
     "bilinear_lowpass_coefficients",
     "lowpass_zi_unit",
+    "cascade_filter_plan",
+    "clear_filter_caches",
     "rise_time_to_bandwidth",
     "bandwidth_to_rise_time",
 ]
@@ -86,21 +89,80 @@ def bilinear_lowpass_coefficients(dt: float, tau: float) -> tuple:
     return b, a
 
 
-@lru_cache(maxsize=256)
+# Explicit bounded memo caches for the per-stage filter solves, in the
+# style of the PRBS memo cache (`repro.signals.patterns`): a dict with
+# FIFO eviction behind one lock, hit/miss counters through
+# `repro.instrument`, and a clear hook for tests.  An lru_cache would
+# bound the entries too, but hides its statistics from the instrument
+# manifests and cannot be cleared selectively alongside the other repro
+# caches.  Cached arrays are marked read-only because callers scale
+# them (``zi_unit * y0``) rather than mutate them.
+_ZI_CACHE: "dict[tuple, np.ndarray]" = {}
+_PLAN_CACHE: "dict[tuple, tuple]" = {}
+_FILTER_CACHE_MAX = 256
+_FILTER_CACHE_LOCK = threading.Lock()
+
+
+def clear_filter_caches() -> None:
+    """Drop all memoised filter solves (tests, memory pressure)."""
+    with _FILTER_CACHE_LOCK:
+        _ZI_CACHE.clear()
+        _PLAN_CACHE.clear()
+
+
 def lowpass_zi_unit(dt: float, tau: float) -> np.ndarray:
     """Settled ``lfilter`` state for a unit input, cached per ``(dt, tau)``.
 
     ``scipy.signal.lfilter_zi`` solves a small linear system each call;
     inside the fused cascade that solve would repeat for every stage of
     every record even though a given stage geometry only ever has a
-    handful of distinct ``(dt, tau)`` pairs.  The returned array is
-    marked read-only because callers scale it (``zi_unit * y0``) rather
-    than mutate it.
+    handful of distinct ``(dt, tau)`` pairs.
     """
-    b, a = bilinear_lowpass_coefficients(dt, tau)
+    key = (float(dt), float(tau))
+    with _FILTER_CACHE_LOCK:
+        cached = _ZI_CACHE.get(key)
+    if cached is not None:
+        instrument.count("filters.zi_cache_hits")
+        return cached
+    instrument.count("filters.zi_cache_misses")
+    # Solve outside the lock: concurrent first calls may duplicate the
+    # work, but never block each other on scipy.
+    b, a = bilinear_lowpass_coefficients(key[0], key[1])
     zi = _scipy_signal.lfilter_zi(b, a)
     zi.setflags(write=False)
+    with _FILTER_CACHE_LOCK:
+        if key not in _ZI_CACHE and len(_ZI_CACHE) >= _FILTER_CACHE_MAX:
+            _ZI_CACHE.pop(next(iter(_ZI_CACHE)))
+        _ZI_CACHE[key] = zi
     return zi
+
+
+def cascade_filter_plan(dt: float, tau: float) -> tuple:
+    """``(b, a, zi_unit)`` for one cascade stage, cached per ``(dt, tau)``.
+
+    One lookup serves everything a :class:`~repro.kernels.cascade.CascadeStage`
+    needs from the filter layer — the bilinear coefficients and the
+    settled unit state — so plan compilation in ``FineDelayLine`` and
+    the streaming ``_StageOp`` binder costs a dict hit per stage instead
+    of re-deriving the discretisation.  Arrays are read-only; treat the
+    tuple as immutable.
+    """
+    key = (float(dt), float(tau))
+    with _FILTER_CACHE_LOCK:
+        cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        instrument.count("filters.plan_cache_hits")
+        return cached
+    instrument.count("filters.plan_cache_misses")
+    b, a = bilinear_lowpass_coefficients(key[0], key[1])
+    b.setflags(write=False)
+    a.setflags(write=False)
+    plan = (b, a, lowpass_zi_unit(key[0], key[1]))
+    with _FILTER_CACHE_LOCK:
+        if key not in _PLAN_CACHE and len(_PLAN_CACHE) >= _FILTER_CACHE_MAX:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[key] = plan
+    return plan
 
 
 def single_pole_lowpass(waveform: Waveform, bandwidth_3db: float) -> Waveform:

@@ -9,7 +9,10 @@ from repro.signals import (
     bandwidth_to_rise_time,
     bandwidth_to_time_constant,
     bilinear_lowpass_coefficients,
+    cascade_filter_plan,
+    clear_filter_caches,
     gaussian_lowpass,
+    lowpass_zi_unit,
     moving_average,
     multi_pole_lowpass,
     rise_time_to_bandwidth,
@@ -225,3 +228,77 @@ class TestGaussianAndBoxcar:
         out = moving_average(wf, 1e-9)
         steady = out.slice_time(5e-9, out.t_end)
         assert steady.amplitude() < 0.02
+
+
+class TestFilterCaches:
+    """Bounded memo caches behind lowpass_zi_unit / cascade_filter_plan."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self):
+        clear_filter_caches()
+        yield
+        clear_filter_caches()
+
+    def test_zi_cache_hit_miss_counters(self):
+        from repro import instrument
+
+        with instrument.enabled_scope(reset=True) as registry:
+            first = lowpass_zi_unit(1e-12, 2e-11)
+            second = lowpass_zi_unit(1e-12, 2e-11)
+            counters = registry.snapshot()["counters"]
+        assert counters["filters.zi_cache_misses"] == 1
+        assert counters["filters.zi_cache_hits"] == 1
+        assert second is first  # the cached object itself
+
+    def test_plan_cache_hit_miss_counters(self):
+        from repro import instrument
+
+        with instrument.enabled_scope(reset=True) as registry:
+            first = cascade_filter_plan(1e-12, 2e-11)
+            second = cascade_filter_plan(1e-12, 2e-11)
+            counters = registry.snapshot()["counters"]
+        assert counters["filters.plan_cache_misses"] == 1
+        assert counters["filters.plan_cache_hits"] == 1
+        assert second is first
+
+    def test_plan_matches_direct_builders(self):
+        b, a, zi_unit = cascade_filter_plan(2e-12, 3e-11)
+        b_ref, a_ref = bilinear_lowpass_coefficients(2e-12, 3e-11)
+        np.testing.assert_array_equal(b, b_ref)
+        np.testing.assert_array_equal(a, a_ref)
+        np.testing.assert_array_equal(zi_unit, lowpass_zi_unit(2e-12, 3e-11))
+
+    def test_cached_arrays_are_read_only(self):
+        b, a, zi_unit = cascade_filter_plan(1e-12, 5e-11)
+        for array in (b, a, zi_unit, lowpass_zi_unit(1e-12, 5e-11)):
+            assert not array.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                array[0] = 0.0
+
+    def test_caches_are_bounded_fifo(self):
+        from repro.signals import filters
+
+        for i in range(filters._FILTER_CACHE_MAX + 8):
+            dt = 1e-12 * (1.0 + i * 1e-3)
+            lowpass_zi_unit(dt, 2e-11)
+            cascade_filter_plan(dt, 2e-11)
+        assert len(filters._ZI_CACHE) == filters._FILTER_CACHE_MAX
+        assert len(filters._PLAN_CACHE) == filters._FILTER_CACHE_MAX
+        # FIFO: the oldest keys were evicted, the newest survive.
+        newest = (float(1e-12 * (1.0 + (filters._FILTER_CACHE_MAX + 7) * 1e-3)),
+                  float(2e-11))
+        oldest = (float(1e-12), float(2e-11))
+        assert newest in filters._ZI_CACHE
+        assert oldest not in filters._ZI_CACHE
+
+    def test_clear_filter_caches_forces_resolve(self):
+        from repro import instrument
+        from repro.signals import filters
+
+        lowpass_zi_unit(1e-12, 2e-11)
+        clear_filter_caches()
+        assert not filters._ZI_CACHE and not filters._PLAN_CACHE
+        with instrument.enabled_scope(reset=True) as registry:
+            lowpass_zi_unit(1e-12, 2e-11)
+            counters = registry.snapshot()["counters"]
+        assert counters["filters.zi_cache_misses"] == 1
