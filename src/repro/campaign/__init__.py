@@ -51,7 +51,12 @@ from .report import (
     validate_report,
     write_report,
 )
-from .runner import CampaignResult, evaluate_point, run_campaign
+from .runner import (
+    POINT_STATUSES,
+    CampaignResult,
+    evaluate_point,
+    run_campaign,
+)
 from .spec import CampaignPoint, CampaignSpec, SweepAxis, expand_points
 from .variation import InstanceVariation, VariationModel
 
@@ -64,6 +69,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "InstanceVariation",
+    "POINT_STATUSES",
     "ResultCache",
     "SweepAxis",
     "VariationModel",

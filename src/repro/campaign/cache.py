@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, Optional
 
 from .. import instrument
@@ -57,12 +58,22 @@ class ResultCache:
     salt:
         Code-version salt; defaults to :data:`CACHE_SALT`.  Tests use
         a custom salt to simulate a code-version bump.
+
+    One instance may be shared across sequential runs *and* across
+    threads: the master daemon holds a single cache for its whole
+    lifetime (the shared result store every submitted campaign reads
+    and writes), with run_campaign executing in a worker thread while
+    status endpoints read :meth:`stats` from the event loop.  Entry
+    I/O is already safe (content-addressed keys, atomic same-dir
+    renames); the tally dict is guarded by a lock so concurrent reads
+    see consistent totals.
     """
 
     def __init__(self, directory, salt: str = CACHE_SALT):
         self.directory = os.path.abspath(os.fspath(directory))
         self.salt = str(salt)
         os.makedirs(self.directory, exist_ok=True)
+        self._stats_lock = threading.Lock()
         self._stats: Dict[str, int] = {
             "hits": 0,
             "misses": 0,
@@ -188,12 +199,14 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         """This instance's hit/miss/write/eviction tallies."""
-        return dict(self._stats)
+        with self._stats_lock:
+            return dict(self._stats)
 
     # -- internals ---------------------------------------------------------
 
     def _tick(self, name: str) -> None:
-        self._stats[name] += 1
+        with self._stats_lock:
+            self._stats[name] += 1
         instrument.count(f"campaign.cache.{name}")
 
     def _evict(self, path: str) -> None:
@@ -201,5 +214,4 @@ class ResultCache:
             os.unlink(path)
         except OSError:
             return
-        self._stats["evictions"] += 1
-        instrument.count("campaign.cache.evictions")
+        self._tick("evictions")

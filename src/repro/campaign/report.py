@@ -208,8 +208,23 @@ def build_report(result) -> dict:
     """
     if len(result.metrics) != len(result.points):
         raise CampaignError(
-            f"campaign incomplete: {len(result.metrics)} metric sets for "
-            f"{len(result.points)} points"
+            f"campaign result misaligned: {len(result.metrics)} metric "
+            f"sets for {len(result.points)} points"
+        )
+    missing = [
+        point.index
+        for point, metrics in zip(result.points, result.metrics)
+        if metrics is None
+    ]
+    if missing:
+        shown = ", ".join(str(index) for index in missing[:8])
+        if len(missing) > 8:
+            shown += ", ..."
+        raise CampaignError(
+            f"campaign incomplete: {len(missing)} of {len(result.points)} "
+            f"points have no metrics (missing point indices: {shown}); "
+            "a report covers only fully-evaluated campaigns — resubmit "
+            "the spec to finish the missing points from cache"
         )
     points = [
         {

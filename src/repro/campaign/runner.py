@@ -28,8 +28,9 @@ Scenario evaluators
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -45,7 +46,7 @@ from ..core.params import (
     FOUR_STAGE_BUFFER,
     SOURCE_RISE_TIME,
 )
-from ..errors import CampaignError
+from ..errors import CampaignCancelled, CampaignError
 from ..experiments.common import WARMUP_TIME, call_instrumented, steady_state
 from ..signals.patterns import prbs_sequence
 from ..signals.nrz import synthesize_nrz
@@ -53,7 +54,12 @@ from ..analysis.measurements import peak_to_peak_jitter
 from .cache import ResultCache
 from .spec import CampaignPoint, CampaignSpec, expand_points
 
-__all__ = ["CampaignResult", "evaluate_point", "run_campaign"]
+__all__ = [
+    "CampaignResult",
+    "POINT_STATUSES",
+    "evaluate_point",
+    "run_campaign",
+]
 
 
 # -- scenario evaluators ----------------------------------------------------
@@ -255,25 +261,133 @@ def _evaluate_for_pool(point: CampaignPoint, collect: bool):
 
 # -- the engine -------------------------------------------------------------
 
+#: Per-point outcome labels carried by :class:`CampaignResult`.
+POINT_STATUSES = ("cached", "computed", "missing")
+
+
+def _describe_point(point: CampaignPoint) -> str:
+    """Human-readable point identity for error messages."""
+    params = ", ".join(
+        f"{name}={value!r}" for name, value in sorted(point.params.items())
+    )
+    return (
+        f"point {point.index} (scenario={point.scenario!r}, "
+        f"instance={point.instance}, {params or 'no params'})"
+    )
+
 
 @dataclass
 class CampaignResult:
     """Everything one :func:`run_campaign` call produced.
 
     ``metrics[i]`` corresponds to ``points[i]`` (campaign expansion
-    order).  ``computed`` / ``cached`` split the points by how they
-    were satisfied; ``cache_stats`` is the cache's tally dict (empty
-    when no cache directory was used).
+    order) — the alignment is never compacted.  A point that was not
+    evaluated (a cancelled run's tail) keeps ``None`` in ``metrics``
+    and the explicit status ``"missing"`` in ``statuses``; satisfied
+    points carry ``"cached"`` or ``"computed"``.  ``computed`` /
+    ``cached`` count the points by how they were satisfied;
+    ``cache_stats`` is the cache's tally dict (empty when no cache
+    directory was used).
     """
 
     spec: CampaignSpec
     points: List[CampaignPoint]
-    metrics: List[dict]
+    metrics: List[Optional[dict]]
     computed: int
     cached: int
     duration_s: float
     jobs: int
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    statuses: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.statuses:
+            # Back-compat construction (tests, report fixtures): infer
+            # statuses from the metrics alignment.
+            self.statuses = [
+                "missing" if m is None else "computed" for m in self.metrics
+            ]
+        if len(self.statuses) != len(self.points) or len(
+            self.metrics
+        ) != len(self.points):
+            raise CampaignError(
+                f"campaign result misaligned: {len(self.points)} points, "
+                f"{len(self.metrics)} metrics, {len(self.statuses)} statuses"
+            )
+        bad = sorted(set(self.statuses) - set(POINT_STATUSES))
+        if bad:
+            raise CampaignError(
+                f"unknown point statuses {bad}; known: {POINT_STATUSES}"
+            )
+
+    @property
+    def complete(self) -> bool:
+        """True when every point was satisfied (no ``missing`` status)."""
+        return "missing" not in self.statuses
+
+    def missing_indices(self) -> List[int]:
+        """Indices of points that were never evaluated."""
+        return [
+            index
+            for index, status in enumerate(self.statuses)
+            if status == "missing"
+        ]
+
+
+def _settle_one(
+    point: CampaignPoint,
+    payload,
+    metrics: List[Optional[dict]],
+    statuses: List[str],
+    cache: Optional[ResultCache],
+) -> None:
+    """Decode one worker payload, record it, and write it through."""
+    with instrument.span("ipc.decode"):
+        result, _duration, snapshot = parallel.decode_payload(payload)
+    metrics[point.index] = result
+    statuses[point.index] = "computed"
+    if snapshot is not None:
+        instrument.get_registry().merge(snapshot)
+    if cache is not None:
+        cache.put(point, result)
+
+
+def _drain_pool(
+    remaining,
+    futures,
+    metrics: List[Optional[dict]],
+    statuses: List[str],
+    cache: Optional[ResultCache],
+) -> None:
+    """Settle every in-flight future before the loop unwinds.
+
+    Called when the collection loop stops early (one point failed, or
+    the run was cancelled).  Futures not yet started are cancelled;
+    futures already running are waited out and their results decoded
+    and cached exactly as if the loop had reached them — otherwise
+    their shm payloads would leak and their compute would be thrown
+    away.  A drained future that itself failed, or whose payload
+    cannot be decoded, is released and skipped; nothing raises out of
+    a drain.
+    """
+    for future in remaining:
+        future.cancel()
+    finished, _ = wait(list(remaining))
+    for future in finished:
+        if future.cancelled():
+            continue
+        point = futures[future]
+        try:
+            payload = future.result()
+        except BaseException:
+            continue
+        try:
+            _settle_one(point, payload, metrics, statuses, cache)
+        except BaseException:
+            # decode_payload released the payload's own blocks; make
+            # sure nothing referenced survives even if the failure was
+            # later (e.g. a cache write).
+            parallel.release_payload(payload)
 
 
 def run_campaign(
@@ -282,6 +396,7 @@ def run_campaign(
     cache_dir: Optional[str] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    cancel: Optional[threading.Event] = None,
 ) -> CampaignResult:
     """Run every point of *spec*, reusing cached results where possible.
 
@@ -300,22 +415,70 @@ def run_campaign(
         instead of constructing one from *cache_dir*.
     progress:
         Optional callback ``(done, total)`` invoked after each point.
+    cancel:
+        Optional :class:`threading.Event`; once set, no further points
+        are scheduled, in-flight points are drained into the cache,
+        and :class:`~repro.errors.CampaignCancelled` is raised with
+        the partial result attached.  This is the master daemon's
+        cancellation hook; point granularity (a running point always
+        finishes) keeps every completed evaluation cached.
+
+    Raises
+    ------
+    CampaignError
+        When one point's evaluation fails.  Already-completed points
+        are still decoded and written to the cache first, so a rerun
+        after the fix recomputes only what is genuinely missing, and
+        the exception names the failing point.
+    CampaignCancelled
+        When *cancel* was set mid-run (see above).
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
     t0 = time.perf_counter()
+
+    def cancelled() -> bool:
+        return cancel is not None and cancel.is_set()
+
+    def partial_result(
+        points, metrics, statuses, cached, done
+    ) -> CampaignResult:
+        return CampaignResult(
+            spec=spec,
+            points=points,
+            metrics=metrics,
+            statuses=statuses,
+            computed=sum(1 for s in statuses if s == "computed"),
+            cached=cached,
+            duration_s=time.perf_counter() - t0,
+            jobs=jobs,
+            cache_stats={} if cache is None else cache.stats(),
+        )
+
+    def raise_cancelled(points, metrics, statuses, cached, done, total):
+        partial = partial_result(points, metrics, statuses, cached, done)
+        instrument.count("campaign.runs.cancelled")
+        raise CampaignCancelled(
+            f"campaign {spec.name!r} cancelled at {done}/{total} points",
+            done=done,
+            total=total,
+            partial=partial,
+        )
+
     with instrument.span("campaign.run"):
         points = expand_points(spec)
         total = len(points)
         metrics: List[Optional[dict]] = [None] * total
+        statuses: List[str] = ["missing"] * total
         pending: List[CampaignPoint] = []
         with instrument.span("cache_lookup"):
             for point in points:
                 hit = None if cache is None else cache.get(point)
                 if hit is not None:
                     metrics[point.index] = hit
+                    statuses[point.index] = "cached"
                 else:
                     pending.append(point)
         cached = total - len(pending)
@@ -325,6 +488,8 @@ def run_campaign(
         done = cached
         if progress is not None and done:
             progress(done, total)
+        if cancelled():
+            raise_cancelled(points, metrics, statuses, cached, done, total)
 
         collect = instrument.enabled()
         if jobs > 1 and len(pending) > 1:
@@ -335,38 +500,72 @@ def run_campaign(
                 }
                 # Completion order: each result is cached the moment it
                 # lands, so a kill mid-campaign loses at most the
-                # in-flight points.
-                for future in as_completed(futures):
-                    point = futures[future]
-                    with instrument.span("ipc.decode"):
-                        result, _duration, snapshot = parallel.decode_payload(
-                            future.result()
+                # in-flight points.  The short wait timeout bounds the
+                # cancellation latency while points are long-running.
+                remaining = set(futures)
+                while remaining:
+                    if cancelled():
+                        _drain_pool(
+                            remaining, futures, metrics, statuses, cache
                         )
-                    metrics[point.index] = result
-                    if snapshot is not None:
-                        instrument.get_registry().merge(snapshot)
-                    if cache is not None:
-                        cache.put(point, result)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total)
+                        done = sum(
+                            1 for s in statuses if s != "missing"
+                        )
+                        raise_cancelled(
+                            points, metrics, statuses, cached, done, total
+                        )
+                    finished, remaining = wait(
+                        remaining, timeout=0.2, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        point = futures[future]
+                        try:
+                            payload = future.result()
+                        except Exception as exc:
+                            _drain_pool(
+                                remaining, futures, metrics, statuses, cache
+                            )
+                            raise CampaignError(
+                                f"campaign {spec.name!r}: "
+                                f"{_describe_point(point)} failed: {exc}"
+                            ) from exc
+                        try:
+                            _settle_one(
+                                point, payload, metrics, statuses, cache
+                            )
+                        except Exception as exc:
+                            _drain_pool(
+                                remaining, futures, metrics, statuses, cache
+                            )
+                            raise CampaignError(
+                                f"campaign {spec.name!r}: result of "
+                                f"{_describe_point(point)} could not be "
+                                f"decoded or stored: {exc}"
+                            ) from exc
+                        done += 1
+                        if progress is not None:
+                            progress(done, total)
         else:
             for point in pending:
-                with instrument.span("campaign.point"):
-                    result = evaluate_point(point)
+                if cancelled():
+                    raise_cancelled(
+                        points, metrics, statuses, cached, done, total
+                    )
+                try:
+                    with instrument.span("campaign.point"):
+                        result = evaluate_point(point)
+                except CampaignCancelled:
+                    raise
+                except Exception as exc:
+                    raise CampaignError(
+                        f"campaign {spec.name!r}: "
+                        f"{_describe_point(point)} failed: {exc}"
+                    ) from exc
                 metrics[point.index] = result
+                statuses[point.index] = "computed"
                 if cache is not None:
                     cache.put(point, result)
                 done += 1
                 if progress is not None:
                     progress(done, total)
-    return CampaignResult(
-        spec=spec,
-        points=points,
-        metrics=[m for m in metrics if m is not None],
-        computed=len(pending),
-        cached=cached,
-        duration_s=time.perf_counter() - t0,
-        jobs=jobs,
-        cache_stats={} if cache is None else cache.stats(),
-    )
+    return partial_result(points, metrics, statuses, cached, done)

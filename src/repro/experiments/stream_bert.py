@@ -26,6 +26,7 @@ extrapolated.
 from __future__ import annotations
 
 import resource
+import sys
 import time
 from typing import Optional
 
@@ -48,8 +49,17 @@ SAMPLES_PER_UI = 8
 
 
 def _peak_rss_mb() -> float:
-    """Process high-water-mark RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Process high-water-mark RSS in MiB.
+
+    ``getrusage(2)`` leaves the ``ru_maxrss`` unit to the platform:
+    Linux reports KiB but macOS reports *bytes* — dividing by 1024
+    unconditionally over-reports Darwin RSS 1024x and makes an
+    ``--rss-limit-mb`` ceiling fail spuriously.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def run(

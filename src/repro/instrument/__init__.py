@@ -37,7 +37,7 @@ to a validated JSON manifest (:mod:`repro.instrument.manifest`) which
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from .manifest import (
     MANIFEST_SCHEMA,
@@ -57,6 +57,7 @@ __all__ = [
     "enable",
     "disable",
     "enabled_scope",
+    "registry_scope",
     "get_registry",
     "span",
     "count",
@@ -123,6 +124,39 @@ def enabled_scope(reset: bool = False) -> Iterator[Registry]:
     finally:
         if not previous:
             disable()
+
+
+@contextmanager
+def registry_scope(
+    registry: Optional[Registry] = None, record: bool = True
+) -> Iterator[Registry]:
+    """Swap in a private registry (fresh by default) for a ``with`` block.
+
+    This is the **per-run scoping** hook the campaign master daemon
+    uses: every queued run executes inside its own registry, so its
+    counters and spans (and the counter deltas streamed to watching
+    clients) describe exactly that run — not the daemon's lifetime
+    tally — while instrumentation points throughout the library keep
+    funnelling through the module-level facade unchanged.
+
+    The swap is process-global, so scopes must not overlap: one
+    writer at a time (the master executes runs sequentially off its
+    queue, which is what makes this exact).  On exit both the previous
+    registry and the previous enabled flag are restored.
+
+    ``record=False`` installs the registry without enabling recording
+    (rarely useful; symmetry with :func:`enabled_scope`).
+    """
+    global _registry, _enabled
+    previous_registry = _registry
+    previous_enabled = _enabled
+    _registry = registry if registry is not None else Registry()
+    _enabled = record
+    try:
+        yield _registry
+    finally:
+        _registry = previous_registry
+        _enabled = previous_enabled
 
 
 def get_registry() -> Registry:

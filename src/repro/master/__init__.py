@@ -1,0 +1,48 @@
+"""Campaign master service: a persistent job queue around campaigns.
+
+``repro.master`` turns :func:`repro.campaign.run_campaign` into a
+long-lived daemon in the style of the ARTIQ master: clients submit
+campaign specs over HTTP or a WebSocket, the scheduler executes them
+one at a time off a priority queue, and any number of clients stream
+live ``(done, total)`` progress and instrument-counter deltas while a
+run is in flight.
+
+The moving parts:
+
+:mod:`repro.master.protocol`
+    Sans-io HTTP/1.1 parsing and RFC 6455 WebSocket framing shared by
+    the asyncio server and the blocking client (stdlib only).
+:mod:`repro.master.state`
+    :class:`RunRecord` (the per-run state machine) and
+    :class:`RunStore` (monotonic rid counter + persisted records +
+    versioned reports, all atomic-rename writes).
+:mod:`repro.master.scheduler`
+    :class:`MasterScheduler` — the priority queue, the run loop, the
+    per-run :func:`repro.instrument.registry_scope`, and the event
+    stream subscribers fan out from.
+:mod:`repro.master.server`
+    :class:`MasterServer` — the asyncio HTTP + WebSocket front end.
+:mod:`repro.master.client`
+    :class:`MasterClient` / :class:`MasterWebSocket` — synchronous
+    client library the CLI and tests drive.
+
+Start a daemon with ``python -m repro.master serve``; see
+``python -m repro.master --help`` for the client commands.
+"""
+
+from .client import DEFAULT_PORT, MasterClient, MasterWebSocket
+from .scheduler import MasterScheduler
+from .server import MasterServer
+from .state import RUN_STATES, TERMINAL_STATES, RunRecord, RunStore
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MasterClient",
+    "MasterWebSocket",
+    "MasterScheduler",
+    "MasterServer",
+    "RUN_STATES",
+    "TERMINAL_STATES",
+    "RunRecord",
+    "RunStore",
+]

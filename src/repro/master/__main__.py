@@ -1,0 +1,248 @@
+"""Run and talk to the campaign master: ``python -m repro.master``.
+
+Subcommands
+-----------
+``serve``
+    Start the daemon in the foreground: bind the HTTP/WebSocket API,
+    load persisted run history (rids stay monotonic across restarts),
+    and execute queued campaigns one at a time until interrupted.
+``submit SPEC.json``
+    POST a campaign spec; prints the assigned rid.  ``--watch``
+    stays attached and streams live progress until the run finishes
+    (exit status mirrors the terminal state).
+``status [RID]``
+    A one-line-per-run table of the daemon's queue and history, or
+    the full JSON record of one run.
+``watch RID``
+    Stream a run's live ``(done, total)`` progress and state changes.
+``cancel | pause | resume RID``
+    Queue control.
+
+The client commands default to ``--url http://127.0.0.1:8760``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from urllib.parse import urlsplit
+
+from ..errors import ReproError
+from .client import DEFAULT_PORT, MasterClient
+from .scheduler import MasterScheduler
+from .server import MasterServer
+
+
+def _parse_url(url: str):
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    return split.hostname or "127.0.0.1", split.port or DEFAULT_PORT
+
+
+def _client(args) -> MasterClient:
+    host, port = _parse_url(args.url)
+    return MasterClient(host, port, timeout=args.timeout)
+
+
+# -- serve ------------------------------------------------------------------
+
+
+async def _serve(args) -> int:
+    scheduler = MasterScheduler(
+        data_dir=args.data_dir, cache_dir=args.cache_dir, jobs=args.jobs
+    )
+    server = MasterServer(scheduler, host=args.host, port=args.port)
+    await server.start()
+    print(
+        f"repro.master: listening on http://{args.host}:{server.port} "
+        f"(data_dir={scheduler.store.data_dir}, "
+        f"cache={'on' if scheduler.cache is not None else 'off'}, "
+        f"jobs={scheduler.jobs})",
+        flush=True,
+    )
+    stop = asyncio.get_running_loop().create_future()
+
+    def request_shutdown() -> None:
+        if not stop.done():
+            stop.set_result(None)
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    await stop
+    print("repro.master: shutting down", flush=True)
+    await server.stop()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        return 0
+
+
+# -- client commands --------------------------------------------------------
+
+
+def _stream_events(client: MasterClient, rid: int) -> str:
+    """Print a run's live events; returns the terminal state."""
+    state = "unknown"
+    for event in client.watch(rid):
+        if event.get("type") == "progress":
+            print(
+                f"\rrun {rid}: {event['done']}/{event['total']} points",
+                end="",
+                file=sys.stderr,
+            )
+        elif event.get("type") == "state":
+            state = event.get("state", state)
+            print(f"\nrun {rid}: {state}", file=sys.stderr)
+    return state
+
+
+def _cmd_submit(args) -> int:
+    with open(args.spec, "r") as handle:
+        spec = json.load(handle)
+    client = _client(args)
+    rid = client.submit(spec, priority=args.priority)
+    print(rid)
+    if not args.watch:
+        return 0
+    state = _stream_events(client, rid)
+    return 0 if state == "done" else 3
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.rid is not None:
+        print(json.dumps(client.run(args.rid), indent=2, sort_keys=True))
+        return 0
+    status = client.status()
+    runs = status["runs"]
+    print(f"{len(runs)} run(s); cache: {status['cache']}")
+    if runs:
+        print("rid    state      prio  done/total  name")
+        for record in runs:
+            name = record["spec"].get("name", "?")
+            print(
+                f"{record['rid']:<7}{record['state']:<11}"
+                f"{record['priority']:<6}"
+                f"{record['done']}/{record['total']:<9}  {name}"
+            )
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    state = _stream_events(_client(args), args.rid)
+    return 0 if state in ("done", "cancelled") else 3
+
+
+def _cmd_report(args) -> int:
+    print(
+        json.dumps(
+            _client(args).report(args.rid), indent=2, sort_keys=True
+        )
+    )
+    return 0
+
+
+def _cmd_queue_control(args) -> int:
+    record = getattr(_client(args), args.command)(args.rid)
+    print(f"run {record['rid']}: {record['state']}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.master",
+        description="Campaign master daemon and its control CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_parser = sub.add_parser("serve", help="run the daemon")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free one)",
+    )
+    serve_parser.add_argument(
+        "--data-dir", default=".repro-master",
+        help="run records, rid counter, reports (default: .repro-master)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared content-addressed result cache (default: none)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per campaign (default: 1)",
+    )
+
+    def add_client_args(p) -> None:
+        p.add_argument(
+            "--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+            help="master base URL",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=600.0,
+            help="client socket timeout in seconds (default: 600)",
+        )
+
+    submit_parser = sub.add_parser("submit", help="submit a campaign spec")
+    submit_parser.add_argument("spec", help="path to the spec JSON")
+    submit_parser.add_argument("--priority", type=int, default=0)
+    submit_parser.add_argument(
+        "--watch", action="store_true",
+        help="stay attached and stream progress until the run finishes",
+    )
+    add_client_args(submit_parser)
+
+    status_parser = sub.add_parser("status", help="list runs / show one")
+    status_parser.add_argument("rid", nargs="?", type=int, default=None)
+    add_client_args(status_parser)
+
+    watch_parser = sub.add_parser("watch", help="stream a run's progress")
+    watch_parser.add_argument("rid", type=int)
+    add_client_args(watch_parser)
+
+    report_parser = sub.add_parser(
+        "report", help="fetch a finished run's campaign report"
+    )
+    report_parser.add_argument("rid", type=int)
+    add_client_args(report_parser)
+
+    for name, text in (
+        ("cancel", "cancel a queued or running run"),
+        ("pause", "hold a queued run"),
+        ("resume", "release a paused run"),
+    ):
+        control_parser = sub.add_parser(name, help=text)
+        control_parser.add_argument("rid", type=int)
+        add_client_args(control_parser)
+
+    args = parser.parse_args(argv)
+    commands = {
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "report": _cmd_report,
+        "cancel": _cmd_queue_control,
+        "pause": _cmd_queue_control,
+        "resume": _cmd_queue_control,
+    }
+    try:
+        return commands[args.command](args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

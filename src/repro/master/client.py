@@ -1,0 +1,288 @@
+"""Synchronous client library for the campaign master daemon.
+
+Two layers, both stdlib-only:
+
+:class:`MasterClient`
+    One-shot REST calls over :mod:`http.client` — submit a spec,
+    list runs, fetch a record or its versioned campaign report,
+    cancel/pause/resume — plus :meth:`MasterClient.watch`, a
+    generator that streams a run's live events over a WebSocket until
+    the run reaches a terminal state.
+:class:`MasterWebSocket`
+    A persistent WebSocket session (blocking socket + the shared
+    RFC 6455 framing) for clients that submit *and* watch over one
+    connection — the CLI's ``submit --watch`` and the concurrency
+    tests drive this directly.
+
+Events yielded to callers are exactly the server's JSON frames:
+``{"type": "state", ...}`` transitions, ``{"type": "progress",
+"done": d, "total": t, "counters": {deltas}}``, ``submitted`` /
+``ok`` / ``error`` acknowledgements.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import MasterError
+from .protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    encode_frame,
+    read_frame_sync,
+    websocket_client_handshake,
+)
+from .state import TERMINAL_STATES
+
+__all__ = ["DEFAULT_PORT", "MasterClient", "MasterWebSocket"]
+
+#: Default TCP port the daemon binds (override with ``serve --port``).
+DEFAULT_PORT = 8760
+
+
+class MasterClient:
+    """Talk to one master daemon at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # -- rest --------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise MasterError(
+                f"master at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            data = json.loads(text or "{}")
+        except json.JSONDecodeError as exc:
+            raise MasterError(
+                f"master returned non-JSON ({response.status}): {text!r}"
+            ) from exc
+        if response.status != 200:
+            raise MasterError(
+                data.get("error", f"HTTP {response.status}: {text!r}")
+            )
+        return data
+
+    def submit(self, spec: dict, priority: int = 0) -> int:
+        """Submit a campaign spec dict; returns the assigned rid."""
+        record = self._request(
+            "POST", "/api/submit", {"spec": spec, "priority": priority}
+        )
+        return int(record["rid"])
+
+    def status(self) -> dict:
+        """The full daemon status: every run record + cache tallies."""
+        return self._request("GET", "/api/status")
+
+    def runs(self) -> List[dict]:
+        """Every run record, ascending rid."""
+        return self.status()["runs"]
+
+    def run(self, rid: int) -> dict:
+        """One run record."""
+        return self._request("GET", f"/api/runs/{int(rid)}")
+
+    def report(self, rid: int) -> dict:
+        """The versioned campaign report of a completed run."""
+        return self._request("GET", f"/api/runs/{int(rid)}/report")
+
+    def cancel(self, rid: int) -> dict:
+        return self._request("POST", f"/api/runs/{int(rid)}/cancel")
+
+    def pause(self, rid: int) -> dict:
+        return self._request("POST", f"/api/runs/{int(rid)}/pause")
+
+    def resume(self, rid: int) -> dict:
+        return self._request("POST", f"/api/runs/{int(rid)}/resume")
+
+    # -- streaming ---------------------------------------------------------
+
+    def connect_ws(self) -> "MasterWebSocket":
+        """Open a persistent WebSocket session to the daemon."""
+        return MasterWebSocket(self.host, self.port, timeout=self.timeout)
+
+    def watch(self, rid: int) -> Iterator[dict]:
+        """Yield a run's live events until it reaches a terminal state.
+
+        The first yielded event is the current state snapshot, so
+        watching an already-finished run yields exactly one event.
+        """
+        with self.connect_ws() as ws:
+            ws.send({"action": "watch", "rid": int(rid)})
+            while True:
+                event = ws.next_event()
+                if event.get("type") == "error":
+                    raise MasterError(event.get("error", "watch failed"))
+                yield event
+                if (
+                    event.get("type") == "state"
+                    and event.get("rid") == int(rid)
+                    and event.get("state") in TERMINAL_STATES
+                ):
+                    return
+
+
+class MasterWebSocket:
+    """One blocking WebSocket session with the daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self._pending: List[dict] = []
+        try:
+            self._sock = socket.create_connection(
+                (host, self.port), timeout=timeout
+            )
+        except OSError as exc:
+            raise MasterError(
+                f"master at {host}:{port} unreachable: {exc}"
+            ) from exc
+        request, accept = websocket_client_handshake(
+            "/ws", f"{host}:{self.port}"
+        )
+        self._sock.sendall(request)
+        self._finish_handshake(accept)
+
+    def _finish_handshake(self, accept: str) -> None:
+        head = b""
+        while b"\r\n\r\n" not in head:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise MasterError("connection closed during ws handshake")
+            head += chunk
+            if len(head) > 64 * 1024:
+                raise MasterError("oversized ws handshake response")
+        head, _, leftover = head.partition(b"\r\n\r\n")
+        if leftover:
+            raise MasterError("unexpected bytes after ws handshake")
+        lines = head.decode("latin-1").split("\r\n")
+        if "101" not in lines[0]:
+            raise MasterError(f"ws handshake refused: {lines[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("sec-websocket-accept") != accept:
+            raise MasterError("ws handshake accept-key mismatch")
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, message: dict) -> None:
+        """Send one JSON action frame (client frames are masked)."""
+        payload = json.dumps(message).encode("utf-8")
+        self._sock.sendall(encode_frame(OP_TEXT, payload, mask=True))
+
+    def next_event(self) -> dict:
+        """The next JSON event frame (transparently answers pings)."""
+        if self._pending:
+            return self._pending.pop(0)
+        while True:
+            try:
+                opcode, payload = read_frame_sync(self._sock)
+            except socket.timeout as exc:
+                raise MasterError(
+                    "timed out waiting for a master event"
+                ) from exc
+            if opcode == OP_CLOSE:
+                raise MasterError("master closed the websocket")
+            if opcode == OP_PING:
+                self._sock.sendall(
+                    encode_frame(OP_PONG, payload, mask=True)
+                )
+                continue
+            if opcode != OP_TEXT:
+                continue
+            try:
+                event = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise MasterError(
+                    f"master sent a non-JSON frame: {exc}"
+                ) from exc
+            if not isinstance(event, dict):
+                raise MasterError("master sent a non-object frame")
+            return event
+
+    def expect(self, event_type: str) -> dict:
+        """Read until a frame of *event_type* arrives, buffering others.
+
+        Interleaved progress/state events for other watched runs are
+        queued for later :meth:`next_event` calls, so request/reply
+        flows (submit → submitted) compose with live streaming.
+        """
+        skipped: List[dict] = []
+        while True:
+            event = self.next_event()
+            if event.get("type") == event_type:
+                self._pending.extend(skipped)
+                return event
+            if event.get("type") == "error":
+                self._pending.extend(skipped)
+                raise MasterError(event.get("error", "master error"))
+            skipped.append(event)
+
+    def submit(self, spec: dict, priority: int = 0) -> int:
+        """Submit over the socket; the run is auto-watched. Returns rid."""
+        self.send(
+            {"action": "submit", "spec": spec, "priority": int(priority)}
+        )
+        return int(self.expect("submitted")["rid"])
+
+    def watch(self, rid: int) -> dict:
+        """Start watching *rid*; returns the current state snapshot."""
+        self.send({"action": "watch", "rid": int(rid)})
+        return self.expect("state")
+
+    def cancel(self, rid: int) -> dict:
+        self.send({"action": "cancel", "rid": int(rid)})
+        return self.expect("ok")
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(encode_frame(OP_CLOSE, b"", mask=True))
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "MasterWebSocket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,305 @@
+"""Wire protocol for the campaign master: HTTP/1.1 + WebSocket framing.
+
+The master's API is deliberately small enough to speak with the
+standard library alone — no aiohttp, no websockets package.  This
+module is the sans-io core shared by the asyncio server and the
+synchronous client:
+
+* a minimal HTTP/1.1 request/response layer (request line, headers,
+  ``Content-Length`` bodies — all the daemon's REST API needs);
+* RFC 6455 WebSocket framing: the handshake accept-key derivation,
+  frame encoding (server frames unmasked, client frames masked, 7 /
+  16 / 64-bit payload lengths), and a frame reader parameterised over
+  a ``read_exactly`` callable so the same parser serves
+  ``asyncio.StreamReader`` and a blocking socket.
+
+Frames are not fragmented (every message is one FIN frame) — both
+ends of this protocol are in this package, and control frames
+(ping/pong/close) are handled at the session layer.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import MasterError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "HttpRequest",
+    "encode_frame",
+    "parse_frame",
+    "read_frame_async",
+    "read_frame_sync",
+    "websocket_accept_key",
+    "websocket_client_handshake",
+    "format_http_response",
+    "read_http_request",
+]
+
+#: RFC 6455 §1.3 magic GUID appended to the client key before SHA-1.
+_WS_MAGIC = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Upper bound on one frame's payload — campaign specs and progress
+#: events are a few KB; anything past this is a protocol error, not a
+#: bigger buffer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+# -- websocket framing ------------------------------------------------------
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """Derive the ``Sec-WebSocket-Accept`` value for *client_key*."""
+    digest = hashlib.sha1(
+        (client_key.strip() + _WS_MAGIC).encode("ascii")
+    ).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool) -> bytes:
+    """One FIN frame carrying *payload*.
+
+    Servers send unmasked frames (``mask=False``); clients MUST mask
+    (``mask=True``, RFC 6455 §5.3) with a random 4-byte key.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise MasterError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        masked = bytes(
+            byte ^ key[i % 4] for i, byte in enumerate(payload)
+        )
+        return bytes(head) + masked
+    return bytes(head) + payload
+
+
+def parse_frame(
+    read_exactly: Callable[[int], bytes],
+) -> Tuple[int, bytes]:
+    """Parse one frame using *read_exactly* to pull bytes off the wire.
+
+    Returns ``(opcode, payload)`` with masking removed.  Raises
+    :class:`~repro.errors.MasterError` on oversized or fragmented
+    frames (neither end of this protocol produces them).
+    """
+    first, second = read_exactly(2)
+    fin = bool(first & 0x80)
+    opcode = first & 0x0F
+    if not fin and opcode != 0:
+        raise MasterError("fragmented websocket frames are not supported")
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", read_exactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", read_exactly(8))
+    if length > MAX_FRAME_BYTES:
+        raise MasterError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    key = read_exactly(4) if masked else b""
+    payload = read_exactly(length) if length else b""
+    if masked:
+        payload = bytes(
+            byte ^ key[i % 4] for i, byte in enumerate(payload)
+        )
+    return opcode, payload
+
+
+async def read_frame_async(reader) -> Tuple[int, bytes]:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    The header is at most 14 bytes, so buffering the exact reads
+    through the stream reader keeps this allocation-light; the parser
+    itself is the shared sans-io one.
+    """
+    buffered = bytearray()
+
+    async def fill(n: int) -> None:
+        while len(buffered) < n:
+            buffered.extend(await reader.readexactly(n - len(buffered)))
+
+    # Pull the fixed part, then let parse_frame consume from the
+    # buffer via a closure that tops it up synchronously — every
+    # needed byte is awaited here before parse_frame runs.
+    await fill(2)
+    second = buffered[1]
+    length = second & 0x7F
+    header_extra = {126: 2, 127: 8}.get(length, 0)
+    await fill(2 + header_extra)
+    if header_extra:
+        (length,) = struct.unpack(
+            ">H" if header_extra == 2 else ">Q",
+            bytes(buffered[2 : 2 + header_extra]),
+        )
+    if length > MAX_FRAME_BYTES:
+        raise MasterError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    masked = bool(second & 0x80)
+    total = 2 + header_extra + (4 if masked else 0) + length
+    await fill(total)
+
+    view = bytes(buffered)
+    offset = 0
+
+    def read_exactly(n: int) -> bytes:
+        nonlocal offset
+        chunk = view[offset : offset + n]
+        offset += n
+        return chunk
+
+    return parse_frame(read_exactly)
+
+
+def read_frame_sync(sock) -> Tuple[int, bytes]:
+    """Read one frame from a blocking socket."""
+
+    def read_exactly(n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = sock.recv(n - len(chunks))
+            if not chunk:
+                raise MasterError("websocket closed mid-frame")
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    return parse_frame(read_exactly)
+
+
+def websocket_client_handshake(path: str, host: str) -> Tuple[bytes, str]:
+    """The client's upgrade request and the accept key it must see."""
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        "Sec-WebSocket-Version: 13\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return request, websocket_accept_key(key)
+
+
+# -- http -------------------------------------------------------------------
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+
+async def read_http_request(reader) -> Optional[HttpRequest]:
+    """Parse one request off an ``asyncio.StreamReader``.
+
+    Returns ``None`` on a clean EOF before any bytes (client opened
+    and closed), raises :class:`~repro.errors.MasterError` on a
+    malformed or oversized request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception as exc:  # IncompleteReadError, LimitOverrunError
+        if getattr(exc, "partial", b"") == b"":
+            return None
+        raise MasterError(f"malformed HTTP request: {exc}") from exc
+    if len(head) > _MAX_HEADER_BYTES:
+        raise MasterError("HTTP request head too large")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise MasterError(f"malformed HTTP request line: {lines[0]!r}") from exc
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise MasterError(
+            f"bad Content-Length: {length_text!r}"
+        ) from exc
+    if length < 0 or length > MAX_FRAME_BYTES:
+        raise MasterError(f"unreasonable Content-Length: {length}")
+    if length:
+        body = await reader.readexactly(length)
+    return HttpRequest(
+        method=method.upper(), path=path, headers=headers, body=body
+    )
+
+
+def format_http_response(
+    status: int,
+    reason: str,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialise one ``Connection: close`` HTTP response."""
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n" + body

@@ -1,0 +1,350 @@
+"""The master's network face: a stdlib-asyncio HTTP + WebSocket server.
+
+REST API (one request per connection, ``Connection: close``):
+
+``GET /api/status``
+    Every known run (ascending rid) plus the shared cache tallies.
+``GET /api/runs/<rid>``
+    One run record.
+``GET /api/runs/<rid>/report``
+    The versioned ``repro.campaign-report`` of a completed run.
+``POST /api/submit``
+    Body ``{"spec": {...}, "priority": 0}`` → ``{"rid": N, ...}``.
+``POST /api/runs/<rid>/cancel | pause | resume``
+    Queue control; responds with the updated record.
+
+WebSocket endpoint (``GET /ws`` with an upgrade handshake): clients
+send JSON text frames —
+
+``{"action": "submit", "spec": {...}, "priority": 0}``
+    → ``{"type": "submitted", "rid": N}``
+``{"action": "watch", "rid": N}`` / ``{"action": "watch", "all": true}``
+    → an immediate ``{"type": "state", ...}`` snapshot, then live
+    ``progress`` frames (``done``/``total`` plus instrument-counter
+    deltas) and ``state`` transitions for the watched run(s).
+``{"action": "cancel" | "pause" | "resume", "rid": N}``
+    → ``{"type": "ok", "rid": N, "state": ...}``
+
+Any number of clients may hold WebSocket sessions concurrently; each
+session filters the scheduler's event stream down to its watched
+rids.  Errors come back as ``{"type": "error", "error": msg}`` frames
+(or JSON bodies with 4xx status over HTTP) — a client mistake never
+takes the daemon down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Set
+
+from ..errors import MasterError, ReproError
+from .protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    HttpRequest,
+    encode_frame,
+    format_http_response,
+    read_frame_async,
+    read_http_request,
+    websocket_accept_key,
+)
+from .scheduler import MasterScheduler
+
+__all__ = ["MasterServer"]
+
+
+def _json_body(status: int, reason: str, data: dict) -> bytes:
+    body = (json.dumps(data, sort_keys=True) + "\n").encode("utf-8")
+    return format_http_response(status, reason, body)
+
+
+class MasterServer:
+    """Bind, serve, and shut down the master's HTTP/WebSocket API."""
+
+    def __init__(
+        self,
+        scheduler: MasterScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler's run loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.ensure_future(
+            self.scheduler.run_forever()
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, cancel the active run.
+
+        The scheduler drains the running campaign's in-flight points
+        into the shared cache before the loop exits; queued runs stay
+        persisted for the next master.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._scheduler_task is not None:
+            self.scheduler.request_stop()
+            await self._scheduler_task
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await read_http_request(reader)
+            if request is None:
+                return
+            if request.wants_websocket:
+                await self._websocket_session(request, reader, writer)
+                return
+            response = self._route_http(request)
+            writer.write(response)
+            await writer.drain()
+        except (MasterError, asyncio.IncompleteReadError):
+            # Malformed request or mid-frame disconnect: drop the
+            # connection; the daemon itself is unaffected.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # -- rest routes ---------------------------------------------------------
+
+    def _route_http(self, request: HttpRequest) -> bytes:
+        try:
+            return self._dispatch_http(request)
+        except MasterError as exc:
+            status = 404 if "no such run" in str(exc) else 400
+            reason = "Not Found" if status == 404 else "Bad Request"
+            return _json_body(status, reason, {"error": str(exc)})
+        except ReproError as exc:
+            return _json_body(400, "Bad Request", {"error": str(exc)})
+
+    def _dispatch_http(self, request: HttpRequest) -> bytes:
+        method, path = request.method, request.path.rstrip("/")
+        if method == "GET" and path == "/api/status":
+            cache = self.scheduler.cache
+            return _json_body(
+                200,
+                "OK",
+                {
+                    "runs": [
+                        record.to_dict()
+                        for record in self.scheduler.list_runs()
+                    ],
+                    "cache": None if cache is None else cache.stats(),
+                    "jobs": self.scheduler.jobs,
+                },
+            )
+        if method == "POST" and path == "/api/submit":
+            data = self._parse_json_body(request)
+            spec = data.get("spec")
+            if not isinstance(spec, dict):
+                raise MasterError("submit body needs a 'spec' object")
+            record = self.scheduler.submit(
+                spec, priority=int(data.get("priority", 0))
+            )
+            return _json_body(200, "OK", record.to_dict())
+        if path.startswith("/api/runs/"):
+            parts = path[len("/api/runs/") :].split("/")
+            if not parts[0].isdigit():
+                raise MasterError(f"no such run: {parts[0]!r}")
+            rid = int(parts[0])
+            if method == "GET" and len(parts) == 1:
+                return _json_body(
+                    200, "OK", self.scheduler.get(rid).to_dict()
+                )
+            if method == "GET" and parts[1:] == ["report"]:
+                report = self.scheduler.store.load_report(rid)
+                record = self.scheduler.get(rid)
+                if report is None:
+                    raise MasterError(
+                        f"no such run report: run {rid} is "
+                        f"{record.state!r}"
+                    )
+                return _json_body(200, "OK", report)
+            if method == "POST" and len(parts) == 2 and parts[1] in (
+                "cancel",
+                "pause",
+                "resume",
+            ):
+                record = getattr(self.scheduler, parts[1])(rid)
+                return _json_body(200, "OK", record.to_dict())
+        raise MasterError(f"no such run: route {method} {request.path!r}")
+
+    @staticmethod
+    def _parse_json_body(request: HttpRequest) -> dict:
+        try:
+            data = json.loads(request.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MasterError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise MasterError("request body must be a JSON object")
+        return data
+
+    # -- websocket sessions --------------------------------------------------
+
+    async def _websocket_session(
+        self, request: HttpRequest, reader, writer
+    ) -> None:
+        key = request.header("sec-websocket-key")
+        if not key:
+            writer.write(
+                _json_body(
+                    400, "Bad Request", {"error": "missing websocket key"}
+                )
+            )
+            await writer.drain()
+            return
+        writer.write(
+            format_http_response(
+                101,
+                "Switching Protocols",
+                extra_headers={
+                    "Upgrade": "websocket",
+                    "Connection": "Upgrade",
+                    "Sec-WebSocket-Accept": websocket_accept_key(key),
+                },
+            )
+        )
+        await writer.drain()
+
+        queue = self.scheduler.subscribe()
+        watched: Set[int] = set()
+        watch_all = False
+
+        def send_json(obj: dict) -> None:
+            payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+            writer.write(encode_frame(OP_TEXT, payload, mask=False))
+
+        frame_task = asyncio.ensure_future(read_frame_async(reader))
+        event_task = asyncio.ensure_future(queue.get())
+        try:
+            while True:
+                finished, _ = await asyncio.wait(
+                    {frame_task, event_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if frame_task in finished:
+                    try:
+                        opcode, payload = frame_task.result()
+                    except (
+                        asyncio.IncompleteReadError,
+                        ConnectionError,
+                        MasterError,
+                    ):
+                        return
+                    if opcode == OP_CLOSE:
+                        writer.write(
+                            encode_frame(OP_CLOSE, payload, mask=False)
+                        )
+                        await writer.drain()
+                        return
+                    if opcode == OP_PING:
+                        writer.write(
+                            encode_frame(OP_PONG, payload, mask=False)
+                        )
+                    elif opcode == OP_TEXT:
+                        watch_all = self._handle_ws_action(
+                            payload, send_json, watched, watch_all
+                        )
+                    frame_task = asyncio.ensure_future(
+                        read_frame_async(reader)
+                    )
+                if event_task in finished:
+                    event = event_task.result()
+                    if watch_all or event.get("rid") in watched:
+                        send_json(event)
+                    event_task = asyncio.ensure_future(queue.get())
+                await writer.drain()
+        finally:
+            self.scheduler.unsubscribe(queue)
+            for task in (frame_task, event_task):
+                task.cancel()
+
+    def _handle_ws_action(
+        self, payload: bytes, send_json, watched: Set[int], watch_all: bool
+    ) -> bool:
+        """Apply one client action frame; returns the new watch_all."""
+        try:
+            message = json.loads(payload.decode("utf-8"))
+            if not isinstance(message, dict):
+                raise MasterError("websocket message must be a JSON object")
+            action = message.get("action")
+            if action == "submit":
+                spec = message.get("spec")
+                if not isinstance(spec, dict):
+                    raise MasterError("submit needs a 'spec' object")
+                record = self.scheduler.submit(
+                    spec, priority=int(message.get("priority", 0))
+                )
+                watched.add(record.rid)
+                send_json(
+                    {
+                        "type": "submitted",
+                        "rid": record.rid,
+                        "state": record.state,
+                        "total": record.total,
+                    }
+                )
+            elif action == "watch":
+                if message.get("all"):
+                    watch_all = True
+                    send_json({"type": "watching", "all": True})
+                else:
+                    record = self.scheduler.get(message.get("rid"))
+                    watched.add(record.rid)
+                    send_json(
+                        {
+                            "type": "state",
+                            "rid": record.rid,
+                            "state": record.state,
+                            "done": record.done,
+                            "total": record.total,
+                            "error": record.error,
+                        }
+                    )
+            elif action in ("cancel", "pause", "resume"):
+                record = getattr(self.scheduler, action)(
+                    message.get("rid")
+                )
+                send_json(
+                    {
+                        "type": "ok",
+                        "action": action,
+                        "rid": record.rid,
+                        "state": record.state,
+                    }
+                )
+            else:
+                raise MasterError(f"unknown action {action!r}")
+        except ReproError as exc:
+            send_json({"type": "error", "error": str(exc)})
+        except (ValueError, UnicodeDecodeError) as exc:
+            send_json({"type": "error", "error": f"bad message: {exc}"})
+        return watch_all

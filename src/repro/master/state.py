@@ -1,0 +1,287 @@
+"""Run records, the per-run state machine, and their persistent store.
+
+Every submission the master accepts becomes a :class:`RunRecord` with
+a **monotonically assigned run id** (rid).  The rid counter and every
+record are persisted under the master's data directory with the same
+atomic-rename discipline the result cache uses, so a master restart
+never reuses a rid and never loses a run's history:
+
+``<data_dir>/next_rid``
+    The next rid to hand out, written *before* the allocation
+    returns — a crash between allocate and submit burns a rid, never
+    duplicates one (the ARTIQ ``RIDCounter`` discipline).
+``<data_dir>/runs/<rid>.json``
+    One versioned record per run, rewritten on every state
+    transition.
+``<data_dir>/reports/<rid>.json``
+    The versioned ``repro.campaign-report`` of a completed run.
+
+The state machine is::
+
+    queued <-> paused
+      |  \\
+      |   `--> cancelled
+      v
+    running --> done | failed | cancelled
+
+``done`` / ``failed`` / ``cancelled`` are terminal.  On restart,
+queued and paused runs are **requeued** (their specs are fully
+persisted, so nothing is lost), while a run that was mid-execution is
+marked ``failed`` — its computed points live on in the shared result
+cache, so resubmitting the same spec resumes from there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..campaign.report import validate_report, write_report
+from ..errors import MasterError
+
+__all__ = [
+    "RUN_STATES",
+    "TERMINAL_STATES",
+    "RunRecord",
+    "RunStore",
+]
+
+RUN_STATES = ("queued", "paused", "running", "done", "failed", "cancelled")
+
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+_ALLOWED_TRANSITIONS: Dict[str, frozenset] = {
+    "queued": frozenset({"paused", "running", "cancelled"}),
+    "paused": frozenset({"queued", "cancelled"}),
+    "running": frozenset({"done", "failed", "cancelled"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "cancelled": frozenset(),
+}
+
+_RECORD_SCHEMA = "repro.master-run"
+_RECORD_VERSION = 1
+
+
+@dataclass
+class RunRecord:
+    """Everything the master knows about one submitted run."""
+
+    rid: int
+    spec: dict
+    priority: int = 0
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done: int = 0
+    total: int = 0
+    error: Optional[str] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def transition(self, new_state: str) -> None:
+        """Move to *new_state*, stamping start/finish times.
+
+        Raises :class:`~repro.errors.MasterError` on a transition the
+        state machine does not allow (cancelling a finished run,
+        pausing a running one, ...).
+        """
+        if new_state not in RUN_STATES:
+            raise MasterError(
+                f"unknown run state {new_state!r}; known: {RUN_STATES}"
+            )
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise MasterError(
+                f"run {self.rid}: illegal transition "
+                f"{self.state!r} -> {new_state!r}"
+            )
+        self.state = new_state
+        now = time.time()
+        if new_state == "running":
+            self.started_at = now
+        if new_state in TERMINAL_STATES:
+            self.finished_at = now
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": _RECORD_SCHEMA,
+            "version": _RECORD_VERSION,
+            "rid": self.rid,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "done": self.done,
+            "total": self.total,
+            "error": self.error,
+            "counters": dict(self.counters),
+            "cache_stats": dict(self.cache_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != _RECORD_SCHEMA
+            or data.get("version") != _RECORD_VERSION
+        ):
+            raise MasterError(
+                f"not a {_RECORD_SCHEMA} v{_RECORD_VERSION} record: "
+                f"{data.get('schema')!r} v{data.get('version')!r}"
+            )
+        state = data.get("state")
+        if state not in RUN_STATES:
+            raise MasterError(f"record carries unknown state {state!r}")
+        return cls(
+            rid=int(data["rid"]),
+            spec=dict(data["spec"]),
+            priority=int(data.get("priority", 0)),
+            state=state,
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            done=int(data.get("done", 0)),
+            total=int(data.get("total", 0)),
+            error=data.get("error"),
+            counters=dict(data.get("counters", {})),
+            cache_stats=dict(data.get("cache_stats", {})),
+        )
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".master-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class RunStore:
+    """The master's on-disk memory: rid counter, run records, reports."""
+
+    def __init__(self, data_dir):
+        self.data_dir = os.path.abspath(os.fspath(data_dir))
+        self.runs_dir = os.path.join(self.data_dir, "runs")
+        self.reports_dir = os.path.join(self.data_dir, "reports")
+        for directory in (self.data_dir, self.runs_dir, self.reports_dir):
+            os.makedirs(directory, exist_ok=True)
+        self._rid_path = os.path.join(self.data_dir, "next_rid")
+
+    # -- rid allocation ----------------------------------------------------
+
+    def next_rid(self) -> int:
+        """The rid the next allocation will return (without claiming it)."""
+        try:
+            with open(self._rid_path, "r") as handle:
+                return int(handle.read().strip() or "0")
+        except FileNotFoundError:
+            return 0
+        except ValueError as exc:
+            raise MasterError(
+                f"corrupt rid counter at {self._rid_path}: {exc}"
+            ) from exc
+
+    def allocate_rid(self) -> int:
+        """Claim and return the next run id.
+
+        The incremented counter hits disk *before* the rid is
+        returned, so rids stay monotonic across any crash or restart
+        — at worst an allocation that never became a run burns one.
+        """
+        rid = self.next_rid()
+        _atomic_write(self._rid_path, f"{rid + 1}\n")
+        return rid
+
+    # -- records -----------------------------------------------------------
+
+    def _record_path(self, rid: int) -> str:
+        return os.path.join(self.runs_dir, f"{int(rid)}.json")
+
+    def save(self, record: RunRecord) -> None:
+        """Persist *record* (atomic rewrite of its file)."""
+        payload = json.dumps(record.to_dict(), indent=2, sort_keys=True)
+        _atomic_write(self._record_path(record.rid), payload + "\n")
+
+    def load(self) -> Dict[int, RunRecord]:
+        """Read every persisted record, reconciling interrupted runs.
+
+        A run that was ``running`` when the previous master died is
+        marked ``failed`` (its partial results are in the shared
+        cache); ``queued`` and ``paused`` runs come back as they were
+        and will be scheduled again.  Corrupt record files raise —
+        a master must not silently forget history.
+        """
+        records: Dict[int, RunRecord] = {}
+        for name in sorted(os.listdir(self.runs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.runs_dir, name)
+            try:
+                with open(path, "r") as handle:
+                    record = RunRecord.from_dict(json.load(handle))
+            except (OSError, json.JSONDecodeError, MasterError) as exc:
+                raise MasterError(
+                    f"corrupt run record {path}: {exc}"
+                ) from exc
+            if record.state == "running":
+                record.transition("failed")
+                record.error = (
+                    "interrupted by master restart; completed points "
+                    "are in the shared result cache — resubmit the "
+                    "spec to resume"
+                )
+                self.save(record)
+            records[record.rid] = record
+        return records
+
+    # -- reports -----------------------------------------------------------
+
+    def _report_path(self, rid: int) -> str:
+        return os.path.join(self.reports_dir, f"{int(rid)}.json")
+
+    def save_report(self, rid: int, report: dict) -> None:
+        """Persist a completed run's campaign report (validated)."""
+        write_report(self._report_path(rid), report)
+
+    def load_report(self, rid: int) -> Optional[dict]:
+        """The stored report for *rid*, or ``None`` when absent."""
+        try:
+            with open(self._report_path(rid), "r") as handle:
+                report = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise MasterError(
+                f"corrupt report for run {rid}: {exc}"
+            ) from exc
+        validate_report(report)
+        return report
+
+    def rids(self) -> List[int]:
+        """Every rid with a persisted record, ascending."""
+        out = []
+        for name in os.listdir(self.runs_dir):
+            stem, dot, ext = name.partition(".")
+            if dot and ext == "json" and stem.isdigit():
+                out.append(int(stem))
+        return sorted(out)

@@ -50,6 +50,7 @@ __all__ = [
     "SHM_AVAILABLE",
     "encode_payload",
     "decode_payload",
+    "release_payload",
     "payload_nbytes",
 ]
 
@@ -248,6 +249,21 @@ def decode_payload(obj: Any) -> Any:
     except Exception:
         _release_tokens(obj)
         raise
+
+
+def release_payload(obj: Any) -> None:
+    """Unlink every shm block referenced by an *undecoded* payload.
+
+    The counterpart of :func:`decode_payload` for payloads that will
+    never be decoded: a drained-but-discarded worker result (the
+    campaign runner unwinding after one point failed, a cancelled run
+    abandoning in-flight results).  Each token's block is attached and
+    unlinked; blocks already claimed or released are skipped.  Safe on
+    payloads that were never encoded, and a no-op when shared memory
+    is unavailable.
+    """
+    if SHM_AVAILABLE:
+        _release_tokens(obj)
 
 
 def payload_nbytes(obj: Any) -> int:

@@ -101,17 +101,38 @@ class TestBuildReport:
         assert indices == sorted(indices)
 
     def test_incomplete_campaign_rejected(self, result):
-        truncated = type(result)(
+        """A partial result keeps alignment and is rejected by name."""
+        partial = type(result)(
             spec=result.spec,
             points=result.points,
-            metrics=result.metrics[:-1],
-            computed=result.computed,
+            metrics=result.metrics[:-1] + [None],
+            computed=result.computed - 1,
             cached=result.cached,
             duration_s=result.duration_s,
             jobs=result.jobs,
         )
-        with pytest.raises(CampaignError, match="incomplete"):
-            build_report(truncated)
+        # The missing point is explicit, not silently compacted: the
+        # metrics list keeps its slot and the status says why.
+        assert len(partial.metrics) == len(partial.points)
+        assert not partial.complete
+        assert partial.statuses[-1] == "missing"
+        assert partial.missing_indices() == [partial.points[-1].index]
+        with pytest.raises(CampaignError, match="incomplete") as excinfo:
+            build_report(partial)
+        assert str(partial.points[-1].index) in str(excinfo.value)
+
+    def test_misaligned_result_rejected(self, result):
+        """Dropping a metrics slot is a construction-time error now."""
+        with pytest.raises(CampaignError, match="misaligned"):
+            type(result)(
+                spec=result.spec,
+                points=result.points,
+                metrics=result.metrics[:-1],
+                computed=result.computed,
+                cached=result.cached,
+                duration_s=result.duration_s,
+                jobs=result.jobs,
+            )
 
     def test_payload_is_runtime_free(self, result, report):
         """Same metrics, different wall time: payloads must match."""

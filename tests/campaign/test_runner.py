@@ -5,9 +5,15 @@ PRBS, 5 calibration points) so a point costs ~0.25 s and the whole
 module stays test-tier fast.
 """
 
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
 import pytest
 
-from repro import instrument
+from repro import instrument, parallel
 from repro.campaign import (
     CampaignSpec,
     ResultCache,
@@ -15,8 +21,9 @@ from repro.campaign import (
     expand_points,
     run_campaign,
 )
+from repro.campaign import runner
 from repro.campaign.spec import canonical_json
-from repro.errors import CampaignError
+from repro.errors import CampaignCancelled, CampaignError
 
 TINY = {
     "name": "runner-tiny",
@@ -190,3 +197,203 @@ class TestCaching:
         second = run_campaign(tiny_spec(), jobs=2, cache_dir=cache_dir)
         assert first.computed == 4
         assert second.computed == 0
+
+
+# -- failure draining --------------------------------------------------------
+
+# Pool stand-ins for the drain tests.  They live at module level so the
+# fork-started workers can unpickle them by qualified name; the parent
+# swaps them in for ``runner._evaluate_for_pool`` via monkeypatch and
+# fork inheritance does the rest.  Point 0 fails after the other
+# workers are mid-flight (sleeps stagger the schedule deterministically).
+
+
+def _drain_worker(point, collect):
+    if point.index == 0:
+        time.sleep(0.25)
+        raise RuntimeError("injected point failure")
+    time.sleep(0.5)
+    return parallel.encode_payload(
+        ({"delay_ps": float(point.index)}, 0.01, None)
+    )
+
+
+def _shm_drain_worker(point, collect):
+    if point.index == 0:
+        time.sleep(0.25)
+        raise RuntimeError("injected point failure")
+    time.sleep(0.5)
+    metrics = {
+        "delay_ps": float(point.index),
+        # 64 KiB, well past MIN_SHM_BYTES: forces the payload through
+        # a shared-memory block the parent must decode or leak.
+        "trace": np.zeros(8192, dtype=np.float64),
+    }
+    return parallel.encode_payload((metrics, 0.01, None))
+
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="drain stand-ins rely on fork inheritance",
+)
+
+
+@fork_only
+class TestFailureDrain:
+    def test_failure_names_point_and_caches_survivors(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(runner, "_evaluate_for_pool", _drain_worker)
+        cache = ResultCache(tmp_path / "cache")
+        spec = tiny_spec()
+        with pytest.raises(
+            CampaignError, match=r"point 0 \(scenario='range'"
+        ) as exc_info:
+            run_campaign(spec, jobs=2, cache=cache)
+        assert "injected point failure" in str(exc_info.value)
+
+        points = expand_points(spec)
+        assert cache.get(points[0]) is None
+        # Point 1 was mid-flight when point 0 failed: the drain decoded
+        # and cached it instead of abandoning it with the pool.
+        assert cache.get(points[1]) == {"delay_ps": 1.0}
+        survivors = [
+            point.index
+            for point in points[1:]
+            if cache.get(point) is not None
+        ]
+        assert survivors, "no completed point survived into the cache"
+
+    def test_failure_releases_inflight_shm(self, tmp_path, monkeypatch):
+        if not parallel.SHM_AVAILABLE or not os.path.isdir("/dev/shm"):
+            pytest.skip("POSIX shared memory not observable here")
+        monkeypatch.setattr(runner, "_evaluate_for_pool", _shm_drain_worker)
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(CampaignError, match="point 0"):
+            run_campaign(tiny_spec(), jobs=2)
+        # Completed-but-undecoded payloads would leave psm_* blocks
+        # behind (the pre-drain leak); the drain claims every one.
+        leaked = {
+            name
+            for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+
+class TestSequentialFailure:
+    def test_failure_names_point_and_keeps_survivors(
+        self, tmp_path, monkeypatch
+    ):
+        def boom(point):
+            if point.index == 1:
+                raise RuntimeError("evaluator exploded")
+            return {"delay_ps": float(point.index)}
+
+        monkeypatch.setattr(runner, "evaluate_point", boom)
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(
+            CampaignError, match=r"point 1 \(scenario='range'"
+        ) as exc_info:
+            run_campaign(tiny_spec(), jobs=1, cache=cache)
+        assert "evaluator exploded" in str(exc_info.value)
+        points = expand_points(tiny_spec())
+        assert cache.get(points[0]) == {"delay_ps": 0.0}
+        assert cache.get(points[1]) is None
+
+
+# -- cancellation ------------------------------------------------------------
+
+
+class TestCancellation:
+    def test_cancel_before_start(self):
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(CampaignCancelled) as exc_info:
+            run_campaign(tiny_spec(), jobs=1, cancel=cancel)
+        exc = exc_info.value
+        assert exc.done == 0
+        assert exc.total == 4
+        assert exc.partial is not None
+        assert exc.partial.statuses == ["missing"] * 4
+        assert not exc.partial.complete
+        assert exc.partial.missing_indices() == [0, 1, 2, 3]
+
+    def test_cancel_mid_sequential_run_then_resume_from_cache(
+        self, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        cancel = threading.Event()
+
+        def progress(done, total):
+            if done >= 2:
+                cancel.set()
+
+        with pytest.raises(CampaignCancelled) as exc_info:
+            run_campaign(
+                tiny_spec(),
+                jobs=1,
+                cache=cache,
+                cancel=cancel,
+                progress=progress,
+            )
+        exc = exc_info.value
+        assert 2 <= exc.done < 4
+        partial = exc.partial
+        assert partial.statuses.count("computed") == exc.done
+        assert len(partial.missing_indices()) == 4 - exc.done
+        # The partial keeps metrics aligned: missing points are None.
+        for index in partial.missing_indices():
+            assert partial.metrics[index] is None
+
+        # Every completed point went to the cache, so a resubmission
+        # recomputes only the missing tail — the kill-resume loop.
+        resumed = run_campaign(tiny_spec(), jobs=1, cache=cache)
+        assert resumed.complete
+        assert resumed.cached == exc.done
+        assert resumed.computed == 4 - exc.done
+
+    def test_cancel_mid_parallel_run_drains_to_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cancel = threading.Event()
+
+        def progress(done, total):
+            if done >= 1:
+                cancel.set()
+
+        with pytest.raises(CampaignCancelled) as exc_info:
+            run_campaign(
+                tiny_spec(),
+                jobs=2,
+                cache=cache,
+                cancel=cancel,
+                progress=progress,
+            )
+        exc = exc_info.value
+        # In-flight points are drained to completion, so anywhere from
+        # 1 (the trigger) to all 4 may have landed — but the run still
+        # reports cancelled, and every drained point is in the cache.
+        assert 1 <= exc.done <= 4
+        assert exc.partial.statuses.count("computed") == exc.done
+
+        resumed = run_campaign(tiny_spec(), jobs=2, cache=cache)
+        assert resumed.complete
+        assert resumed.cached == exc.done
+        assert resumed.computed == 4 - exc.done
+
+
+# -- per-point statuses ------------------------------------------------------
+
+
+class TestPointStatuses:
+    def test_full_run_is_all_computed(self, cold_result):
+        assert cold_result.statuses == ["computed"] * 4
+        assert cold_result.complete
+        assert cold_result.missing_indices() == []
+
+    def test_warm_run_is_all_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_campaign(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        warm = run_campaign(tiny_spec(), jobs=1, cache_dir=cache_dir)
+        assert warm.statuses == ["cached"] * 4
+        assert warm.complete

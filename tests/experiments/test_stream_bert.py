@@ -1,0 +1,69 @@
+"""Tests for the streaming-BERT experiment helpers.
+
+The regression here is the ``ru_maxrss`` unit: ``getrusage(2)`` leaves
+it platform-defined — KiB on Linux, *bytes* on macOS — so the MiB
+conversion must branch on the platform.  Pre-fix code divided by 1024
+unconditionally, over-reporting Darwin RSS 1024x (and spuriously
+tripping ``--rss-limit-mb`` ceilings).
+"""
+
+import resource
+from collections import namedtuple
+
+import pytest
+
+from repro.experiments import stream_bert
+
+_FakeUsage = namedtuple("_FakeUsage", ["ru_maxrss"])
+
+
+def _fake_getrusage(ru_maxrss):
+    def getrusage(who):
+        assert who == resource.RUSAGE_SELF
+        return _FakeUsage(ru_maxrss)
+
+    return getrusage
+
+
+class TestPeakRssMb:
+    def test_linux_reports_kib(self, monkeypatch):
+        """On Linux ru_maxrss is KiB: 512 MiB -> 524288 KiB."""
+        monkeypatch.setattr(stream_bert.sys, "platform", "linux")
+        monkeypatch.setattr(
+            stream_bert.resource, "getrusage", _fake_getrusage(524288)
+        )
+        assert stream_bert._peak_rss_mb() == pytest.approx(512.0)
+
+    def test_darwin_reports_bytes(self, monkeypatch):
+        """On macOS ru_maxrss is bytes: 512 MiB -> 536870912 bytes.
+
+        Pre-fix code divided by 1024 unconditionally and returned
+        524288.0 ("512 GiB") here — a 1024x over-report.
+        """
+        monkeypatch.setattr(stream_bert.sys, "platform", "darwin")
+        monkeypatch.setattr(
+            stream_bert.resource,
+            "getrusage",
+            _fake_getrusage(512 * 1024 * 1024),
+        )
+        assert stream_bert._peak_rss_mb() == pytest.approx(512.0)
+
+    def test_darwin_rss_limit_not_spuriously_tripped(self, monkeypatch):
+        """A Darwin process well under the ceiling must read as under.
+
+        The production symptom of the bug: a 197 MiB streaming run
+        with ``--rss-limit-mb 2048`` hard-failed on macOS because the
+        helper reported ~201728 MiB.
+        """
+        monkeypatch.setattr(stream_bert.sys, "platform", "darwin")
+        monkeypatch.setattr(
+            stream_bert.resource,
+            "getrusage",
+            _fake_getrusage(197 * 1024 * 1024),
+        )
+        assert stream_bert._peak_rss_mb() < 2048.0
+
+    def test_real_process_rss_is_sane(self):
+        """Unpatched: this test process is between 1 MiB and 100 GiB."""
+        peak = stream_bert._peak_rss_mb()
+        assert 1.0 < peak < 100.0 * 1024

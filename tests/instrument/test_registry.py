@@ -218,3 +218,46 @@ class TestKernelDispatchCounters:
         reference = tallies[kernels.available_backends()[0]]
         for name, tally in tallies.items():
             assert tally == reference, f"{name} disagrees: {tally}"
+
+
+class TestRegistryScope:
+    """The per-run scoping hook the campaign master daemon uses."""
+
+    def test_counts_land_in_the_scoped_registry(self):
+        private = Registry()
+        before = instrument.get_registry()
+        with instrument.registry_scope(private) as scoped:
+            assert scoped is private
+            assert instrument.get_registry() is private
+            instrument.count("scope.test", 3)
+        assert private.snapshot()["counters"] == {"scope.test": 3}
+        # The previous registry is restored untouched.
+        assert instrument.get_registry() is before
+        assert "scope.test" not in before.snapshot()["counters"]
+
+    def test_fresh_registry_by_default(self):
+        with instrument.registry_scope() as scoped:
+            instrument.count("scope.fresh")
+            assert scoped.snapshot()["counters"] == {"scope.fresh": 1}
+
+    def test_enabled_flag_restored(self):
+        assert not instrument.enabled()
+        with instrument.registry_scope():
+            assert instrument.enabled()
+        assert not instrument.enabled()
+
+    def test_record_false_keeps_recording_off(self):
+        with instrument.registry_scope(record=False) as scoped:
+            instrument.count("scope.silent")
+        assert scoped.snapshot()["counters"] == {}
+
+    def test_scopes_isolate_sequential_runs(self):
+        """Two runs, two registries, no cross-talk (the master's use)."""
+        tallies = []
+        for value in (2, 5):
+            with instrument.registry_scope() as scoped:
+                instrument.count("run.metric", value)
+                tallies.append(
+                    scoped.snapshot()["counters"]["run.metric"]
+                )
+        assert tallies == [2, 5]

@@ -1,0 +1,152 @@
+"""Tests for the sans-io HTTP/WebSocket protocol layer."""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.errors import MasterError
+from repro.master.protocol import (
+    MAX_FRAME_BYTES,
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    encode_frame,
+    format_http_response,
+    parse_frame,
+    read_http_request,
+    websocket_accept_key,
+    websocket_client_handshake,
+)
+
+
+def roundtrip(opcode: int, payload: bytes, mask: bool):
+    """Encode a frame, then parse it back from an in-memory stream."""
+    stream = io.BytesIO(encode_frame(opcode, payload, mask=mask))
+
+    def read_exactly(n: int) -> bytes:
+        data = stream.read(n)
+        if len(data) != n:
+            raise MasterError("short read")
+        return data
+
+    return parse_frame(read_exactly)
+
+
+class TestFraming:
+    def test_small_text_roundtrip(self):
+        opcode, payload = roundtrip(OP_TEXT, b'{"a": 1}', mask=True)
+        assert opcode == OP_TEXT
+        assert payload == b'{"a": 1}'
+
+    def test_unmasked_server_frame_roundtrip(self):
+        opcode, payload = roundtrip(OP_TEXT, b"event", mask=False)
+        assert (opcode, payload) == (OP_TEXT, b"event")
+
+    def test_16bit_length_roundtrip(self):
+        # 126..65535 bytes uses the 2-byte extended length.
+        payload = bytes(range(256)) * 10  # 2560 bytes
+        assert roundtrip(OP_BINARY, payload, mask=True)[1] == payload
+
+    def test_64bit_length_roundtrip(self):
+        # >65535 bytes uses the 8-byte extended length.
+        payload = b"\xab" * 70_000
+        assert roundtrip(OP_BINARY, payload, mask=False)[1] == payload
+
+    def test_boundary_125_and_126(self):
+        for n in (125, 126, 65535, 65536):
+            payload = b"x" * n
+            assert roundtrip(OP_TEXT, payload, mask=True)[1] == payload
+
+    def test_control_frames(self):
+        assert roundtrip(OP_PING, b"hb", mask=True) == (OP_PING, b"hb")
+        assert roundtrip(OP_CLOSE, b"", mask=False) == (OP_CLOSE, b"")
+
+    def test_masked_frame_differs_on_wire(self):
+        clear = encode_frame(OP_TEXT, b"secret", mask=False)
+        masked = encode_frame(OP_TEXT, b"secret", mask=True)
+        assert b"secret" in clear
+        assert b"secret" not in masked
+
+    def test_oversized_frame_rejected_by_encoder(self):
+        with pytest.raises(MasterError, match="exceeds the"):
+            encode_frame(
+                OP_BINARY, b"\x00" * (MAX_FRAME_BYTES + 1), mask=False
+            )
+
+    def test_oversized_frame_rejected_by_parser(self):
+        # Handcraft a header advertising an absurd payload length.
+        header = bytes([0x80 | OP_BINARY, 127]) + (2**40).to_bytes(8, "big")
+        stream = io.BytesIO(header)
+        with pytest.raises(MasterError, match="exceeds the"):
+            parse_frame(lambda n: stream.read(n))
+
+
+class TestHandshake:
+    def test_rfc6455_accept_vector(self):
+        # The worked example from RFC 6455 section 1.3.
+        assert (
+            websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_client_handshake_is_self_consistent(self):
+        request, accept = websocket_client_handshake("/ws", "h:1")
+        text = request.decode("latin-1")
+        assert text.startswith("GET /ws HTTP/1.1\r\n")
+        key = next(
+            line.split(": ", 1)[1]
+            for line in text.split("\r\n")
+            if line.lower().startswith("sec-websocket-key")
+        )
+        assert websocket_accept_key(key) == accept
+
+
+class TestHttp:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def parse(self, raw: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_http_request(reader)
+
+        return self.run(go())
+
+    def test_get_roundtrip(self):
+        request = self.parse(
+            b"GET /api/status HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/api/status"
+        assert not request.wants_websocket
+
+    def test_post_body(self):
+        request = self.parse(
+            b"POST /api/submit HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 9\r\n\r\n"
+            b'{"a": 12}'
+        )
+        assert request.body == b'{"a": 12}'
+
+    def test_upgrade_detected(self):
+        request = self.parse(
+            b"GET /ws HTTP/1.1\r\nHost: x\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            b"Sec-WebSocket-Key: abc\r\n\r\n"
+        )
+        assert request.wants_websocket
+        assert request.header("sec-websocket-key") == "abc"
+
+    def test_clean_eof_is_none(self):
+        assert self.parse(b"") is None
+
+    def test_response_format(self):
+        raw = format_http_response(200, "OK", b'{"x": 1}')
+        text = raw.decode("latin-1")
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 8" in text
+        assert text.endswith('\r\n\r\n{"x": 1}')

@@ -1,0 +1,347 @@
+"""End-to-end tests for the campaign master daemon.
+
+The harness runs a real :class:`MasterServer` (own event loop in a
+background thread, port 0) and drives it with the synchronous client
+library over real sockets — the same path the CLI takes.  Campaign
+specs use the test-tier point cost (~0.25 s: 48-bit records, 5
+calibration points) so the daemon tests stay in CI budget.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import MasterError, ReproError
+from repro.master import (
+    MasterClient,
+    MasterScheduler,
+    MasterServer,
+    TERMINAL_STATES,
+)
+
+
+def spec(name: str, seed: int = 11, rates=("2.4 Gbps", "4.8 Gbps")):
+    return {
+        "name": name,
+        "scenario": "range",
+        "seed": seed,
+        "n_instances": 1,
+        "base": {"n_bits": 48, "n_points": 5, "measure_jitter": False},
+        "sweeps": [{"name": "bit_rate", "values": list(rates)}],
+    }
+
+
+class Harness:
+    """One live daemon: event loop thread + scheduler + server."""
+
+    def __init__(self, data_dir, cache_dir, jobs: int = 1):
+        self.data_dir = str(data_dir)
+        self.cache_dir = str(cache_dir)
+        self.jobs = jobs
+        self.loop = None
+        self.thread = None
+        self.server = None
+        self.scheduler = None
+
+    def start(self) -> MasterClient:
+        ready = threading.Event()
+
+        def run():
+            self.loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self.loop)
+            self.scheduler = MasterScheduler(
+                self.data_dir, cache_dir=self.cache_dir, jobs=self.jobs
+            )
+            self.server = MasterServer(self.scheduler, port=0)
+            self.loop.run_until_complete(self.server.start())
+            ready.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert ready.wait(10), "daemon failed to start"
+        return MasterClient(port=self.server.port, timeout=120)
+
+    def stop(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        )
+        future.result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = Harness(tmp_path / "data", tmp_path / "cache")
+    client = h.start()
+    yield h, client
+    h.stop()
+
+
+def watch_to_end(client: MasterClient, rid: int):
+    """Collect a run's full event stream; returns (events, final state)."""
+    events = list(client.watch(rid))
+    return events, events[-1]["state"]
+
+
+class TestRest:
+    def test_empty_status(self, harness):
+        _, client = harness
+        status = client.status()
+        assert status["runs"] == []
+        assert status["cache"] is not None  # harness always has a cache
+
+    def test_unknown_run_is_404(self, harness):
+        _, client = harness
+        with pytest.raises(MasterError, match="no such run"):
+            client.run(99)
+
+    def test_unknown_route_rejected(self, harness):
+        _, client = harness
+        with pytest.raises(MasterError):
+            client._request("GET", "/api/nothing")
+
+    def test_bad_submit_body_rejected(self, harness):
+        _, client = harness
+        with pytest.raises(MasterError, match="'spec' object"):
+            client._request("POST", "/api/submit", {"nope": 1})
+        with pytest.raises(ReproError):
+            client.submit({"name": "broken"})
+        # Nothing was enqueued by the failed submissions.
+        assert client.runs() == []
+
+    def test_report_missing_until_done(self, harness):
+        _, client = harness
+        rid = client.submit(spec("rest-report", rates=["2.4 Gbps"]))
+        record = client.run(rid)
+        if record["state"] != "done":
+            with pytest.raises(MasterError, match="no such run report"):
+                client.report(rid)
+        watch_to_end(client, rid)
+        report = client.report(rid)
+        assert report["schema"] == "repro.campaign-report"
+
+
+class TestLifecycle:
+    def test_submit_watch_done(self, harness):
+        _, client = harness
+        rid = client.submit(spec("lifecycle"))
+        events, final = watch_to_end(client, rid)
+        assert final == "done"
+        progress = [e for e in events if e["type"] == "progress"]
+        assert progress, "no live progress frames streamed"
+        dones = [e["done"] for e in progress]
+        assert dones == sorted(dones)
+        assert progress[-1]["done"] == progress[-1]["total"] == 2
+        # Progress frames carry instrument-counter deltas.
+        assert any(e["counters"] for e in progress)
+        record = client.run(rid)
+        assert record["state"] == "done"
+        assert record["counters"]["campaign.points.evaluated"] == 2
+
+    def test_two_concurrent_websocket_clients(self, harness):
+        """Two live WS sessions, two distinct campaigns, one daemon.
+
+        Each client submits over its own socket and sees exactly its
+        own run's stream (submissions auto-watch); the daemon serves
+        both sessions concurrently while executing runs off the queue.
+        """
+        _, client = harness
+        specs = [spec("ws-a", seed=1), spec("ws-b", seed=2)]
+        results = [None, None]
+        errors = []
+
+        def session(index):
+            try:
+                with client.connect_ws() as ws:
+                    rid = ws.submit(specs[index])
+                    events = []
+                    while True:
+                        event = ws.next_event()
+                        events.append(event)
+                        if (
+                            event.get("type") == "state"
+                            and event.get("state") in TERMINAL_STATES
+                        ):
+                            break
+                    results[index] = (rid, events)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=session, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(180)
+        assert not errors
+        assert all(results)
+        (rid_a, events_a), (rid_b, events_b) = results
+        assert rid_a != rid_b
+        for rid, events in results:
+            # Every event on this session is about this session's run.
+            assert {e["rid"] for e in events} == {rid}
+            assert events[-1]["state"] == "done"
+            progress = [e for e in events if e["type"] == "progress"]
+            assert progress and progress[-1]["done"] == 2
+
+    def test_reports_are_stable_across_clients(self, harness):
+        h, client = harness
+        rid = client.submit(spec("stable", rates=["2.4 Gbps"]))
+        watch_to_end(client, rid)
+        other = MasterClient(port=h.server.port, timeout=120)
+        assert client.report(rid) == other.report(rid)
+
+
+class TestCancelResume:
+    def test_cancel_mid_run_then_resubmit_hits_cache(self, harness):
+        """The kill-resume loop: cancel at 18/20, resume from >=90% hits.
+
+        The cancel lands while the runner is mid-point; point
+        granularity means the in-flight point still completes and is
+        cached, so the resubmission recomputes at most two points.
+        """
+        _, client = harness
+        rates = [f"{r / 10:.1f} Gbps" for r in range(10, 30)]  # 20 points
+        campaign = spec("cancelme", rates=rates)
+
+        rid = client.submit(campaign)
+        cancelled_at = None
+        for event in client.watch(rid):
+            if (
+                event.get("type") == "progress"
+                and event["done"] == 18
+                and cancelled_at is None
+            ):
+                cancelled_at = event["done"]
+                client.cancel(rid)
+        assert cancelled_at == 18, "never saw the 18/20 progress frame"
+        record = client.run(rid)
+        assert record["state"] == "cancelled"
+        assert "cancelled at" in record["error"]
+        assert record["done"] < record["total"] == 20
+
+        # Resubmit the identical spec: the shared cache finishes it.
+        rid2 = client.submit(campaign)
+        assert rid2 > rid
+        events, final = watch_to_end(client, rid2)
+        assert final == "done"
+        record2 = client.run(rid2)
+        hits = record2["counters"]["campaign.cache.hits"]
+        misses = record2["counters"].get("campaign.cache.misses", 0)
+        assert hits + misses == 20
+        assert hits >= 18, f"expected >=90% cache hits, got {hits}/20"
+
+    def test_cancel_queued_run_immediately(self, harness):
+        h, client = harness
+        # Occupy the scheduler, then cancel a run that is still queued.
+        running = client.submit(spec("occupier"))
+        queued = client.submit(spec("victim", seed=9))
+        record = client.cancel(queued)
+        assert record["state"] == "cancelled"
+        events, final = watch_to_end(client, running)
+        assert final == "done"
+        # The cancelled run never ran: no started_at, nothing computed.
+        victim = client.run(queued)
+        assert victim["started_at"] is None
+        assert victim["done"] == 0
+
+
+class TestRestart:
+    def test_rids_monotonic_across_restart(self, tmp_path):
+        h = Harness(tmp_path / "data", tmp_path / "cache")
+        client = h.start()
+        try:
+            rid = client.submit(spec("before", rates=["2.4 Gbps"]))
+            watch_to_end(client, rid)
+        finally:
+            h.stop()
+
+        # A new master over the same data dir: history intact, rids
+        # strictly increasing, and the finished run's report fetchable.
+        h2 = Harness(tmp_path / "data", tmp_path / "cache")
+        client2 = h2.start()
+        try:
+            old = client2.run(rid)
+            assert old["state"] == "done"
+            assert client2.report(rid)["schema"] == "repro.campaign-report"
+            rid2 = client2.submit(spec("after", rates=["4.8 Gbps"]))
+            assert rid2 > rid
+            _, final = watch_to_end(client2, rid2)
+            assert final == "done"
+        finally:
+            h2.stop()
+
+    def test_identical_resubmission_all_cache_hits(self, tmp_path):
+        """A restart-resubmit of a finished spec is pure cache replay."""
+        h = Harness(tmp_path / "data", tmp_path / "cache")
+        client = h.start()
+        campaign = spec("replay")
+        try:
+            rid = client.submit(campaign)
+            watch_to_end(client, rid)
+        finally:
+            h.stop()
+
+        h2 = Harness(tmp_path / "data", tmp_path / "cache")
+        client2 = h2.start()
+        try:
+            rid2 = client2.submit(campaign)
+            _, final = watch_to_end(client2, rid2)
+            assert final == "done"
+            record = client2.run(rid2)
+            assert record["counters"]["campaign.cache.hits"] == 2
+            assert "campaign.cache.misses" not in record["counters"]
+        finally:
+            h2.stop()
+
+
+class TestSchedulerQueue:
+    """Queue semantics that need no event loop or sockets."""
+
+    def make(self, tmp_path) -> MasterScheduler:
+        return MasterScheduler(tmp_path / "queue-data")
+
+    def test_invalid_spec_rejected_before_rid_allocated(self, tmp_path):
+        scheduler = self.make(tmp_path)
+        with pytest.raises(ReproError):
+            scheduler.submit({"name": "broken"})
+        assert scheduler.store.next_rid() == 0
+
+    def test_priority_order_ties_broken_by_rid(self, tmp_path):
+        scheduler = self.make(tmp_path)
+        low = scheduler.submit(spec("low"), priority=0)
+        high_late = scheduler.submit(spec("h1"), priority=5)
+        high_later = scheduler.submit(spec("h2"), priority=5)
+        assert scheduler._next_queued().rid == high_late.rid
+        scheduler.cancel(high_late.rid)
+        assert scheduler._next_queued().rid == high_later.rid
+        scheduler.cancel(high_later.rid)
+        assert scheduler._next_queued().rid == low.rid
+
+    def test_pause_holds_resume_releases(self, tmp_path):
+        scheduler = self.make(tmp_path)
+        record = scheduler.submit(spec("holdme"))
+        scheduler.pause(record.rid)
+        assert scheduler._next_queued() is None
+        scheduler.resume(record.rid)
+        assert scheduler._next_queued().rid == record.rid
+
+    def test_pause_survives_restart(self, tmp_path):
+        scheduler = self.make(tmp_path)
+        record = scheduler.submit(spec("held"))
+        scheduler.pause(record.rid)
+        again = self.make(tmp_path)
+        assert again.get(record.rid).state == "paused"
+
+    def test_jobs_validated(self, tmp_path):
+        with pytest.raises(MasterError, match="jobs must be"):
+            MasterScheduler(tmp_path / "bad", jobs=0)
+
+    def test_get_unknown_run(self, tmp_path):
+        with pytest.raises(MasterError, match="no such run"):
+            self.make(tmp_path).get(123)

@@ -1,0 +1,169 @@
+"""Tests for run records, the state machine, and the persistent store."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import MasterError
+from repro.master.state import (
+    RUN_STATES,
+    TERMINAL_STATES,
+    RunRecord,
+    RunStore,
+)
+
+SPEC = {"name": "s", "scenario": "range"}
+
+
+def record(rid=0, **overrides) -> RunRecord:
+    fields = dict(rid=rid, spec=dict(SPEC))
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        run = record()
+        assert run.state == "queued"
+        run.transition("running")
+        assert run.started_at is not None
+        run.transition("done")
+        assert run.terminal
+        assert run.finished_at is not None
+
+    def test_pause_resume_cycle(self):
+        run = record()
+        run.transition("paused")
+        run.transition("queued")
+        run.transition("cancelled")
+        assert run.terminal
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            ("queued", "done"),  # must pass through running
+            ("running", "paused"),  # running runs cannot be held
+            ("done", "running"),  # terminal states are closed
+            ("cancelled", "queued"),
+            ("failed", "cancelled"),
+        ],
+    )
+    def test_illegal_transitions_rejected(self, path):
+        start, target = path
+        run = record(state=start)
+        with pytest.raises(MasterError, match="illegal transition"):
+            run.transition(target)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(MasterError, match="unknown run state"):
+            record().transition("warp")
+
+    def test_terminal_states_subset(self):
+        assert TERMINAL_STATES < set(RUN_STATES)
+
+    def test_roundtrip(self):
+        run = record(rid=7, priority=3, total=10)
+        run.transition("running")
+        run.done = 4
+        clone = RunRecord.from_dict(run.to_dict())
+        assert clone.rid == 7
+        assert clone.priority == 3
+        assert clone.state == "running"
+        assert clone.done == 4
+        assert clone.spec == SPEC
+
+    def test_wrong_schema_rejected(self):
+        data = record().to_dict()
+        data["schema"] = "something-else"
+        with pytest.raises(MasterError, match="not a repro.master-run"):
+            RunRecord.from_dict(data)
+
+
+class TestRidCounter:
+    def test_monotonic_within_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert [store.allocate_rid() for _ in range(3)] == [0, 1, 2]
+
+    def test_monotonic_across_restarts(self, tmp_path):
+        """A new master never reuses a rid (the core restart invariant)."""
+        first = RunStore(tmp_path)
+        assert first.allocate_rid() == 0
+        assert first.allocate_rid() == 1
+        # Simulate a master restart: a fresh store over the same dir.
+        second = RunStore(tmp_path)
+        assert second.next_rid() == 2
+        assert second.allocate_rid() == 2
+
+    def test_counter_persists_before_return(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.allocate_rid()
+        with open(os.path.join(str(tmp_path), "next_rid")) as handle:
+            assert handle.read().strip() == "1"
+
+    def test_corrupt_counter_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        with open(os.path.join(str(tmp_path), "next_rid"), "w") as handle:
+            handle.write("not-a-number")
+        with pytest.raises(MasterError, match="corrupt rid counter"):
+            store.next_rid()
+
+
+class TestRunStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        run = record(rid=store.allocate_rid(), priority=2, total=4)
+        store.save(run)
+        loaded = RunStore(tmp_path).load()
+        assert set(loaded) == {run.rid}
+        assert loaded[run.rid].priority == 2
+        assert loaded[run.rid].state == "queued"
+
+    def test_interrupted_running_run_marked_failed(self, tmp_path):
+        store = RunStore(tmp_path)
+        run = record(rid=store.allocate_rid())
+        run.transition("running")
+        store.save(run)
+
+        reloaded = RunStore(tmp_path).load()[run.rid]
+        assert reloaded.state == "failed"
+        assert "interrupted by master restart" in reloaded.error
+        # The reconciliation is itself persisted.
+        again = RunStore(tmp_path).load()[run.rid]
+        assert again.state == "failed"
+
+    def test_queued_and_paused_survive_restart(self, tmp_path):
+        store = RunStore(tmp_path)
+        queued = record(rid=store.allocate_rid())
+        paused = record(rid=store.allocate_rid())
+        paused.transition("paused")
+        store.save(queued)
+        store.save(paused)
+        loaded = RunStore(tmp_path).load()
+        assert loaded[queued.rid].state == "queued"
+        assert loaded[paused.rid].state == "paused"
+
+    def test_corrupt_record_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = os.path.join(store.runs_dir, "0.json")
+        with open(path, "w") as handle:
+            handle.write("{nope")
+        with pytest.raises(MasterError, match="corrupt run record"):
+            RunStore(tmp_path).load()
+
+    def test_missing_report_is_none(self, tmp_path):
+        assert RunStore(tmp_path).load_report(5) is None
+
+    def test_corrupt_report_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = os.path.join(store.reports_dir, "3.json")
+        with open(path, "w") as handle:
+            json.dump({"schema": "wrong"}, handle)
+        with pytest.raises(Exception):
+            store.load_report(3)
+
+    def test_rids_listing(self, tmp_path):
+        store = RunStore(tmp_path)
+        for _ in range(3):
+            store.save(record(rid=store.allocate_rid()))
+        assert store.rids() == [0, 1, 2]
