@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .. import instrument
+from .. import instrument, parallel
 from ..errors import ReproError
 from ..kernels import active_backend
 from .report import build_report, format_report, validate_report, write_report
@@ -30,6 +30,7 @@ from .spec import CampaignSpec, expand_points
 
 
 def _cmd_run(args) -> int:
+    parallel.validate_jobs(args.jobs, flag="--jobs")
     spec = CampaignSpec.load(args.spec)
     collect = bool(args.metrics_json)
     previously_enabled = instrument.enabled()
@@ -50,6 +51,7 @@ def _cmd_run(args) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             progress=progress,
+            workers=args.workers,
         )
         report = build_report(result)
         if args.report:
@@ -128,6 +130,17 @@ def main(argv=None) -> int:
         help="evaluate up to N points in parallel processes (default: 1)",
     )
     run_parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "shard points across a distributed worker pool instead of "
+            "local processes: spawn://N spawns N local workers, "
+            "tcp://HOST:PORT listens for remote ones "
+            "(python -m repro.workers serve); comma-separate to mix"
+        ),
+    )
+    run_parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -167,8 +180,6 @@ def main(argv=None) -> int:
     report_parser.add_argument("report", help="path to a campaign report JSON")
 
     args = parser.parse_args(argv)
-    if args.command == "run" and args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     commands = {"run": _cmd_run, "expand": _cmd_expand, "report": _cmd_report}
     try:
         return commands[args.command](args)

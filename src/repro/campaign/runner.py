@@ -397,6 +397,7 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     cancel: Optional[threading.Event] = None,
+    workers: Optional[str] = None,
 ) -> CampaignResult:
     """Run every point of *spec*, reusing cached results where possible.
 
@@ -407,6 +408,16 @@ def run_campaign(
     jobs:
         Worker processes; ``1`` runs in-process.  Results do not
         depend on this (per-point seeding is schedule-independent).
+    workers:
+        Optional :mod:`repro.workers` endpoint spec (e.g.
+        ``"spawn://2"`` or ``"tcp://0.0.0.0:8761"``).  When given, the
+        pending points are sharded across a
+        :class:`~repro.workers.pool.WorkerPool` instead of the local
+        process pool, with heartbeat liveness and fault-tolerant
+        requeue; *jobs* is ignored for execution.  Results are still
+        bit-for-bit identical — per-point seeding is
+        schedule-independent and the wire format round-trips floats
+        exactly.
     cache_dir:
         Directory for the content-addressed result cache; ``None``
         (and no *cache*) disables caching.
@@ -433,8 +444,13 @@ def run_campaign(
     CampaignCancelled
         When *cancel* was set mid-run (see above).
     """
-    if jobs < 1:
-        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    jobs = parallel.validate_jobs(jobs, flag="jobs")
+    if workers is not None:
+        # Parse eagerly so a bad endpoint spec fails before any
+        # compute, even when every point turns out to be cached.
+        from ..workers.pool import parse_workers_spec
+
+        parse_workers_spec(workers)
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
     t0 = time.perf_counter()
@@ -492,7 +508,39 @@ def run_campaign(
             raise_cancelled(points, metrics, statuses, cached, done, total)
 
         collect = instrument.enabled()
-        if jobs > 1 and len(pending) > 1:
+        if workers is not None and pending:
+            from ..workers.pool import PointFailure, WorkerPool
+
+            def _on_worker_result(point, result, _duration_s, snapshot):
+                nonlocal done
+                metrics[point.index] = result
+                statuses[point.index] = "computed"
+                if snapshot is not None:
+                    instrument.get_registry().merge(snapshot)
+                if cache is not None:
+                    cache.put(point, result)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+
+            with WorkerPool(workers) as pool:
+                try:
+                    finished = pool.run(
+                        pending,
+                        collect=collect,
+                        on_result=_on_worker_result,
+                        cancel=cancel,
+                    )
+                except PointFailure as exc:
+                    raise CampaignError(
+                        f"campaign {spec.name!r}: "
+                        f"{_describe_point(exc.point)} failed: {exc}"
+                    ) from exc
+            if not finished:
+                raise_cancelled(
+                    points, metrics, statuses, cached, done, total
+                )
+        elif jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {
                     pool.submit(_evaluate_for_pool, point, collect): point

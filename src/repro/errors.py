@@ -20,6 +20,9 @@ __all__ = [
     "CampaignError",
     "CampaignCancelled",
     "MasterError",
+    "AuthError",
+    "WorkerError",
+    "WorkerProtocolError",
     "CalibrationError",
     "DelayRangeError",
     "MeasurementError",
@@ -89,6 +92,18 @@ class CampaignCancelled(CampaignError):
 
 class MasterError(ReproError):
     """The campaign master daemon (or its client protocol) failed."""
+
+
+class AuthError(MasterError):
+    """A request failed the shared-secret (``REPRO_MASTER_TOKEN``) check."""
+
+
+class WorkerError(ReproError):
+    """A remote worker, the worker pool, or their transport failed."""
+
+
+class WorkerProtocolError(WorkerError):
+    """A worker-protocol frame was malformed, oversized, or mistyped."""
 
 
 class CalibrationError(CircuitError):

@@ -35,6 +35,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 
 from .. import instrument, parallel
+from ..errors import CampaignError
 from ..kernels import active_backend
 from . import RUNNERS, stream_bert
 from .common import call_instrumented
@@ -191,8 +192,11 @@ def main(argv=None) -> int:
         help="fail unless peak RSS stays under MB MiB (with --stream)",
     )
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        parallel.validate_jobs(args.jobs, flag="--jobs")
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if not args.stream:
         for flag, value in (
             ("--chunk-bits", args.chunk_bits),

@@ -51,15 +51,24 @@ def _client(args) -> MasterClient:
 
 async def _serve(args) -> int:
     scheduler = MasterScheduler(
-        data_dir=args.data_dir, cache_dir=args.cache_dir, jobs=args.jobs
+        data_dir=args.data_dir,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        workers=args.workers,
     )
     server = MasterServer(scheduler, host=args.host, port=args.port)
     await server.start()
+    execution = (
+        f"workers={scheduler.workers}"
+        if scheduler.workers
+        else f"jobs={scheduler.jobs}"
+    )
     print(
         f"repro.master: listening on http://{args.host}:{server.port} "
         f"(data_dir={scheduler.store.data_dir}, "
         f"cache={'on' if scheduler.cache is not None else 'off'}, "
-        f"jobs={scheduler.jobs})",
+        f"auth={'on' if server.token else 'off'}, "
+        f"{execution})",
         flush=True,
     )
     stop = asyncio.get_running_loop().create_future()
@@ -182,6 +191,13 @@ def main(argv=None) -> int:
     serve_parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes per campaign (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--workers", default=None, metavar="SPEC",
+        help=(
+            "shard campaigns across a distributed worker pool "
+            "(spawn://N and/or tcp://HOST:PORT; overrides --jobs)"
+        ),
     )
 
     def add_client_args(p) -> None:

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import socket
 from typing import Dict, Iterator, List, Optional
 
-from ..errors import MasterError
+from ..errors import AuthError, MasterError
 from .protocol import (
     OP_CLOSE,
     OP_PING,
@@ -53,10 +54,18 @@ class MasterClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
+        token: Optional[str] = None,
     ):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        # Shared secret sent as "Authorization: Bearer ..."; defaults
+        # to REPRO_MASTER_TOKEN so CLI and library pick it up alike.
+        self.token = (
+            token
+            if token is not None
+            else os.environ.get("REPRO_MASTER_TOKEN")
+        )
 
     # -- rest --------------------------------------------------------------
 
@@ -69,6 +78,8 @@ class MasterClient:
         try:
             payload = None
             headers = {}
+            if self.token:
+                headers["Authorization"] = f"Bearer {self.token}"
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -87,6 +98,10 @@ class MasterClient:
             raise MasterError(
                 f"master returned non-JSON ({response.status}): {text!r}"
             ) from exc
+        if response.status == 401:
+            raise AuthError(
+                data.get("error", "authentication failed")
+            )
         if response.status != 200:
             raise MasterError(
                 data.get("error", f"HTTP {response.status}: {text!r}")
@@ -129,7 +144,9 @@ class MasterClient:
 
     def connect_ws(self) -> "MasterWebSocket":
         """Open a persistent WebSocket session to the daemon."""
-        return MasterWebSocket(self.host, self.port, timeout=self.timeout)
+        return MasterWebSocket(
+            self.host, self.port, timeout=self.timeout, token=self.token
+        )
 
     def watch(self, rid: int) -> Iterator[dict]:
         """Yield a run's live events until it reaches a terminal state.
@@ -160,9 +177,15 @@ class MasterWebSocket:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
+        token: Optional[str] = None,
     ):
         self.host = host
         self.port = int(port)
+        self.token = (
+            token
+            if token is not None
+            else os.environ.get("REPRO_MASTER_TOKEN")
+        )
         self._pending: List[dict] = []
         try:
             self._sock = socket.create_connection(
@@ -172,8 +195,11 @@ class MasterWebSocket:
             raise MasterError(
                 f"master at {host}:{port} unreachable: {exc}"
             ) from exc
+        extra = (
+            {"Authorization": f"Bearer {self.token}"} if self.token else None
+        )
         request, accept = websocket_client_handshake(
-            "/ws", f"{host}:{self.port}"
+            "/ws", f"{host}:{self.port}", extra_headers=extra
         )
         self._sock.sendall(request)
         self._finish_handshake(accept)
@@ -188,11 +214,16 @@ class MasterWebSocket:
             if len(head) > 64 * 1024:
                 raise MasterError("oversized ws handshake response")
         head, _, leftover = head.partition(b"\r\n\r\n")
-        if leftover:
-            raise MasterError("unexpected bytes after ws handshake")
         lines = head.decode("latin-1").split("\r\n")
+        if " 401 " in lines[0]:
+            raise AuthError(
+                "ws handshake refused: authentication failed "
+                "(bad or missing token)"
+            )
         if "101" not in lines[0]:
             raise MasterError(f"ws handshake refused: {lines[0]!r}")
+        if leftover:
+            raise MasterError("unexpected bytes after ws handshake")
         headers: Dict[str, str] = {}
         for line in lines[1:]:
             name, _, value = line.partition(":")

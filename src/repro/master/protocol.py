@@ -203,18 +203,26 @@ def read_frame_sync(sock) -> Tuple[int, bytes]:
     return parse_frame(read_exactly)
 
 
-def websocket_client_handshake(path: str, host: str) -> Tuple[bytes, str]:
-    """The client's upgrade request and the accept key it must see."""
+def websocket_client_handshake(
+    path: str, host: str, extra_headers: Optional[Dict[str, str]] = None
+) -> Tuple[bytes, str]:
+    """The client's upgrade request and the accept key it must see.
+
+    *extra_headers* rides along in the upgrade request — the auth
+    ``Authorization: Bearer ...`` header, primarily.
+    """
     key = base64.b64encode(os.urandom(16)).decode("ascii")
-    request = (
-        f"GET {path} HTTP/1.1\r\n"
-        f"Host: {host}\r\n"
-        "Upgrade: websocket\r\n"
-        "Connection: Upgrade\r\n"
-        f"Sec-WebSocket-Key: {key}\r\n"
-        "Sec-WebSocket-Version: 13\r\n"
-        "\r\n"
-    ).encode("ascii")
+    lines = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Key: {key}",
+        "Sec-WebSocket-Version: 13",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    request = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
     return request, websocket_accept_key(key)
 
 

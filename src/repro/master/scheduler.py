@@ -64,6 +64,7 @@ class MasterScheduler:
         cache_dir=None,
         cache: Optional[ResultCache] = None,
         jobs: int = 1,
+        workers: Optional[str] = None,
     ):
         self.store = RunStore(data_dir)
         if cache is None and cache_dir is not None:
@@ -72,6 +73,15 @@ class MasterScheduler:
         self.jobs = int(jobs)
         if self.jobs < 1:
             raise MasterError(f"jobs must be >= 1, got {jobs}")
+        # Optional repro.workers endpoint spec: every accepted run is
+        # sharded across the distributed pool instead of local
+        # processes.  Validated eagerly so `serve` fails at boot, not
+        # at the first submission.
+        self.workers = workers
+        if workers is not None:
+            from ..workers.pool import parse_workers_spec
+
+            parse_workers_spec(workers)
         self.runs: Dict[int, RunRecord] = self.store.load()
         self._subscribers: List[asyncio.Queue] = []
         self._cancel_events: Dict[int, threading.Event] = {}
@@ -293,6 +303,7 @@ class MasterScheduler:
             result = run_campaign(
                 spec,
                 jobs=self.jobs,
+                workers=self.workers,
                 cache=self.cache,
                 progress=progress,
                 cancel=cancel_event,

@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 from typing import Optional, Set
 
 from ..errors import MasterError, ReproError
+from ..workers.protocol import check_token
 from .protocol import (
     OP_CLOSE,
     OP_PING,
@@ -69,10 +71,18 @@ class MasterServer:
         scheduler: MasterScheduler,
         host: str = "127.0.0.1",
         port: int = 0,
+        token: Optional[str] = None,
     ):
         self.scheduler = scheduler
         self.host = host
         self.port = int(port)
+        #: Shared secret every request must present as a bearer token;
+        #: defaults to ``REPRO_MASTER_TOKEN``; empty/unset runs open.
+        self.token = (
+            token
+            if token is not None
+            else os.environ.get("REPRO_MASTER_TOKEN")
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._scheduler_task: Optional[asyncio.Task] = None
 
@@ -111,10 +121,35 @@ class MasterServer:
 
     # -- connection handling -----------------------------------------------
 
+    def _authorized(self, request: HttpRequest) -> bool:
+        """Constant-time bearer-token check (no token: runs open)."""
+        if not self.token:
+            return True
+        header = request.header("authorization") or ""
+        scheme, _, value = header.partition(" ")
+        return scheme.lower() == "bearer" and check_token(
+            self.token, value.strip()
+        )
+
     async def _handle_connection(self, reader, writer) -> None:
         try:
             request = await read_http_request(reader)
             if request is None:
+                return
+            if not self._authorized(request):
+                writer.write(
+                    _json_body(
+                        401,
+                        "Unauthorized",
+                        {
+                            "error": (
+                                "authentication failed: bad or "
+                                "missing token"
+                            )
+                        },
+                    )
+                )
+                await writer.drain()
                 return
             if request.wants_websocket:
                 await self._websocket_session(request, reader, writer)

@@ -52,7 +52,28 @@ __all__ = [
     "decode_payload",
     "release_payload",
     "payload_nbytes",
+    "validate_jobs",
 ]
+
+
+def validate_jobs(jobs, flag: str = "--jobs") -> int:
+    """Validate a worker-process count, naming the flag that set it.
+
+    Every surface that accepts a parallelism degree (``repro.campaign
+    run --jobs``, ``repro.experiments --jobs``, :func:`run_campaign`)
+    funnels through here so ``0``, negative, and non-integer values
+    fail the same way: a :class:`~repro.errors.CampaignError` whose
+    message names *flag*.
+    """
+    from .errors import CampaignError
+
+    try:
+        count = int(jobs)
+    except (TypeError, ValueError):
+        count = None
+    if count is None or count != jobs or count < 1:
+        raise CampaignError(f"{flag} must be >= 1, got {jobs!r}")
+    return count
 
 try:
     from multiprocessing import resource_tracker, shared_memory

@@ -1,0 +1,247 @@
+"""The worker daemon: evaluate campaign points for a remote pool.
+
+A worker is a plain TCP client.  It dials the pool, introduces itself
+with a ``hello`` carrying the protocol version, the shared secret, and
+its **cache identity** (code-version salt + kernel backend), and then
+serves until told to stop:
+
+* a **reader thread** owns the socket's receive side — it answers
+  heartbeat pings immediately (so liveness holds while a long point
+  computes on the main thread), queues incoming point batches, and
+  confirms ``revoke`` requests by handing back every queued point it
+  had not started yet;
+* the **main thread** pops points off the local queue, evaluates each
+  through the ordinary campaign evaluator
+  (:func:`repro.campaign.runner.evaluate_point` — deterministic
+  per-point seeding, so results are byte-identical to any other
+  executor), and streams each result back the moment it finishes.
+
+Results travel as the protocol's encoded tree: zero-copy shared
+memory when the worker was spawned on the pool's host (``--shm``),
+dtype/shape-framed raw bytes otherwise.  A failed point is reported
+as a ``point_error`` frame; the worker itself keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from collections import deque
+from typing import Optional, Tuple
+
+from ..errors import WorkerError, WorkerProtocolError
+from .protocol import (
+    PROTOCOL_VERSION,
+    encode_tree,
+    point_from_wire,
+    read_message,
+    send_message,
+    sock_read_exactly,
+    worker_cache_identity,
+)
+
+__all__ = ["WorkerSession", "serve"]
+
+
+class WorkerSession:
+    """One worker's lifetime on one pool connection."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        shm: bool = False,
+        token: Optional[str] = None,
+    ):
+        self.sock = sock
+        self.want_shm = bool(shm)
+        self.shm = False  # granted by the pool in the welcome
+        self.token = (
+            token
+            if token is not None
+            else os.environ.get("REPRO_MASTER_TOKEN")
+        )
+        self.name = "?"
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._queue: deque = deque()  # (index, point, collect)
+        self._stop = False
+
+    # -- outbound ----------------------------------------------------------
+
+    def _send(self, obj: dict, frames: Tuple[bytes, ...] = ()) -> None:
+        with self._send_lock:
+            send_message(self.sock, obj, frames)
+
+    # -- handshake ---------------------------------------------------------
+
+    def handshake(self) -> None:
+        self._send(
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "token": self.token,
+                "identity": worker_cache_identity(),
+                "shm": self.want_shm,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+            }
+        )
+        reply, _frames = read_message(sock_read_exactly(self.sock))
+        if reply.get("type") == "error":
+            raise WorkerError(
+                f"pool rejected this worker: {reply.get('error')}"
+            )
+        if reply.get("type") != "welcome":
+            raise WorkerProtocolError(
+                f"expected welcome, got {reply.get('type')!r}"
+            )
+        self.name = str(reply.get("name", "?"))
+        self.shm = bool(reply.get("shm"))
+
+    # -- inbound (reader thread) -------------------------------------------
+
+    def _reader_loop(self) -> None:
+        read_exactly = sock_read_exactly(self.sock)
+        try:
+            while not self._stop:
+                envelope, _frames = read_message(read_exactly)
+                kind = envelope.get("type")
+                if kind == "ping":
+                    self._send(
+                        {"type": "pong", "seq": envelope.get("seq")}
+                    )
+                elif kind == "batch":
+                    collect = bool(envelope.get("collect"))
+                    with self._cond:
+                        for wire in envelope.get("points", ()):
+                            point = point_from_wire(wire)
+                            self._queue.append(
+                                (point.index, point, collect)
+                            )
+                        self._cond.notify_all()
+                elif kind == "revoke":
+                    wanted = set(envelope.get("indices", ()))
+                    returned = []
+                    with self._cond:
+                        kept = deque()
+                        for item in self._queue:
+                            if item[0] in wanted:
+                                returned.append(item[0])
+                            else:
+                                kept.append(item)
+                        self._queue = kept
+                    self._send(
+                        {"type": "revoked", "indices": returned}
+                    )
+                elif kind == "shutdown":
+                    break
+                else:
+                    raise WorkerProtocolError(
+                        f"unexpected message type {kind!r} from pool"
+                    )
+        except (WorkerProtocolError, OSError, ValueError):
+            pass
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until the pool says shutdown or the link drops."""
+        self.handshake()
+        reader = threading.Thread(target=self._reader_loop, daemon=True)
+        reader.start()
+        # Imported here, not at module top: the campaign runner is the
+        # heavyweight end of the dependency graph and the protocol
+        # handshake should fail fast without it.
+        from ..campaign.runner import evaluate_point
+        from ..experiments.common import call_instrumented
+
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if self._stop and not self._queue:
+                    break
+                index, point, collect = self._queue.popleft()
+            try:
+                metrics, duration_s, snapshot = call_instrumented(
+                    evaluate_point,
+                    point,
+                    collect=collect,
+                    span="campaign.point",
+                )
+            except Exception as exc:  # report, keep serving
+                try:
+                    self._send(
+                        {
+                            "type": "point_error",
+                            "index": index,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                except OSError:
+                    break
+                continue
+            frames: list = []
+            envelope = {
+                "type": "result",
+                "index": index,
+                "duration_s": duration_s,
+                "metrics": encode_tree(
+                    metrics, frames, use_shm=self.shm
+                ),
+                "snapshot": encode_tree(
+                    snapshot, frames, use_shm=self.shm
+                ),
+            }
+            try:
+                self._send(envelope, tuple(frames))
+            except OSError:
+                break
+        try:
+            self._send({"type": "bye"})
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def serve(
+    address: str,
+    *,
+    shm: bool = False,
+    token: Optional[str] = None,
+    retry_s: float = 10.0,
+) -> None:
+    """Dial ``HOST:PORT`` and serve points until shut down.
+
+    The connect is retried for *retry_s* seconds so a worker started a
+    moment before its pool still finds it.
+    """
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise WorkerError(
+            f"--connect expects HOST:PORT, got {address!r}"
+        )
+    port = int(port_text)
+    import time
+
+    deadline = time.monotonic() + retry_s
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            break
+        except OSError as exc:
+            if time.monotonic() > deadline:
+                raise WorkerError(
+                    f"could not reach pool at {address}: {exc}"
+                ) from exc
+            time.sleep(0.2)
+    sock.settimeout(None)
+    WorkerSession(sock, shm=shm, token=token).run()

@@ -80,10 +80,20 @@ class TestRun:
         assert exit_code == 2
         assert "unknown scenario" in captured.err
 
-    def test_rejects_bad_jobs(self, spec_path):
-        with pytest.raises(SystemExit) as excinfo:
-            main(["run", str(spec_path), "--jobs", "0"])
-        assert excinfo.value.code == 2
+    @pytest.mark.parametrize("jobs", ["0", "-3"])
+    def test_rejects_bad_jobs(self, spec_path, capsys, jobs):
+        exit_code = main(["run", str(spec_path), "--jobs", jobs])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert f"error: --jobs must be >= 1, got {jobs}" in captured.err
+
+    def test_rejects_bad_workers_spec(self, spec_path, capsys):
+        exit_code = main(
+            ["run", str(spec_path), "--quiet", "--workers", "carrier://2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "carrier://2" in captured.err
 
 
 class TestExpand:

@@ -30,6 +30,13 @@ class TestCli:
             main(["--only", "fig99"])
         assert excinfo.value.code == 2  # argparse usage error
 
+    @pytest.mark.parametrize("jobs", ["0", "-2"])
+    def test_rejects_bad_jobs(self, capsys, jobs):
+        exit_code = main(["--fast", "--jobs", jobs])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert f"error: --jobs must be >= 1, got {jobs}" in captured.err
+
     def test_unknown_experiment_message_lists_valid_ids(self, capsys):
         with pytest.raises(SystemExit):
             main(["--only", "fig99"])

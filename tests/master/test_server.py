@@ -12,11 +12,12 @@ import threading
 
 import pytest
 
-from repro.errors import MasterError, ReproError
+from repro.errors import AuthError, MasterError, ReproError
 from repro.master import (
     MasterClient,
     MasterScheduler,
     MasterServer,
+    MasterWebSocket,
     TERMINAL_STATES,
 )
 
@@ -35,10 +36,11 @@ def spec(name: str, seed: int = 11, rates=("2.4 Gbps", "4.8 Gbps")):
 class Harness:
     """One live daemon: event loop thread + scheduler + server."""
 
-    def __init__(self, data_dir, cache_dir, jobs: int = 1):
+    def __init__(self, data_dir, cache_dir, jobs: int = 1, token=None):
         self.data_dir = str(data_dir)
         self.cache_dir = str(cache_dir)
         self.jobs = jobs
+        self.token = token
         self.loop = None
         self.thread = None
         self.server = None
@@ -53,7 +55,9 @@ class Harness:
             self.scheduler = MasterScheduler(
                 self.data_dir, cache_dir=self.cache_dir, jobs=self.jobs
             )
-            self.server = MasterServer(self.scheduler, port=0)
+            self.server = MasterServer(
+                self.scheduler, port=0, token=self.token or ""
+            )
             self.loop.run_until_complete(self.server.start())
             ready.set()
             self.loop.run_forever()
@@ -61,7 +65,9 @@ class Harness:
         self.thread = threading.Thread(target=run, daemon=True)
         self.thread.start()
         assert ready.wait(10), "daemon failed to start"
-        return MasterClient(port=self.server.port, timeout=120)
+        return MasterClient(
+            port=self.server.port, timeout=120, token=self.token or ""
+        )
 
     def stop(self) -> None:
         future = asyncio.run_coroutine_threadsafe(
@@ -345,3 +351,55 @@ class TestSchedulerQueue:
     def test_get_unknown_run(self, tmp_path):
         with pytest.raises(MasterError, match="no such run"):
             self.make(tmp_path).get(123)
+
+
+class TestAuth:
+    """Shared-secret (REPRO_MASTER_TOKEN) enforcement on every surface."""
+
+    @pytest.fixture
+    def secured(self, tmp_path):
+        h = Harness(tmp_path / "data", tmp_path / "cache", token="s3cret")
+        client = h.start()
+        yield h, client
+        h.stop()
+
+    def test_rest_accepts_the_right_token(self, secured):
+        _, client = secured
+        assert client.status()["runs"] == []
+
+    def test_rest_rejects_missing_token(self, secured):
+        h, _ = secured
+        anonymous = MasterClient(port=h.server.port, token="")
+        with pytest.raises(AuthError, match="token"):
+            anonymous.status()
+
+    def test_rest_rejects_wrong_token(self, secured):
+        h, _ = secured
+        impostor = MasterClient(port=h.server.port, token="wr0ng")
+        with pytest.raises(AuthError, match="authentication failed"):
+            impostor.submit(spec("sneaky"))
+        # The rejected submission never reached the scheduler.
+        _, client = secured
+        assert client.runs() == []
+
+    def test_ws_rejects_wrong_token(self, secured):
+        h, _ = secured
+        with pytest.raises(AuthError, match="authentication failed"):
+            MasterWebSocket(port=h.server.port, token="wr0ng")
+
+    def test_ws_accepts_the_right_token(self, secured):
+        h, client = secured
+        with client.connect_ws() as ws:
+            rid = ws.submit(spec("ws-auth", rates=["2.4 Gbps"]))
+        events, state = watch_to_end(client, rid)
+        assert state == "done"
+
+    def test_client_reads_token_from_env(self, secured, monkeypatch):
+        h, _ = secured
+        monkeypatch.setenv("REPRO_MASTER_TOKEN", "s3cret")
+        client = MasterClient(port=h.server.port)
+        assert client.status()["runs"] is not None
+
+    def test_unsecured_daemon_stays_open(self, harness):
+        _, client = harness
+        assert client.status()["runs"] == []

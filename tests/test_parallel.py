@@ -71,7 +71,11 @@ def test_decode_is_identity_on_plain_payloads():
 def test_encoded_pickle_is_10x_smaller():
     original = _payload()
     naive = parallel.payload_nbytes(original)
-    encoded = parallel.payload_nbytes(parallel.encode_payload(original))
+    encoded_payload = parallel.encode_payload(original)
+    try:
+        encoded = parallel.payload_nbytes(encoded_payload)
+    finally:
+        parallel.release_payload(encoded_payload)
     # 20000 + 4*10000 + 30000 float64 samples ~ 720 kB naive; tokens
     # are a few hundred bytes plus the small inline values.
     assert naive > 10 * encoded, (naive, encoded)
@@ -80,15 +84,19 @@ def test_encoded_pickle_is_10x_smaller():
 @pytest.mark.skipif(not parallel.SHM_AVAILABLE, reason="no shared memory")
 def test_encoded_path_pickles_zero_waveforms():
     original = _payload()
-    with instrument.enabled_scope(reset=True) as registry:
-        pickle.dumps(parallel.encode_payload(original))
-        encoded_pickles = registry.snapshot()["counters"].get(
-            "waveform.pickled", 0
-        )
-        pickle.dumps(original)
-        naive_pickles = registry.snapshot()["counters"].get(
-            "waveform.pickled", 0
-        )
+    encoded_payload = parallel.encode_payload(original)
+    try:
+        with instrument.enabled_scope(reset=True) as registry:
+            pickle.dumps(encoded_payload)
+            encoded_pickles = registry.snapshot()["counters"].get(
+                "waveform.pickled", 0
+            )
+            pickle.dumps(original)
+            naive_pickles = registry.snapshot()["counters"].get(
+                "waveform.pickled", 0
+            )
+    finally:
+        parallel.release_payload(encoded_payload)
     assert encoded_pickles == 0
     # wave + batch (pickle memoizes the repeated wave object)
     assert naive_pickles >= 2
