@@ -24,6 +24,7 @@ import sys
 from .. import instrument, parallel
 from ..errors import ReproError
 from ..kernels import active_backend
+from .packing import validate_batch_lanes
 from .report import build_report, format_report, validate_report, write_report
 from .runner import run_campaign
 from .spec import CampaignSpec, expand_points
@@ -31,6 +32,7 @@ from .spec import CampaignSpec, expand_points
 
 def _cmd_run(args) -> int:
     parallel.validate_jobs(args.jobs, flag="--jobs")
+    validate_batch_lanes(args.batch_lanes, flag="--batch-lanes")
     spec = CampaignSpec.load(args.spec)
     collect = bool(args.metrics_json)
     previously_enabled = instrument.enabled()
@@ -52,6 +54,7 @@ def _cmd_run(args) -> int:
             cache_dir=args.cache_dir,
             progress=progress,
             workers=args.workers,
+            batch_lanes=args.batch_lanes,
         )
         report = build_report(result)
         if args.report:
@@ -138,6 +141,16 @@ def main(argv=None) -> int:
             "local processes: spawn://N spawns N local workers, "
             "tcp://HOST:PORT listens for remote ones "
             "(python -m repro.workers serve); comma-separate to mix"
+        ),
+    )
+    run_parser.add_argument(
+        "--batch-lanes",
+        default="auto",
+        metavar="N",
+        help=(
+            "pack up to N compatible points per fused kernel call; "
+            "'auto' picks the active backend's sweet spot, 1 disables "
+            "packing (default: auto; results are identical either way)"
         ),
     )
     run_parser.add_argument(

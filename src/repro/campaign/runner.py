@@ -32,7 +32,7 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,7 +40,11 @@ from .. import instrument, parallel
 from ..ate.bus import ParallelBus
 from ..ate.deskew import DeskewController
 from ..core.calibration import calibration_stimulus
-from ..core.combined import CombinedDelayLine
+from ..core.combined import (
+    CombinedDelayLine,
+    calibrate_lines_pack,
+    process_lines_pack,
+)
 from ..core.params import (
     COARSE_TAP_ERRORS,
     FOUR_STAGE_BUFFER,
@@ -50,13 +54,17 @@ from ..errors import CampaignCancelled, CampaignError
 from ..experiments.common import WARMUP_TIME, call_instrumented, steady_state
 from ..signals.patterns import prbs_sequence
 from ..signals.nrz import synthesize_nrz
+from ..signals.waveform import WaveformBatch
 from ..analysis.measurements import peak_to_peak_jitter
 from .cache import ResultCache
+from .packing import plan_packs, resolve_batch_lanes
 from .spec import CampaignPoint, CampaignSpec, expand_points
 
 __all__ = [
     "CampaignResult",
+    "PackPointFailure",
     "POINT_STATUSES",
+    "evaluate_pack",
     "evaluate_point",
     "run_campaign",
 ]
@@ -234,7 +242,8 @@ def evaluate_point(point: CampaignPoint) -> dict:
     if evaluator is None:
         raise CampaignError(
             f"unknown scenario {point.scenario!r}; known: "
-            f"{sorted(_EVALUATORS)}"
+            f"{sorted(_EVALUATORS)} "
+            f"(lane-packable: {sorted(_PACK_EVALUATORS)})"
         )
     instrument.count("campaign.points.evaluated")
     # The scenario span splits a point's wall-clock out by evaluator
@@ -257,6 +266,293 @@ def _evaluate_for_pool(point: CampaignPoint, collect: bool):
         evaluate_point, point, collect=collect, span="campaign.point"
     )
     return parallel.encode_payload((metrics, duration, snapshot))
+
+
+# -- lane-packed evaluation -------------------------------------------------
+
+
+class PackPointFailure(CampaignError):
+    """One lane of a pack failed; ``index`` names the failing point.
+
+    Packs evaluate many points per call, so a bare exception could not
+    say *which* point broke.  Constructed as ``(message, index)`` so
+    the instance survives the process-pool pickle round-trip with both
+    attributes intact.
+    """
+
+    def __init__(self, message: str, index: int):
+        super().__init__(message, index)
+        self.message = message
+        self.index = index
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _pack_key(point: CampaignPoint) -> Optional[str]:
+    """The point's lane-packing compatibility key (None: unpackable)."""
+    defaults = _PACK_DEFAULTS.get(point.scenario)
+    if defaults is None or point.scenario not in _PACK_EVALUATORS:
+        return None
+    try:
+        resolved = _resolve_params(point, defaults)
+    except CampaignError:
+        # Let the scalar path raise the precise parameter error.
+        return None
+    return point.pack_key(resolved)
+
+
+def _pack_weight(point: CampaignPoint) -> int:
+    """Kernel lanes the point occupies in a pack (deskew: its bus width)."""
+    if point.scenario == "deskew":
+        return _resolve_params(point, _DESKEW_DEFAULTS)["n_channels"]
+    return 1
+
+
+def _evaluate_range_pack(points: Sequence[CampaignPoint]) -> List[dict]:
+    """The ``range`` evaluator over a pack: one fused pass per phase.
+
+    Phase A builds every lane's device instance exactly as the scalar
+    evaluator does (same seed spawns, same variation draws); phase B
+    runs all calibrations as one fused sweep
+    (:func:`repro.core.combined.calibrate_lines_pack`); phase C renders
+    every lane's mid-delay PRBS run as one fused pass.  Lane ``i``'s
+    metrics are therefore the scalar evaluator's metrics for
+    ``points[i]`` — bit-exactly on the python kernel backend.
+    """
+    resolved = [_resolve_params(p, _RANGE_DEFAULTS) for p in points]
+    lines: List[CombinedDelayLine] = []
+    stimuli = []
+    spawned = []
+    variations = []
+    for point, params in zip(points, resolved):
+        children = np.random.SeedSequence(point.seed()).spawn(3)
+        variation = point.variation.draw(
+            children[0], temperature_c=float(params["temperature_c"])
+        )
+        lines.append(
+            CombinedDelayLine(
+                seed=int(children[1].generate_state(1)[0]),
+                buffer_params=variation.buffer_params(FOUR_STAGE_BUFFER),
+                tap_errors=variation.tap_errors(COARSE_TAP_ERRORS),
+                n_stages=params["n_stages"],
+            )
+        )
+        stimuli.append(
+            calibration_stimulus(
+                bit_rate=float(params["bit_rate"]),
+                n_bits=params["n_bits"],
+                dt=float(params["dt"]),
+                rise_time=variation.rise_time(SOURCE_RISE_TIME),
+            )
+        )
+        spawned.append(children)
+        variations.append(variation)
+    solvers = calibrate_lines_pack(
+        lines, stimuli, n_points=resolved[0]["n_points"]
+    )
+    results: List[dict] = [
+        {
+            "total_range_s": float(solver.total_range),
+            "fine_range_s": float(solver.fine_table.range),
+            "variation": variation.summary(),
+        }
+        for solver, variation in zip(solvers, variations)
+    ]
+    if resolved[0]["measure_jitter"]:
+        # All structural parameters agree across the pack, so the
+        # PRBS grid is shared; only the rise time varies per lane.
+        params0 = resolved[0]
+        ui = 1.0 / float(params0["bit_rate"])
+        n_bits = max(
+            params0["n_bits"], int(np.ceil(2 * WARMUP_TIME / ui)) + 16
+        )
+        bits = prbs_sequence(7, n_bits)
+        patterns = [
+            synthesize_nrz(
+                bits,
+                float(params0["bit_rate"]),
+                float(params0["dt"]),
+                rise_time=variation.rise_time(SOURCE_RISE_TIME),
+            )
+            for variation in variations
+        ]
+        for line, solver in zip(lines, solvers):
+            line.set_delay(0.5 * solver.total_range)
+        rngs = [
+            np.random.default_rng(children[2]) for children in spawned
+        ]
+        outs = process_lines_pack(
+            lines, WaveformBatch.from_waveforms(patterns), rngs
+        )
+        for k, result in enumerate(results):
+            tj_in = peak_to_peak_jitter(steady_state(patterns[k]), ui)
+            tj_out = peak_to_peak_jitter(steady_state(outs.lane(k)), ui)
+            result["added_jitter_s"] = float(tj_out - tj_in)
+    return results
+
+
+def _evaluate_deskew_pack(points: Sequence[CampaignPoint]) -> List[dict]:
+    """The ``deskew`` evaluator over a pack: calibrate all buses fused.
+
+    Calibration dominates a deskew point's cost (``n_channels`` lines,
+    each swept over ``n_cal_points``), so phase B flattens every
+    point's bus into one line pack.  The deskew iteration itself stays
+    per point (phase C) — it is adaptive and event-mode-cheap.
+    """
+    resolved = [_resolve_params(p, _DESKEW_DEFAULTS) for p in points]
+    buses = []
+    spawned = []
+    variations_list = []
+    for point, params in zip(points, resolved):
+        n_channels = params["n_channels"]
+        if params["measurement"] not in ("waveform", "event"):
+            raise CampaignError(
+                "deskew 'measurement' must be 'waveform' or 'event': "
+                f"{params['measurement']!r}"
+            )
+        children = np.random.SeedSequence(point.seed()).spawn(
+            n_channels + 2
+        )
+        temperature = float(params["temperature_c"])
+        variations = [
+            point.variation.draw(
+                children[2 + i], temperature_c=temperature
+            )
+            for i in range(n_channels)
+        ]
+        buses.append(
+            ParallelBus(
+                n_channels=n_channels,
+                bit_rate=float(params["bit_rate"]),
+                skew_spread=float(params["skew_spread"]),
+                seed=int(children[0].generate_state(1)[0]),
+                buffer_params=[
+                    v.buffer_params(FOUR_STAGE_BUFFER) for v in variations
+                ],
+                tap_errors=[
+                    v.tap_errors(COARSE_TAP_ERRORS) for v in variations
+                ],
+                rise_times=[
+                    v.rise_time(SOURCE_RISE_TIME) for v in variations
+                ],
+            )
+        )
+        spawned.append(children)
+        variations_list.append(variations)
+    all_lines = [line for bus in buses for line in bus.delay_lines]
+    all_stimuli = []
+    for params in resolved:
+        stimulus = calibration_stimulus(
+            n_bits=params["n_bits"], dt=float(params["dt"])
+        )
+        all_stimuli.extend([stimulus] * params["n_channels"])
+    calibrate_lines_pack(
+        all_lines, all_stimuli, n_points=resolved[0]["n_cal_points"]
+    )
+    results: List[dict] = []
+    for point, params, bus, children, variations in zip(
+        points, resolved, buses, spawned, variations_list
+    ):
+        controller = DeskewController(
+            bus,
+            tolerance=float(params["tolerance"]),
+            max_iterations=params["max_iterations"],
+            dt=float(params["dt"]),
+            n_bits=params["n_bits"],
+            measurement=params["measurement"],
+        )
+        report = controller.deskew(np.random.default_rng(children[1]))
+        results.append(
+            {
+                "initial_spread_s": float(report.initial_spread),
+                "final_spread_s": float(report.final_spread),
+                "converged": bool(report.converged),
+                "iterations": int(report.iterations),
+                "total_range_s": float(
+                    min(line.total_range for line in bus.delay_lines)
+                ),
+                "variation": [v.summary() for v in variations],
+            }
+        )
+    return results
+
+
+#: Defaults and pack evaluators per lane-packable scenario.
+_PACK_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "range": _RANGE_DEFAULTS,
+    "deskew": _DESKEW_DEFAULTS,
+}
+
+_PACK_EVALUATORS: Dict[
+    str, Callable[[Sequence[CampaignPoint]], List[dict]]
+] = {
+    "range": _evaluate_range_pack,
+    "deskew": _evaluate_deskew_pack,
+}
+
+
+def _scalar_fallback(points: Sequence[CampaignPoint]) -> List[dict]:
+    """Evaluate a pack's points one by one (the always-correct path)."""
+    results = []
+    for point in points:
+        try:
+            results.append(evaluate_point(point))
+        except CampaignCancelled:
+            raise
+        except Exception as exc:
+            raise PackPointFailure(str(exc), point.index) from exc
+    return results
+
+
+def evaluate_pack(points: Sequence[CampaignPoint]) -> List[dict]:
+    """Evaluate a pack of compatible points; one metrics dict per lane.
+
+    ``results[i]`` is exactly what ``evaluate_point(points[i])`` would
+    return — bit-for-bit on the python kernel backend, within the
+    kernel layer's 0.01 ps delay contract elsewhere — the pack merely
+    fuses the kernel work.  A pack that cannot be evaluated fused (or
+    whose fused evaluation fails) falls back to the scalar path; a
+    point that then still fails raises :class:`PackPointFailure`
+    naming the lane, so schedulers can attribute the failure.
+    """
+    points = list(points)
+    if not points:
+        return []
+    if len(points) == 1:
+        return [evaluate_point(points[0])]
+    evaluator = _PACK_EVALUATORS.get(points[0].scenario)
+    if evaluator is None:
+        return _scalar_fallback(points)
+    try:
+        with instrument.span(points[0].scenario):
+            results = evaluator(points)
+    except CampaignCancelled:
+        raise
+    except Exception:
+        instrument.count("campaign.pack_fallback_scalar", len(points))
+        return _scalar_fallback(points)
+    instrument.count("campaign.packs.evaluated")
+    instrument.count("campaign.pack_lanes", len(points))
+    instrument.count("campaign.points.evaluated", len(points))
+    return results
+
+
+def _evaluate_pack_for_pool(points: Sequence[CampaignPoint], collect: bool):
+    """Worker-side pack wrapper, the pack twin of `_evaluate_for_pool`."""
+    results, duration, snapshot = call_instrumented(
+        evaluate_pack, points, collect=collect, span="campaign.pack"
+    )
+    return parallel.encode_payload((results, duration, snapshot))
+
+
+def _failing_point(exc: BaseException, unit: Sequence[CampaignPoint]):
+    """Which of the unit's points an evaluation exception belongs to."""
+    if isinstance(exc, PackPointFailure):
+        for point in unit:
+            if point.index == exc.index:
+                return point
+    return unit[0]
 
 
 # -- the engine -------------------------------------------------------------
@@ -352,6 +648,40 @@ def _settle_one(
         cache.put(point, result)
 
 
+def _settle_unit(
+    unit: Sequence[CampaignPoint],
+    payload,
+    metrics: List[Optional[dict]],
+    statuses: List[str],
+    cache: Optional[ResultCache],
+) -> None:
+    """Decode one pack payload and scatter it into per-point entries.
+
+    The cache stores exactly what the scalar path would store — one
+    metrics dict per point, keyed by the point's own digest — so
+    whether a point was computed alone or as a pack lane is invisible
+    to later (possibly scalar) runs.
+    """
+    with instrument.span("ipc.decode"):
+        results, _duration, snapshot = parallel.decode_payload(payload)
+    if not isinstance(results, (list, tuple)) or len(results) != len(unit):
+        got = (
+            len(results)
+            if isinstance(results, (list, tuple))
+            else type(results).__name__
+        )
+        raise CampaignError(
+            f"pack result misaligned: {len(unit)} lanes, got {got}"
+        )
+    for point, result in zip(unit, results):
+        metrics[point.index] = result
+        statuses[point.index] = "computed"
+        if cache is not None:
+            cache.put(point, result)
+    if snapshot is not None:
+        instrument.get_registry().merge(snapshot)
+
+
 def _drain_pool(
     remaining,
     futures,
@@ -376,13 +706,16 @@ def _drain_pool(
     for future in finished:
         if future.cancelled():
             continue
-        point = futures[future]
+        unit = futures[future]
         try:
             payload = future.result()
         except BaseException:
             continue
         try:
-            _settle_one(point, payload, metrics, statuses, cache)
+            if len(unit) == 1:
+                _settle_one(unit[0], payload, metrics, statuses, cache)
+            else:
+                _settle_unit(unit, payload, metrics, statuses, cache)
         except BaseException:
             # decode_payload released the payload's own blocks; make
             # sure nothing referenced survives even if the failure was
@@ -398,6 +731,7 @@ def run_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     cancel: Optional[threading.Event] = None,
     workers: Optional[str] = None,
+    batch_lanes: Union[int, str] = 1,
 ) -> CampaignResult:
     """Run every point of *spec*, reusing cached results where possible.
 
@@ -408,6 +742,16 @@ def run_campaign(
     jobs:
         Worker processes; ``1`` runs in-process.  Results do not
         depend on this (per-point seeding is schedule-independent).
+    batch_lanes:
+        Lane-packing width: structurally-compatible pending points are
+        grouped into packs of up to this many kernel lanes and each
+        pack is evaluated as one fused multi-lane kernel pass
+        (:func:`evaluate_pack`).  ``"auto"`` picks the active kernel
+        backend's sweet spot; ``1`` (the default here; the CLIs
+        default to ``"auto"``) keeps the scalar per-point path.
+        Results do not depend on this either — every lane keeps its
+        own per-point seed stream, and the cache stores plain
+        per-point entries, so packed and scalar runs interoperate.
     workers:
         Optional :mod:`repro.workers` endpoint spec (e.g.
         ``"spawn://2"`` or ``"tcp://0.0.0.0:8761"``).  When given, the
@@ -445,6 +789,7 @@ def run_campaign(
         When *cancel* was set mid-run (see above).
     """
     jobs = parallel.validate_jobs(jobs, flag="jobs")
+    lanes = resolve_batch_lanes(batch_lanes, flag="batch_lanes")
     if workers is not None:
         # Parse eagerly so a bad endpoint spec fails before any
         # compute, even when every point turns out to be cached.
@@ -507,6 +852,21 @@ def run_campaign(
         if cancelled():
             raise_cancelled(points, metrics, statuses, cached, done, total)
 
+        if lanes > 1 and len(pending) > 1:
+            keys = {point.index: _pack_key(point) for point in pending}
+            units = plan_packs(
+                pending, lanes, lambda p: keys[p.index], _pack_weight
+            )
+            unpackable = sum(
+                1 for point in pending if keys[point.index] is None
+            )
+            if unpackable:
+                instrument.count(
+                    "campaign.pack_fallback_scalar", unpackable
+                )
+        else:
+            units = [[point] for point in pending]
+
         collect = instrument.enabled()
         if workers is not None and pending:
             from ..workers.pool import PointFailure, WorkerPool
@@ -523,6 +883,15 @@ def run_campaign(
                 if progress is not None:
                     progress(done, total)
 
+            packs = [
+                [point.index for point in unit]
+                for unit in units
+                if len(unit) > 1
+            ]
+            # Keyword passed only when packing actually grouped lanes:
+            # a scalar campaign drives the pool with the pre-packing
+            # call shape.
+            pack_kwargs = {"packs": packs} if packs else {}
             with WorkerPool(workers) as pool:
                 try:
                     finished = pool.run(
@@ -530,6 +899,7 @@ def run_campaign(
                         collect=collect,
                         on_result=_on_worker_result,
                         cancel=cancel,
+                        **pack_kwargs,
                     )
                 except PointFailure as exc:
                     raise CampaignError(
@@ -542,10 +912,17 @@ def run_campaign(
                 )
         elif jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(_evaluate_for_pool, point, collect): point
-                    for point in pending
-                }
+                futures = {}
+                for unit in units:
+                    if len(unit) == 1:
+                        future = pool.submit(
+                            _evaluate_for_pool, unit[0], collect
+                        )
+                    else:
+                        future = pool.submit(
+                            _evaluate_pack_for_pool, unit, collect
+                        )
+                    futures[future] = unit
                 # Completion order: each result is cached the moment it
                 # lands, so a kill mid-campaign loses at most the
                 # in-flight points.  The short wait timeout bounds the
@@ -566,54 +943,70 @@ def run_campaign(
                         remaining, timeout=0.2, return_when=FIRST_COMPLETED
                     )
                     for future in finished:
-                        point = futures[future]
+                        unit = futures[future]
                         try:
                             payload = future.result()
                         except Exception as exc:
                             _drain_pool(
                                 remaining, futures, metrics, statuses, cache
                             )
+                            failing = _failing_point(exc, unit)
                             raise CampaignError(
                                 f"campaign {spec.name!r}: "
-                                f"{_describe_point(point)} failed: {exc}"
+                                f"{_describe_point(failing)} failed: {exc}"
                             ) from exc
                         try:
-                            _settle_one(
-                                point, payload, metrics, statuses, cache
-                            )
+                            if len(unit) == 1:
+                                _settle_one(
+                                    unit[0],
+                                    payload,
+                                    metrics,
+                                    statuses,
+                                    cache,
+                                )
+                            else:
+                                _settle_unit(
+                                    unit, payload, metrics, statuses, cache
+                                )
                         except Exception as exc:
                             _drain_pool(
                                 remaining, futures, metrics, statuses, cache
                             )
                             raise CampaignError(
                                 f"campaign {spec.name!r}: result of "
-                                f"{_describe_point(point)} could not be "
+                                f"{_describe_point(unit[0])} could not be "
                                 f"decoded or stored: {exc}"
                             ) from exc
-                        done += 1
+                        done += len(unit)
                         if progress is not None:
                             progress(done, total)
         else:
-            for point in pending:
+            for unit in units:
                 if cancelled():
                     raise_cancelled(
                         points, metrics, statuses, cached, done, total
                     )
                 try:
-                    with instrument.span("campaign.point"):
-                        result = evaluate_point(point)
+                    if len(unit) == 1:
+                        with instrument.span("campaign.point"):
+                            results = [evaluate_point(unit[0])]
+                    else:
+                        with instrument.span("campaign.pack"):
+                            results = evaluate_pack(unit)
                 except CampaignCancelled:
                     raise
                 except Exception as exc:
+                    failing = _failing_point(exc, unit)
                     raise CampaignError(
                         f"campaign {spec.name!r}: "
-                        f"{_describe_point(point)} failed: {exc}"
+                        f"{_describe_point(failing)} failed: {exc}"
                     ) from exc
-                metrics[point.index] = result
-                statuses[point.index] = "computed"
-                if cache is not None:
-                    cache.put(point, result)
-                done += 1
-                if progress is not None:
-                    progress(done, total)
+                for point, result in zip(unit, results):
+                    metrics[point.index] = result
+                    statuses[point.index] = "computed"
+                    if cache is not None:
+                        cache.put(point, result)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
     return partial_result(points, metrics, statuses, cached, done)

@@ -55,6 +55,7 @@ from .variation import VariationModel
 
 __all__ = [
     "SCENARIOS",
+    "PACK_STRUCTURAL_PARAMS",
     "SweepAxis",
     "CampaignSpec",
     "CampaignPoint",
@@ -64,6 +65,24 @@ __all__ = [
 
 #: Scenario names the runner knows how to evaluate.
 SCENARIOS = ("range", "deskew")
+
+#: Per scenario: the resolved parameters that fix a point's *structure*
+#: — time grid, stimulus length, stage/channel counts, measurement
+#: plan.  Points agreeing on all of these can share one fused
+#: multi-lane kernel pass (their remaining parameters only vary
+#: per-lane physics: swept analog values, variation draws, seeds).
+#: Lane packing (:mod:`repro.campaign.packing`) groups points by these.
+PACK_STRUCTURAL_PARAMS = {
+    "range": (
+        "bit_rate",
+        "n_bits",
+        "dt",
+        "n_points",
+        "n_stages",
+        "measure_jitter",
+    ),
+    "deskew": ("n_channels", "n_bits", "dt", "n_cal_points"),
+}
 
 
 def _resolve_value(value: object) -> object:
@@ -364,6 +383,29 @@ class CampaignPoint:
             (canonical_json(self.identity()) + "/seed").encode("utf-8")
         ).digest()
         return int.from_bytes(digest[:8], "big")
+
+    def pack_key(self, resolved_params: Dict[str, object]) -> Optional[str]:
+        """Lane-packing compatibility key, or ``None`` if unpackable.
+
+        Two points with equal keys are structurally identical — same
+        scenario and same values for every
+        :data:`PACK_STRUCTURAL_PARAMS` entry, with *resolved_params*
+        supplying scenario defaults for parameters the spec left out —
+        so the runner may evaluate them as lanes of one fused kernel
+        pass.  Everything else about the points (swept analog values,
+        variation draws, seeds) is free to differ per lane.
+        """
+        structural = PACK_STRUCTURAL_PARAMS.get(self.scenario)
+        if structural is None:
+            return None
+        return canonical_json(
+            {
+                "scenario": self.scenario,
+                "structural": {
+                    name: resolved_params[name] for name in structural
+                },
+            }
+        )
 
 
 def expand_points(

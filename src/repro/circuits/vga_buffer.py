@@ -331,7 +331,7 @@ def band_limited_noise(
 def band_limited_noise_batch(
     n_lanes: int,
     n_samples: int,
-    sigma: float,
+    sigma: Union[float, np.ndarray],
     bandwidth: float,
     dt: float,
     rngs: Sequence[np.random.Generator],
@@ -343,28 +343,42 @@ def band_limited_noise_batch(
     a batched render and a lane-by-lane render produce identical noise.
     The low-pass warmup and the RMS normalisation run per lane (each
     lane is its own stationary snapshot).
+
+    *sigma* may be a shared float or one RMS per lane (campaign packs
+    stack device instances with different noise draws).  A lane whose
+    sigma is zero consumes nothing from its generator — exactly the
+    single-lane gating, so packed and scalar renders stay bit-exact.
     """
-    if sigma == 0.0 or n_samples == 0:
+    sigmas = np.asarray(sigma, dtype=np.float64)
+    if sigmas.ndim > 0:
+        lane_sigmas = np.ascontiguousarray(sigmas.reshape(-1))
+        if lane_sigmas.shape != (n_lanes,):
+            raise CircuitError(
+                f"sigma must be a scalar or have one entry per lane "
+                f"({n_lanes}), got shape {sigmas.shape}"
+            )
+    else:
+        lane_sigmas = np.full(n_lanes, float(sigmas))
+    active = lane_sigmas > 0.0
+    if n_samples == 0 or not active.any():
         return np.zeros((n_lanes, n_samples))
     nyquist = 0.5 / dt
     if bandwidth < nyquist:
         tau = bandwidth_to_time_constant(bandwidth)
         n_warmup = int(min(8192, math.ceil(10.0 * tau / dt)))
-        white = np.stack(
-            [
-                rngs[lane].normal(0.0, 1.0, size=n_samples + n_warmup)
-                for lane in range(n_lanes)
-            ]
-        )
+        white = np.zeros((n_lanes, n_samples + n_warmup))
+        for lane in range(n_lanes):
+            if active[lane]:
+                white[lane] = rngs[lane].normal(
+                    0.0, 1.0, size=n_samples + n_warmup
+                )
         b, a = bilinear_lowpass_coefficients(dt, tau)
         white = _scipy_signal.lfilter(b, a, white, axis=1)[:, n_warmup:]
     else:
-        white = np.stack(
-            [
-                rngs[lane].normal(0.0, 1.0, size=n_samples)
-                for lane in range(n_lanes)
-            ]
-        )
+        white = np.zeros((n_lanes, n_samples))
+        for lane in range(n_lanes):
+            if active[lane]:
+                white[lane] = rngs[lane].normal(0.0, 1.0, size=n_samples)
     # Per-lane scalar RMS via the single-lane expression, keeping the
     # batched path bit-exact against lane-by-lane rendering.
     out = np.empty_like(white)
@@ -373,7 +387,7 @@ def band_limited_noise_batch(
         if rms == 0.0:
             out[lane] = 0.0
         else:
-            out[lane] = white[lane] * (sigma / rms)
+            out[lane] = white[lane] * (lane_sigmas[lane] / rms)
     return out
 
 

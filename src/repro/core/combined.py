@@ -13,23 +13,31 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .. import instrument
+from .. import instrument, kernels
 from ..circuits.dac import ControlDAC
 from ..circuits.element import CircuitElement
 from ..circuits.vga_buffer import BufferParams, ControlInput
 from ..errors import CalibrationError, CircuitError
 from ..signals.waveform import Waveform, WaveformBatch
 from .calibration import (
+    CalibrationTable,
     CombinedDelaySolver,
     DelaySetting,
     calibrate_fine_delay,
     calibration_stimulus,
 )
 from .coarse_delay import CoarseDelayLine
-from .fine_delay import FineDelayLine
-from ..analysis.measurements import measure_delay
+from .fine_delay import FineDelayLine, cascade_plan_pack
+from ..analysis.measurements import measure_delay, measure_delays_batch
+from ..circuits.element import spawn_rngs
+from ..kernels.cascade import fusion_enabled
 
-__all__ = ["CombinedDelayLine", "process_lines_batch"]
+__all__ = [
+    "CombinedDelayLine",
+    "process_lines_batch",
+    "process_lines_pack",
+    "calibrate_lines_pack",
+]
 
 
 class CombinedDelayLine(CircuitElement):
@@ -431,3 +439,264 @@ def process_lines_batch(
             )
         vctrls = np.array([float(line.fine.vctrl) for line in lines])
         return template.fine.process_batch(muxed, rngs, vctrls=vctrls)
+
+
+# The BufferParams fields an instance variation perturbs (see
+# InstanceVariation.buffer_params): packed lanes may differ on exactly
+# these, because the fused pack plan carries them per lane.
+_PACK_VARIED_FIELDS = (
+    "slew_rate",
+    "amplitude_min",
+    "amplitude_max",
+    "propagation_delay",
+    "noise_sigma",
+)
+
+
+def _lines_packable(lines: Sequence[CombinedDelayLine]) -> bool:
+    """Can lane *i* of a pack ride instance ``lines[i]`` in one pass?
+
+    The pack relaxation of :func:`_lines_batchable`: lanes may differ
+    on the variation-perturbed stage fields (:data:`_PACK_VARIED_FIELDS`
+    — the fused plan carries those per lane) but must still agree on
+    everything structural — stage count, shared stage physics, output
+    stage, and the coarse section's buffer builds.  Per-stage or
+    waveform-valued Vctrl programming stays unpackable.
+    """
+    if not lines:
+        return False
+    if not all(isinstance(line, CombinedDelayLine) for line in lines):
+        return False
+    template = lines[0]
+    t_params = template.fine.params
+    for line in lines:
+        vctrls = line.fine.stage_vctrls()
+        if any(isinstance(v, Waveform) for v in vctrls):
+            return False
+        if any(float(v) != float(vctrls[0]) for v in vctrls[1:]):
+            return False
+        normalized = line.fine.params.with_updates(
+            **{
+                field: getattr(t_params, field)
+                for field in _PACK_VARIED_FIELDS
+            }
+        )
+        if (
+            line.fine.n_stages != template.fine.n_stages
+            or normalized != t_params
+            or line.fine.output_stage.params
+            != template.fine.output_stage.params
+            or line.fine.output_stage.amplitude
+            != template.fine.output_stage.amplitude
+            or line.coarse.fanout.params != template.coarse.fanout.params
+            or line.coarse.fanout.amplitude
+            != template.coarse.fanout.amplitude
+            or line.coarse.mux.params != template.coarse.mux.params
+            or line.coarse.mux.amplitude != template.coarse.mux.amplitude
+        ):
+            return False
+    return True
+
+
+def process_lines_pack(
+    lines: Sequence[CombinedDelayLine],
+    waveforms: WaveformBatch,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    vctrls: Optional[np.ndarray] = None,
+) -> WaveformBatch:
+    """Run lane *i* through ``lines[i]``, fusing *varied* instances.
+
+    The campaign-pack primitive: where :func:`process_lines_batch`
+    requires identical stage physics across lanes, this accepts lines
+    whose buffer parameters differ by an instance-variation draw (the
+    usual shape of a Monte-Carlo campaign pack) and renders them as one
+    fused kernel call via :func:`repro.core.fine_delay.cascade_plan_pack`.
+    *vctrls* optionally programs lane ``i``'s fine control (the
+    calibration-sweep axis); ``None`` keeps each line's own programming.
+
+    Falls back to per-lane sequential processing when the lines differ
+    structurally or kernel fusion is disabled, so the result is always
+    exactly what the per-lane loop would produce; on the python kernel
+    backend the fused path is bit-exact against that loop.
+    """
+    if len(lines) != waveforms.n_lanes:
+        raise CircuitError(
+            f"{len(lines)} delay lines for {waveforms.n_lanes} lanes"
+        )
+    if rngs is None:
+        rngs = [line._rng for line in lines]
+    elif len(rngs) != len(lines):
+        raise CircuitError(
+            f"{len(rngs)} noise streams for {len(lines)} delay lines"
+        )
+    if not _lines_packable(lines) or not fusion_enabled():
+        with instrument.span("lines_pack_fallback"):
+            outputs = []
+            for i, line in enumerate(lines):
+                if vctrls is None:
+                    outputs.append(
+                        line.process(waveforms.lane(i), rngs[i])
+                    )
+                    continue
+                saved = line.fine.vctrl
+                try:
+                    line.fine.vctrl = float(vctrls[i])
+                    outputs.append(
+                        line.process(waveforms.lane(i), rngs[i])
+                    )
+                finally:
+                    line.fine.vctrl = saved
+            return WaveformBatch.from_waveforms(outputs)
+    with instrument.span("lines_pack"):
+        template = lines[0]
+        with instrument.span("coarse"):
+            buffered = template.coarse.fanout.process_batch(
+                waveforms, rngs
+            )
+            lined = WaveformBatch.from_waveforms(
+                [
+                    line.coarse.lines[line.coarse.select].process(
+                        buffered.lane(i), rngs[i]
+                    )
+                    for i, line in enumerate(lines)
+                ]
+            )
+            skews = [
+                line.coarse.mux.port_skews[line.coarse.mux.select]
+                for line in lines
+            ]
+            muxed = template.coarse.mux.process_batch(
+                lined, rngs, port_skews=skews
+            )
+        with instrument.span("fine_delay"):
+            instrument.count("fine_delay.fused_calls")
+            stages, t_out = cascade_plan_pack(
+                [line.fine for line in lines], muxed, rngs, vctrls
+            )
+            samples = kernels.fine_delay_cascade_batch(
+                muxed.values, stages, muxed.dt
+            )
+            return WaveformBatch(samples, muxed.dt, t_out)
+
+
+def calibrate_lines_pack(
+    lines: Sequence[CombinedDelayLine],
+    stimuli: Sequence[Waveform],
+    n_points: int = 13,
+) -> list:
+    """Calibrate many delay lines as one lane pack; store the solvers.
+
+    Reproduces :meth:`CombinedDelayLine.calibrate` (with its default
+    ``rng``) for every line, but renders the fine Vctrl sweeps of all
+    *K* lines as **one** ``K * n_points``-lane fused pass and the tap
+    sweep as ``n_taps`` *K*-lane passes.  Each line keeps its own
+    ``default_rng(0xCA1B)`` master stream, consumed in the same order
+    as the scalar flow (sweep children spawned first, the tap sweep
+    continuing the master), so per-line results match lane for lane —
+    bit-exactly on the python kernel backend.
+
+    *stimuli* supplies line ``i``'s calibration waveform (all on one
+    time grid).  Returns the list of solvers, which are also stored on
+    the lines (``line.solver``), like the scalar flow does.
+    """
+    if len(stimuli) != len(lines):
+        raise CircuitError(
+            f"{len(stimuli)} stimuli for {len(lines)} delay lines"
+        )
+    if n_points < 2:
+        raise CalibrationError(f"need >= 2 points, got {n_points}")
+    n_lines = len(lines)
+    tap_counts = {line.coarse.n_taps for line in lines}
+    if len(tap_counts) != 1:
+        raise CircuitError(
+            f"pack lanes disagree on coarse tap count: "
+            f"{sorted(tap_counts)}"
+        )
+    n_taps = tap_counts.pop()
+    masters = [np.random.default_rng(0xCA1B) for _ in lines]
+    params = lines[0].fine.params
+    grid = np.linspace(params.vctrl_min, params.vctrl_max, n_points)
+    # Spawn each line's sweep streams before any processing, exactly
+    # where the scalar flow spawns them (the spawn advances the
+    # master's spawn counter only, leaving its bit stream untouched
+    # for the tap sweep that follows).
+    sweep_rngs = [spawn_rngs(master, n_points) for master in masters]
+    instrument.count("calibration.sweep_points", n_points * n_lines)
+    saved_taps = [line.coarse.select for line in lines]
+    fine_tables = []
+    try:
+        for line in lines:
+            line.coarse.select = 0
+        with instrument.span("calibrate_fine_delay"):
+            pack_lines = [
+                line for line in lines for _ in range(n_points)
+            ]
+            pack_waves = WaveformBatch.from_waveforms(
+                [
+                    stimulus
+                    for stimulus in stimuli
+                    for _ in range(n_points)
+                ]
+            )
+            pack_rngs = [rng for per_line in sweep_rngs for rng in per_line]
+            outputs = process_lines_pack(
+                pack_lines,
+                pack_waves,
+                pack_rngs,
+                vctrls=np.tile(grid, n_lines),
+            )
+            lanes = outputs.waveforms()
+            for k in range(n_lines):
+                sweep = WaveformBatch.from_waveforms(
+                    lanes[k * n_points:(k + 1) * n_points]
+                )
+                delays = np.asarray(
+                    [
+                        m.delay
+                        for m in measure_delays_batch(stimuli[k], sweep)
+                    ]
+                )
+                fine_tables.append(
+                    CalibrationTable(
+                        vctrls=grid, delays=delays - delays[0]
+                    )
+                )
+    finally:
+        for line, saved in zip(lines, saved_taps):
+            line.coarse.select = saved
+    saved_taps = [line.coarse.select for line in lines]
+    saved_vctrls = [line.fine.vctrl for line in lines]
+    tap_delays = [[] for _ in lines]
+    try:
+        for line in lines:
+            line.fine.vctrl = line.fine.params.vctrl_min
+        with instrument.span("calibrate_tap_sweep"):
+            instrument.count("calibration.tap_points", n_taps * n_lines)
+            stimuli_batch = WaveformBatch.from_waveforms(list(stimuli))
+            for tap in range(n_taps):
+                for line in lines:
+                    line.coarse.select = tap
+                outputs = process_lines_pack(
+                    lines, stimuli_batch, masters
+                )
+                for k in range(n_lines):
+                    tap_delays[k].append(
+                        measure_delay(
+                            stimuli[k], outputs.lane(k)
+                        ).delay
+                    )
+    finally:
+        for line, saved_tap, saved_vctrl in zip(
+            lines, saved_taps, saved_vctrls
+        ):
+            line.coarse.select = saved_tap
+            line.fine.vctrl = saved_vctrl
+    solvers = []
+    for k, line in enumerate(lines):
+        relative = [t - tap_delays[k][0] for t in tap_delays[k]]
+        solver = CombinedDelaySolver(
+            fine_table=fine_tables[k], tap_delays=relative, dac=line.dac
+        )
+        line._solver = solver
+        solvers.append(solver)
+    return solvers

@@ -30,7 +30,7 @@ from ..signals.filters import bandwidth_to_time_constant, cascade_filter_plan
 from ..signals.waveform import Waveform, WaveformBatch
 from .params import DEFAULT_FINE_STAGES, FOUR_STAGE_BUFFER
 
-__all__ = ["FineDelayLine"]
+__all__ = ["FineDelayLine", "cascade_plan_pack"]
 
 
 def _spawn_seeds(seed: Optional[int], count: int) -> List[Optional[int]]:
@@ -347,6 +347,8 @@ class FineDelayLine(CircuitElement):
             with instrument.span("output_stage"):
                 return self._output_stage.process_batch(result, rngs)
 
+    # (pack planning lives at module level: cascade_plan_pack below.)
+
     def nominal_delay(self, vctrl: float, half_period: float = float("inf")) -> float:
         """Analytic estimate of the total insertion delay at *vctrl*.
 
@@ -366,3 +368,161 @@ class FineDelayLine(CircuitElement):
         return self.nominal_delay(
             self.params.vctrl_max, half_period
         ) - self.nominal_delay(self.params.vctrl_min, half_period)
+
+
+# Stage physics a pack may NOT vary lane to lane: these feed shared
+# kernel state (the filter discretisation, the compression law, the
+# linear-range scaling), so differing values would need per-lane
+# kernels.  The instance-variation model only perturbs the complement
+# (slew rate, amplitude floor/ceiling, propagation delay, noise sigma).
+_SHARED_STAGE_FIELDS = (
+    "v_linear",
+    "bandwidth",
+    "noise_bandwidth",
+    "compression_corner",
+    "compression_order",
+)
+
+
+def _collapse_lane_values(values: np.ndarray):
+    """Return a plain float when every lane agrees, else the array.
+
+    Uniform packs (and the output stage, whose params no variation
+    touches) stay on the scalar-parameter kernel path this way — the
+    exact code the unpacked batch path runs.
+    """
+    first = float(values.flat[0])
+    if np.all(values == first):
+        return first
+    return values
+
+
+def cascade_plan_pack(
+    lines: Sequence[FineDelayLine],
+    batch: WaveformBatch,
+    rngs: Sequence[np.random.Generator],
+    vctrls: Optional[np.ndarray] = None,
+) -> Tuple[List[CascadeStage], np.ndarray]:
+    """Fused-kernel plan for a *pack*: lane ``i`` runs ``lines[i]``.
+
+    Where :meth:`FineDelayLine._cascade_plan_batch` runs one line over
+    many lanes, a pack runs many structurally-identical lines — e.g.
+    the same campaign scenario under different Monte-Carlo variation
+    draws — through one fused kernel call.  Each lane gets its own
+    amplitude target (via its line's own control mapping), slew limit,
+    amplitude floor, propagation delay, and noise sigma; the shared
+    stage physics (:data:`_SHARED_STAGE_FIELDS`) are re-validated
+    cheaply here because they feed kernel state common to all lanes.
+
+    *vctrls* optionally programs lane ``i``'s common control voltage;
+    ``None`` keeps each line's own programming (which must be scalar —
+    jitter-injection waveform controls are inherently per-line).  Lane
+    ``i`` draws noise from ``rngs[i]`` only, in stage order, so each
+    lane of the fused result is bit-exact against that line's own
+    scalar :meth:`FineDelayLine.process` on the python kernel backend.
+    """
+    n_lanes = batch.n_lanes
+    if len(lines) != n_lanes:
+        raise CircuitError(
+            f"pack plan needs one line per lane: {len(lines)} lines, "
+            f"{n_lanes} lanes"
+        )
+    if len(rngs) != n_lanes:
+        raise CircuitError(
+            f"pack plan needs one rng per lane: {len(rngs)} rngs, "
+            f"{n_lanes} lanes"
+        )
+    stage_counts = {line.n_stages for line in lines}
+    if len(stage_counts) != 1:
+        raise CircuitError(
+            f"pack lanes disagree on stage count: {sorted(stage_counts)}"
+        )
+    if vctrls is not None:
+        vctrls = np.asarray(vctrls, dtype=np.float64)
+        if vctrls.shape != (n_lanes,):
+            raise CircuitError(
+                f"vctrls must have one entry per lane ({n_lanes}), "
+                f"got shape {vctrls.shape}"
+            )
+    dt = batch.dt
+    n = batch.n_samples
+    t_acc = np.asarray(batch.t0, dtype=np.float64).copy()
+    lane_elements = [line._elements() for line in lines]
+    stages: List[CascadeStage] = []
+    for index in range(len(lane_elements[0])):
+        elements = [row[index] for row in lane_elements]
+        params0 = elements[0].params
+        for element in elements[1:]:
+            for field in _SHARED_STAGE_FIELDS:
+                if getattr(element.params, field) != getattr(
+                    params0, field
+                ):
+                    raise CircuitError(
+                        f"pack lanes disagree on shared stage field "
+                        f"{field!r} at stage {index}"
+                    )
+        amplitudes = np.empty(n_lanes, dtype=np.float64)
+        for lane, element in enumerate(elements):
+            if isinstance(element, VariableGainBuffer):
+                vctrl = (
+                    vctrls[lane] if vctrls is not None else element.vctrl
+                )
+                if isinstance(vctrl, Waveform):
+                    raise CircuitError(
+                        "pack plans need scalar control voltages; "
+                        "jitter-injection waveform controls are "
+                        "per-line"
+                    )
+                amplitudes[lane] = element.params.amplitude_from_vctrl(
+                    float(vctrl)
+                )
+            else:
+                amplitudes[lane] = element.amplitude
+        amplitude = _collapse_lane_values(amplitudes)
+        if isinstance(amplitude, float):
+            amplitude = np.asarray(amplitude, dtype=np.float64)
+        else:
+            amplitude = amplitudes[:, None]
+        sigmas = np.array(
+            [element.params.noise_sigma for element in elements]
+        )
+        noise = None
+        if np.any(sigmas > 0):
+            noise = band_limited_noise_batch(
+                n_lanes,
+                n,
+                _collapse_lane_values(sigmas),
+                params0.noise_bandwidth,
+                dt,
+                rngs,
+            )
+        tau = bandwidth_to_time_constant(params0.bandwidth)
+        b, a, zi_unit = cascade_filter_plan(dt, tau)
+        amplitude_min = _collapse_lane_values(
+            np.array([e.params.amplitude_min for e in elements])
+        )
+        if isinstance(amplitude_min, np.ndarray):
+            amplitude_min = amplitude_min[:, None]
+        max_step = _collapse_lane_values(
+            np.array([e.params.slew_rate * dt for e in elements])
+        )
+        if isinstance(max_step, np.ndarray):
+            max_step = max_step[:, None]
+        stages.append(
+            CascadeStage(
+                amplitude=amplitude,
+                amplitude_min=amplitude_min,
+                v_linear=params0.v_linear,
+                max_step=max_step,
+                corner=params0.compression_corner,
+                order=params0.compression_order,
+                b=b,
+                a=a,
+                zi_unit=zi_unit,
+                noise=noise,
+            )
+        )
+        t_acc = t_acc + np.array(
+            [element.params.propagation_delay for element in elements]
+        )
+    return stages, t_acc

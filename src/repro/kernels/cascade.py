@@ -121,10 +121,15 @@ class CascadeStage:
         per-sample ``(n_lanes, n)`` arrays.
     amplitude_min:
         The part's minimum swing, volts (the uncompressible floor).
+        Batch plans whose lanes model *different* device instances
+        (campaign packs) carry an ``(n_lanes, 1)`` column instead of a
+        shared float.
     v_linear:
         Input linear range of the limiting transconductor, volts.
     max_step:
-        Slew limit per sample, volts (``slew_rate * dt``).
+        Slew limit per sample, volts (``slew_rate * dt``) — a float, or
+        an ``(n_lanes, 1)`` column for pack plans with per-lane slew
+        rates.
     corner:
         Gain-compression corner, Hz (``inf`` disables compression).
     order:
@@ -140,9 +145,9 @@ class CascadeStage:
     """
 
     amplitude: Union[float, np.ndarray]
-    amplitude_min: float
+    amplitude_min: Union[float, np.ndarray]
     v_linear: float
-    max_step: float
+    max_step: Union[float, np.ndarray]
     corner: float
     order: int
     b: np.ndarray

@@ -82,17 +82,27 @@ def on_selected() -> None:
 # device building blocks
 
 
-def _relax(xp_mod, targets, max_step: float, initials):
+def _relax(xp_mod, targets, max_step, initials):
     """Lane-parallel Jacobi slew relaxation on device.
 
     Same algebra, sweep cap, convergence sampling and stale-lane
     fallback as ``numpy_backend._slew_limit_relax`` (bit-identical in
     emulate mode); the fallback walk runs on host for the lanes that
-    exceed the cap.
+    exceed the cap.  *max_step* is a shared float, a per-lane host
+    array, or an already-device-resident ``(n_lanes, 1)`` column (pack
+    plans with per-instance slew rates).
     """
     n_lanes, n = targets.shape
     if n == 0:
         return xp_mod.empty_like(targets)
+    per_lane = getattr(max_step, "ndim", 0) > 0
+    if per_lane:
+        if isinstance(max_step, np.ndarray):
+            max_step = _xp.to_device(max_step.reshape(-1, 1))
+        else:
+            max_step = max_step.reshape(-1, 1)
+    else:
+        max_step = float(max_step)
     current = xp_mod.empty((n_lanes, n + 1), dtype=xp_mod.float64)
     proposed = xp_mod.empty((n_lanes, n + 1), dtype=xp_mod.float64)
     current[:, 0] = initials
@@ -123,10 +133,14 @@ def _relax(xp_mod, targets, max_step: float, initials):
     host_targets = _xp.to_host(targets)
     host_initials = _xp.to_host(xp_mod.asarray(initials))
     instrument.count("kernels.gpu.relax_fallback_lanes", int(stale.size))
+    lane_steps = (
+        _xp.to_host(xp_mod.asarray(max_step)).reshape(-1) if per_lane else None
+    )
     for lane in stale.tolist():
+        step = max_step if lane_steps is None else float(lane_steps[lane])
         result[lane] = _xp.to_device(
             _np_backend.slew_limit(
-                host_targets[lane], max_step, float(host_initials[lane])
+                host_targets[lane], step, float(host_initials[lane])
             )
         )
     return result
@@ -529,18 +543,74 @@ def hysteresis_crossings_batch(v: np.ndarray, hysteresis: np.ndarray) -> list:
 # fused cascade
 
 
+#: CascadeStage fields shipped to the device inside the one-block
+#: transfer (everything array-valued a plan can carry per stage).
+_STAGE_ARRAY_FIELDS = (
+    "noise",
+    "amplitude",
+    "amplitude_min",
+    "max_step",
+    "zi_unit",
+)
+
+
+def _stage_constants_device(stages):
+    """Ship every stage's host plan arrays in ONE h2d transfer.
+
+    A pack plan carries per-stage noise blocks plus per-lane amplitude,
+    floor and slew-step columns; transferring them stage by stage costs
+    a host round-trip per stage per field.  Concatenating everything
+    into one flat float64 block keeps the whole plan at a single
+    transfer per call ("one h2d per pack"), and each stage's views are
+    zero-copy slices of the device block.  Scalar ``amplitude_min`` /
+    ``max_step`` stay plain floats (read straight off the stage).
+    """
+    parts = []
+    layouts = []
+    offset = 0
+    for stage in stages:
+        entry = {}
+        for key in _STAGE_ARRAY_FIELDS:
+            value = getattr(stage, key)
+            if value is None:
+                continue
+            if key in ("amplitude_min", "max_step") and np.ndim(value) == 0:
+                continue
+            array = np.asarray(value, dtype=np.float64)
+            parts.append(array.reshape(-1))
+            entry[key] = (offset, array.shape, array.size)
+            offset += array.size
+        layouts.append(entry)
+    block = _xp.to_device(
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+    )
+    views = []
+    for entry in layouts:
+        views.append(
+            {
+                key: block[start:start + size].reshape(shape)
+                for key, (start, shape, size) in entry.items()
+            }
+        )
+    return views
+
+
 def _cascade_batch_device(xp_mod, x, stages, dt: float):
     """Run the whole batched cascade on already-device-resident ``x``."""
     scratch = xp_mod.empty_like(x)
-    for stage in stages:
+    constants = _stage_constants_device(stages)
+    for stage, consts in zip(stages, constants):
         if stage.noise is not None:
-            xp_mod.add(x, _xp.to_device(stage.noise), out=x)
+            xp_mod.add(x, consts["noise"], out=x)
         v_in = x
         xp_mod.divide(v_in, stage.v_linear, out=scratch)
         limited = xp_mod.tanh(scratch, out=scratch)
-        amplitude = _xp.to_device(np.asarray(stage.amplitude, dtype=np.float64))
+        amplitude = consts["amplitude"]
+        max_step = consts.get("max_step", stage.max_step)
         if np.isfinite(stage.corner):
-            floor = xp_mod.minimum(amplitude, stage.amplitude_min)
+            floor = xp_mod.minimum(
+                amplitude, consts.get("amplitude_min", stage.amplitude_min)
+            )
             extra = amplitude - floor
             pct = xp_mod.percentile(v_in, (98.0, 2.0), axis=1)
             hysteresis = 0.3 * ((pct[0] - pct[1]) / 2.0)
@@ -555,13 +625,11 @@ def _cascade_batch_device(xp_mod, x, stages, dt: float):
                 stage.order,
                 _typical_crossing_interval_batch(xp_mod, v_in, dt),
             )
-            slewed = _relax(xp_mod, target, stage.max_step, y0)
+            slewed = _relax(xp_mod, target, max_step, y0)
         else:
             target = amplitude * limited
-            slewed = _relax(
-                xp_mod, target, stage.max_step, target[:, 0].copy()
-            )
-        zi = _xp.to_device(stage.zi_unit)[None, :] * slewed[:, :1]
+            slewed = _relax(xp_mod, target, max_step, target[:, 0].copy())
+        zi = consts["zi_unit"][None, :] * slewed[:, :1]
         x, _ = _xp.lfilter(stage.b, stage.a, slewed, axis=1, zi=zi)
     return x
 

@@ -273,7 +273,32 @@ def _slew_limit_batch(values, max_step, initials):  # pragma: no cover
     return out
 
 
+@njit(**_BATCH_JIT_OPTIONS)
+def _slew_limit_batch_steps(values, max_steps, initials):  # pragma: no cover
+    n_lanes = values.shape[0]
+    n = values.shape[1]
+    out = np.empty((n_lanes, n))
+    for lane in prange(n_lanes):
+        up = max_steps[lane]
+        down = -max_steps[lane]
+        y = initials[lane]
+        for i in range(n):
+            dv = values[lane, i] - y
+            if dv > up:
+                dv = up
+            elif dv < down:
+                dv = down
+            y += dv
+            out[lane, i] = y
+    return out
+
+
 def slew_limit_batch(values, max_step, initials):
+    if isinstance(max_step, np.ndarray):
+        steps = np.ascontiguousarray(
+            max_step.reshape(-1), dtype=np.float64
+        )
+        return _slew_limit_batch_steps(values, steps, initials)
     return _slew_limit_batch(values, max_step, initials)
 
 
@@ -323,6 +348,52 @@ def _compressive_slew_limit_batch(  # pragma: no cover - compiled
     return out
 
 
+@njit(**_BATCH_JIT_OPTIONS)
+def _compressive_slew_limit_batch_steps(  # pragma: no cover - compiled
+    v_in,
+    target_floor,
+    target_extra,
+    max_steps,
+    dt,
+    hysteresis,
+    corner,
+    order,
+    initial_interval,
+):
+    n_lanes = v_in.shape[0]
+    n = v_in.shape[1]
+    out = np.empty((n_lanes, n))
+    inv_2corner = 1.0 / (2.0 * corner)
+    for lane in prange(n_lanes):
+        up = max_steps[lane]
+        down = -max_steps[lane]
+        band = hysteresis[lane]
+        state = 1 if v_in[lane, 0] > 0.0 else -1
+        elapsed = initial_interval[lane]
+        scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+        y = target_floor[lane, 0] + scale * target_extra[lane, 0]
+        for i in range(n):
+            v = v_in[lane, i]
+            if state > 0:
+                if v < -band:
+                    state = -1
+                    scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+                    elapsed = 0.0
+            elif v > band:
+                state = 1
+                scale = 1.0 / (1.0 + (inv_2corner / elapsed) ** order)
+                elapsed = 0.0
+            elapsed += dt
+            dv = target_floor[lane, i] + scale * target_extra[lane, i] - y
+            if dv > up:
+                dv = up
+            elif dv < down:
+                dv = down
+            y += dv
+            out[lane, i] = y
+    return out
+
+
 def compressive_slew_limit_batch(
     v_in,
     target_floor,
@@ -334,6 +405,21 @@ def compressive_slew_limit_batch(
     order,
     initial_interval,
 ):
+    if isinstance(max_step, np.ndarray):
+        steps = np.ascontiguousarray(
+            max_step.reshape(-1), dtype=np.float64
+        )
+        return _compressive_slew_limit_batch_steps(
+            v_in,
+            target_floor,
+            target_extra,
+            steps,
+            dt,
+            hysteresis,
+            corner,
+            order,
+            initial_interval,
+        )
     return _compressive_slew_limit_batch(
         v_in,
         target_floor,
@@ -533,7 +619,7 @@ def fine_delay_cascade_batch(values, stages, dt):
             extra = amplitude - floor
             upper, lower = np.percentile(v_in, (98.0, 2.0), axis=1)
             hysteresis = 0.3 * ((upper - lower) / 2.0)
-            slewed = _compressive_slew_limit_batch(
+            slewed = compressive_slew_limit_batch(
                 np.ascontiguousarray(v_in),
                 np.ascontiguousarray(
                     np.broadcast_to(floor * limited, limited.shape)
@@ -550,7 +636,7 @@ def fine_delay_cascade_batch(values, stages, dt):
             )
         else:
             target = np.ascontiguousarray(amplitude * limited)
-            slewed = _slew_limit_batch(
+            slewed = slew_limit_batch(
                 target,
                 stage.max_step,
                 np.ascontiguousarray(target[:, 0]),

@@ -281,17 +281,32 @@ def hysteresis_crossings(
     )
 
 
+def _lane_step(max_step, lane: int) -> float:
+    """Per-lane slew step: scalar shared by all lanes, or one per lane.
+
+    Pack plans (many device instances in one batch) carry ``max_step``
+    as an ``(n_lanes,)`` or ``(n_lanes, 1)`` array; single-instance
+    batches keep the plain float.
+    """
+    if isinstance(max_step, np.ndarray):
+        return float(max_step.reshape(-1)[lane])
+    return max_step
+
+
 def slew_limit_batch(
-    values: np.ndarray, max_step: float, initials: np.ndarray
+    values: np.ndarray, max_step, initials: np.ndarray
 ) -> np.ndarray:
     """Per-lane slew limiting of a ``(lanes, n)`` batch.
 
     The reference semantics of the batch axis: each lane is exactly the
     single-lane kernel, so batched and sequential runs are bit-exact.
+    *max_step* is a shared float or a per-lane array.
     """
     out = np.empty_like(values)
     for lane in range(values.shape[0]):
-        out[lane] = slew_limit(values[lane], max_step, float(initials[lane]))
+        out[lane] = slew_limit(
+            values[lane], _lane_step(max_step, lane), float(initials[lane])
+        )
     return out
 
 
@@ -299,7 +314,7 @@ def compressive_slew_limit_batch(
     v_in: np.ndarray,
     target_floor: np.ndarray,
     target_extra: np.ndarray,
-    max_step: float,
+    max_step,
     dt: float,
     hysteresis: np.ndarray,
     corner: float,
@@ -310,7 +325,8 @@ def compressive_slew_limit_batch(
 
     *hysteresis* and *initial_interval* are per-lane arrays: each lane's
     comparator band and starting compression state are derived from that
-    lane's own signal.
+    lane's own signal.  *max_step* is a shared float or a per-lane
+    array (campaign packs carry per-instance slew rates).
     """
     out = np.empty_like(v_in)
     for lane in range(v_in.shape[0]):
@@ -318,7 +334,7 @@ def compressive_slew_limit_batch(
             v_in[lane],
             target_floor[lane],
             target_extra[lane],
-            max_step,
+            _lane_step(max_step, lane),
             dt,
             float(hysteresis[lane]),
             corner,

@@ -55,6 +55,7 @@ async def _serve(args) -> int:
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         workers=args.workers,
+        batch_lanes=args.batch_lanes,
     )
     server = MasterServer(scheduler, host=args.host, port=args.port)
     await server.start()
@@ -197,6 +198,14 @@ def main(argv=None) -> int:
         help=(
             "shard campaigns across a distributed worker pool "
             "(spawn://N and/or tcp://HOST:PORT; overrides --jobs)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--batch-lanes", default="auto", metavar="N",
+        help=(
+            "pack up to N compatible points per fused kernel call "
+            "('auto' picks the backend sweet spot, 1 disables packing; "
+            "default: auto)"
         ),
     )
 

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 
 from .. import instrument
 from ..campaign.cache import ResultCache
+from ..campaign.packing import validate_batch_lanes
 from ..campaign.report import build_report
 from ..campaign.runner import run_campaign
 from ..campaign.spec import CampaignSpec
@@ -65,6 +66,7 @@ class MasterScheduler:
         cache: Optional[ResultCache] = None,
         jobs: int = 1,
         workers: Optional[str] = None,
+        batch_lanes="auto",
     ):
         self.store = RunStore(data_dir)
         if cache is None and cache_dir is not None:
@@ -73,6 +75,13 @@ class MasterScheduler:
         self.jobs = int(jobs)
         if self.jobs < 1:
             raise MasterError(f"jobs must be >= 1, got {jobs}")
+        # Lane-packing width every run executes with.  Validated
+        # eagerly (like `workers`) so `serve` fails at boot; results
+        # never depend on it, so it is an execution knob, not part of
+        # a run's identity.
+        self.batch_lanes = validate_batch_lanes(
+            batch_lanes, flag="--batch-lanes"
+        )
         # Optional repro.workers endpoint spec: every accepted run is
         # sharded across the distributed pool instead of local
         # processes.  Validated eagerly so `serve` fails at boot, not
@@ -307,6 +316,7 @@ class MasterScheduler:
                 cache=self.cache,
                 progress=progress,
                 cancel=cancel_event,
+                batch_lanes=self.batch_lanes,
             )
             report = build_report(result)
             snapshot = registry.snapshot()

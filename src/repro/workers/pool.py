@@ -470,6 +470,7 @@ class WorkerPool:
         collect: bool = False,
         on_result: Callable[[object, dict, float, Optional[dict]], None],
         cancel: Optional[threading.Event] = None,
+        packs: Optional[List[List[int]]] = None,
     ) -> bool:
         """Evaluate *points* across the pool; returns ``False`` on cancel.
 
@@ -479,6 +480,14 @@ class WorkerPool:
         queued points are revoked from every worker, in-flight points
         are drained through ``on_result`` (so their compute still
         lands in the cache), and the method returns ``False``.
+
+        *packs* optionally groups point indices into lane packs (see
+        :mod:`repro.campaign.packing`): each group is dispatched to
+        one worker as a unit, which evaluates it as one fused kernel
+        pass and still streams one result per point back.  All
+        accounting (batch top-up, dispatch counters, requeue) stays in
+        points; a requeued or stolen pack member is re-dispatched as a
+        scalar singleton, which is idempotent and cache-equivalent.
 
         Raises
         ------
@@ -494,7 +503,25 @@ class WorkerPool:
             self.start()
         self.wait_for_workers()
         by_index = {point.index: point for point in points}
-        pending = deque(points)
+        pack_of: Dict[int, List[int]] = {}
+        for group in packs or ():
+            members = [int(i) for i in group]
+            for index in members:
+                pack_of[index] = members
+        # Units preserve campaign order: a pack sits where its first
+        # member sits, singletons stay themselves.
+        units: List[List[object]] = []
+        grouped: set = set()
+        for point in points:
+            group = pack_of.get(point.index)
+            if group is None:
+                units.append([point])
+            elif point.index not in grouped:
+                grouped.update(group)
+                units.append(
+                    [by_index[i] for i in group if i in by_index]
+                )
+        pending = deque(units)
         done: set = set()
         requeues: Dict[int, int] = {}
         batch = self.batch_size or max(
@@ -565,7 +592,9 @@ class WorkerPool:
                     if point is not None and index not in done:
                         if draining:
                             continue
-                        pending.append(point)
+                        # A revoked pack lane re-enters as a scalar
+                        # singleton unit — same result, by contract.
+                        pending.append([point])
                 continue
             if kind == "point_error":
                 index = envelope.get("index")
@@ -612,28 +641,43 @@ class WorkerPool:
     # -- run-loop helpers --------------------------------------------------
 
     def _dispatch(self, pending: deque, batch: int, collect: bool) -> None:
-        """Top every under-filled worker up from the pending queue."""
+        """Top every under-filled worker up from the pending queue.
+
+        The queue holds evaluation *units* (singletons and lane
+        packs); a pack always travels whole, and all sizing and
+        accounting count points, so a queue full of packs tops a
+        worker up exactly as fast as the same points unpacked.
+        """
         for handle in self.live_workers():
             while pending and len(handle.outstanding) < 2 * batch:
-                chunk = [
-                    pending.popleft()
-                    for _ in range(min(batch, len(pending)))
+                chunk: List[list] = []
+                n_points = 0
+                while pending and n_points < batch:
+                    unit = pending.popleft()
+                    chunk.append(unit)
+                    n_points += len(unit)
+                flat = [point for unit in chunk for point in unit]
+                envelope = {
+                    "type": "batch",
+                    "points": [point_to_wire(p) for p in flat],
+                    "collect": collect,
+                }
+                groups = [
+                    [point.index for point in unit]
+                    for unit in chunk
+                    if len(unit) > 1
                 ]
+                if groups:
+                    envelope["packs"] = groups
                 try:
-                    handle.send(
-                        {
-                            "type": "batch",
-                            "points": [point_to_wire(p) for p in chunk],
-                            "collect": collect,
-                        }
-                    )
+                    handle.send(envelope)
                 except OSError:
                     pending.extendleft(reversed(chunk))
                     handle.kill_connection()
                     break
-                for point in chunk:
+                for point in flat:
                     handle.outstanding[point.index] = point
-                instrument.count("workers.points.dispatched", len(chunk))
+                instrument.count("workers.points.dispatched", len(flat))
 
     def _steal(self, pending: deque, done: set) -> None:
         """Rebalance the tail: revoke queued points from busy workers.
@@ -707,6 +751,9 @@ class WorkerPool:
                     "giving up"
                 )
             requeues[point.index] = count
-            pending.appendleft(point)
+            # Orphaned pack lanes requeue as scalar singletons; lanes
+            # whose results already landed stay done, so only the
+            # genuinely uncomputed remainder of a pack is redone.
+            pending.appendleft([point])
         if orphans:
             instrument.count("workers.points.requeued", len(orphans))

@@ -65,7 +65,10 @@ class WorkerSession:
         self.name = "?"
         self._send_lock = threading.Lock()
         self._cond = threading.Condition()
-        self._queue: deque = deque()  # (index, point, collect)
+        #: evaluation units: (indices, points, collect); a singleton
+        #: point is a one-lane unit, a lane pack keeps its lanes
+        #: together so the main loop can evaluate them fused.
+        self._queue: deque = deque()
         self._stop = False
 
     # -- outbound ----------------------------------------------------------
@@ -114,23 +117,53 @@ class WorkerSession:
                     )
                 elif kind == "batch":
                     collect = bool(envelope.get("collect"))
+                    pack_of = {}
+                    for group in envelope.get("packs", ()) or ():
+                        members = tuple(int(i) for i in group)
+                        for index in members:
+                            pack_of[index] = members
                     with self._cond:
+                        units: dict = {}
                         for wire in envelope.get("points", ()):
                             point = point_from_wire(wire)
-                            self._queue.append(
-                                (point.index, point, collect)
-                            )
+                            members = pack_of.get(point.index)
+                            if members is None:
+                                self._queue.append(
+                                    ([point.index], [point], collect)
+                                )
+                                continue
+                            unit = units.get(members)
+                            if unit is None:
+                                unit = ([], [], collect)
+                                units[members] = unit
+                                self._queue.append(unit)
+                            unit[0].append(point.index)
+                            unit[1].append(point)
                         self._cond.notify_all()
                 elif kind == "revoke":
                     wanted = set(envelope.get("indices", ()))
                     returned = []
                     with self._cond:
                         kept = deque()
-                        for item in self._queue:
-                            if item[0] in wanted:
-                                returned.append(item[0])
-                            else:
-                                kept.append(item)
+                        for indices, pts, collect in self._queue:
+                            keep = [
+                                (i, p)
+                                for i, p in zip(indices, pts)
+                                if i not in wanted
+                            ]
+                            returned.extend(
+                                i for i in indices if i in wanted
+                            )
+                            if keep:
+                                # A pack that lost lanes to a revoke
+                                # simply runs narrower.
+                                kept.append(
+                                    (
+                                        [i for i, _ in keep],
+                                        [p for _, p in keep],
+                                        collect,
+                                    )
+                                )
                         self._queue = kept
                     self._send(
                         {"type": "revoked", "indices": returned}
@@ -157,16 +190,31 @@ class WorkerSession:
         # Imported here, not at module top: the campaign runner is the
         # heavyweight end of the dependency graph and the protocol
         # handshake should fail fast without it.
-        from ..campaign.runner import evaluate_point
+        from ..campaign.runner import evaluate_pack, evaluate_point
         from ..experiments.common import call_instrumented
 
-        while True:
-            with self._cond:
-                while not self._queue and not self._stop:
-                    self._cond.wait()
-                if self._stop and not self._queue:
-                    break
-                index, point, collect = self._queue.popleft()
+        def send_result(
+            index: int, metrics, duration_s: float, snapshot
+        ) -> bool:
+            frames: list = []
+            envelope = {
+                "type": "result",
+                "index": index,
+                "duration_s": duration_s,
+                "metrics": encode_tree(
+                    metrics, frames, use_shm=self.shm
+                ),
+                "snapshot": encode_tree(
+                    snapshot, frames, use_shm=self.shm
+                ),
+            }
+            try:
+                self._send(envelope, tuple(frames))
+            except OSError:
+                return False
+            return True
+
+        def run_scalar(index: int, point, collect: bool) -> bool:
             try:
                 metrics, duration_s, snapshot = call_instrumented(
                     evaluate_point,
@@ -184,24 +232,55 @@ class WorkerSession:
                         }
                     )
                 except OSError:
+                    return False
+                return True
+            return send_result(index, metrics, duration_s, snapshot)
+
+        alive = True
+        while alive:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if self._stop and not self._queue:
                     break
-                continue
-            frames: list = []
-            envelope = {
-                "type": "result",
-                "index": index,
-                "duration_s": duration_s,
-                "metrics": encode_tree(
-                    metrics, frames, use_shm=self.shm
-                ),
-                "snapshot": encode_tree(
-                    snapshot, frames, use_shm=self.shm
-                ),
-            }
-            try:
-                self._send(envelope, tuple(frames))
-            except OSError:
-                break
+                indices, pts, collect = self._queue.popleft()
+            if len(pts) > 1:
+                try:
+                    results, duration_s, snapshot = call_instrumented(
+                        evaluate_pack,
+                        pts,
+                        collect=collect,
+                        span="campaign.pack",
+                    )
+                except Exception:
+                    # Fall through to the per-lane loop below: every
+                    # lane re-runs scalar and reports its own result
+                    # or point_error, so the pool always hears about
+                    # every dispatched index (its failure drain waits
+                    # on exactly that) and the error names the lane
+                    # that actually broke.
+                    results = None
+                if results is not None and len(results) == len(pts):
+                    # One pack pass, one result frame per lane; the
+                    # instrument snapshot rides the first lane only so
+                    # the pool merges the pack's counters once.
+                    per_lane = duration_s / len(pts)
+                    for lane, (index, metrics) in enumerate(
+                        zip(indices, results)
+                    ):
+                        if not send_result(
+                            index,
+                            metrics,
+                            per_lane,
+                            snapshot if lane == 0 else None,
+                        ):
+                            alive = False
+                            break
+                    continue
+            for index, point in zip(indices, pts):
+                if not run_scalar(index, point, collect):
+                    alive = False
+                    break
         try:
             self._send({"type": "bye"})
         except OSError:
